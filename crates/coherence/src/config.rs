@@ -1,0 +1,88 @@
+//! Coherence system configuration (Table 2 defaults).
+
+use clear_mem::CacheGeometry;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the coherence substrate.
+///
+/// Defaults follow Table 2 of the paper (Icelake-like, 32 cores).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoherenceConfig {
+    /// Number of cores.
+    pub cores: usize,
+    /// Private L1 data cache geometry (48 KiB, 12-way).
+    pub l1: CacheGeometry,
+    /// Directory geometry; its set index defines the lexicographical lock
+    /// order (§5). The paper's directory has 800% coverage of the private
+    /// caches.
+    pub directory: CacheGeometry,
+    /// L1 hit latency in cycles.
+    pub lat_l1: u64,
+    /// L2 hit latency in cycles.
+    pub lat_l2: u64,
+    /// L3 / remote-cache transfer latency in cycles.
+    pub lat_l3: u64,
+    /// Main memory latency in cycles.
+    pub lat_mem: u64,
+    /// Extra cycles per remote sharer invalidated/downgraded.
+    pub lat_inval: u64,
+}
+
+impl CoherenceConfig {
+    /// Table 2 configuration with the given core count.
+    pub fn table2(cores: usize) -> Self {
+        CoherenceConfig {
+            cores,
+            l1: CacheGeometry::from_capacity(48 * 1024, 12),
+            // 800% coverage of 32×768 lines ≈ 196k entries; 16-way.
+            directory: CacheGeometry::new(8192, 16),
+            lat_l1: 1,
+            lat_l2: 10,
+            lat_l3: 45,
+            lat_mem: 80,
+            lat_inval: 6,
+        }
+    }
+
+    /// A tiny configuration for unit tests: small caches magnify capacity
+    /// and set-conflict effects.
+    pub fn small(cores: usize) -> Self {
+        CoherenceConfig {
+            cores,
+            l1: CacheGeometry::new(4, 2),
+            directory: CacheGeometry::new(8, 4),
+            lat_l1: 1,
+            lat_l2: 10,
+            lat_l3: 45,
+            lat_mem: 80,
+            lat_inval: 6,
+        }
+    }
+}
+
+impl Default for CoherenceConfig {
+    fn default() -> Self {
+        CoherenceConfig::table2(32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_32_core_table2() {
+        let c = CoherenceConfig::default();
+        assert_eq!(c.cores, 32);
+        assert_eq!(c.l1.sets, 64);
+        assert_eq!(c.l1.ways, 12);
+        assert_eq!((c.lat_l1, c.lat_l2, c.lat_l3, c.lat_mem), (1, 10, 45, 80));
+    }
+
+    #[test]
+    fn small_config_is_tiny() {
+        let c = CoherenceConfig::small(2);
+        assert_eq!(c.cores, 2);
+        assert_eq!(c.l1.lines(), 8);
+    }
+}

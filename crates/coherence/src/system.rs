@@ -1,0 +1,889 @@
+//! The central coherence system: private caches + directory.
+
+use crate::{Access, CoherenceConfig, CoreId, LockFail, MesiState, ServedBy, TxTrack};
+use clear_mem::{CacheGeometry, LineAddr, SetAssocCache};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Per-line metadata in a private cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct LineMeta {
+    mesi: MesiState,
+    /// Cacheline lock held by this core (NS-CL/S-CL execution, §4.4).
+    locked: bool,
+    /// Line is in the core's transactional read set.
+    tx_read: bool,
+    /// Line is in the core's transactional write set.
+    tx_write: bool,
+}
+
+impl LineMeta {
+    fn pinned(&self) -> bool {
+        self.locked || self.tx_read || self.tx_write
+    }
+}
+
+/// Directory entry for one line.
+#[derive(Clone, Copy, Debug, Default)]
+struct DirEntry {
+    /// Core holding the line in M/E, if any.
+    owner: Option<CoreId>,
+    /// Bitmask of cores holding the line (including the owner).
+    sharers: u64,
+    /// Core holding the line *locked*, if any.
+    locked_by: Option<CoreId>,
+}
+
+/// Effect an access would have on one remote core's copy of the line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RemoteImpact {
+    /// The remote core.
+    pub core: CoreId,
+    /// Line is in the remote core's transactional read set.
+    pub tx_read: bool,
+    /// Line is in the remote core's transactional write set.
+    pub tx_write: bool,
+    /// The remote copy would be invalidated (write) rather than merely
+    /// downgraded to Shared (read hitting an exclusive owner).
+    pub would_invalidate: bool,
+}
+
+impl RemoteImpact {
+    /// `true` if the impacted copy belongs to a transactional set, i.e. the
+    /// access is a *transactional conflict* under eager conflict detection.
+    pub fn is_tx_conflict(&self, requester_writes: bool) -> bool {
+        if requester_writes {
+            self.tx_read || self.tx_write
+        } else {
+            self.tx_write
+        }
+    }
+}
+
+/// Result of [`CoherenceSystem::probe`]: what an access would do.
+#[derive(Clone, Debug)]
+pub struct ProbeResult {
+    /// Level that would serve the access.
+    pub served_by: ServedBy,
+    /// Latency in cycles if the access proceeds.
+    pub latency: u64,
+    /// Core currently holding the line locked, when it is not the
+    /// requester. Such accesses must not be applied — the policy layer
+    /// retries or NACKs them.
+    pub locked_by_other: Option<CoreId>,
+    /// Remote copies this access would invalidate or downgrade.
+    pub remote_impacts: Vec<RemoteImpact>,
+}
+
+/// Result of a successfully applied access.
+#[derive(Clone, Debug)]
+pub struct ApplyOk {
+    /// Level that served the access.
+    pub served_by: ServedBy,
+    /// Latency in cycles.
+    pub latency: u64,
+    /// Remote copies that were invalidated or downgraded, with their
+    /// transactional bits as they were *before* the access. The policy
+    /// layer aborts the corresponding transactions.
+    pub remote_impacts: Vec<RemoteImpact>,
+}
+
+/// Event counters for the energy model and traffic statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoherenceStats {
+    /// Accesses served by the requester's L1.
+    pub l1_hits: u64,
+    /// Accesses served by the L2 shadow.
+    pub l2_hits: u64,
+    /// Accesses served by L3 / a remote cache.
+    pub l3_serves: u64,
+    /// Accesses served by main memory.
+    pub mem_serves: u64,
+    /// Remote copies invalidated or downgraded.
+    pub invalidations: u64,
+    /// Cacheline lock acquisitions.
+    pub locks: u64,
+    /// Cacheline lock releases.
+    pub unlocks: u64,
+    /// Lock attempts refused because another core held the line locked.
+    pub lock_conflicts: u64,
+}
+
+/// The coherence substrate: one private cache per core plus a directory.
+///
+/// See the [crate docs](crate) for the probe/apply protocol.
+#[derive(Debug)]
+pub struct CoherenceSystem {
+    config: CoherenceConfig,
+    caches: Vec<SetAssocCache<LineMeta>>,
+    directory: HashMap<LineAddr, DirEntry>,
+    /// Lines present in the (infinite) shared LLC model.
+    llc: HashSet<LineAddr>,
+    /// Per-core L2 shadow: lines evicted from L1 still "near" the core.
+    l2_shadow: Vec<HashSet<LineAddr>>,
+    stats: CoherenceStats,
+}
+
+impl CoherenceSystem {
+    /// Creates the system for `config.cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero cores or more than 64 (the
+    /// sharer bitmask width).
+    pub fn new(config: CoherenceConfig) -> Self {
+        assert!(config.cores > 0 && config.cores <= 64, "1..=64 cores supported");
+        CoherenceSystem {
+            config,
+            caches: (0..config.cores)
+                .map(|_| SetAssocCache::new(config.l1))
+                .collect(),
+            directory: HashMap::new(),
+            llc: HashSet::new(),
+            l2_shadow: (0..config.cores).map(|_| HashSet::new()).collect(),
+            stats: CoherenceStats::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CoherenceConfig {
+        &self.config
+    }
+
+    /// Directory geometry (defines the lexicographical lock order).
+    pub fn dir_geometry(&self) -> CacheGeometry {
+        self.config.directory
+    }
+
+    /// Accumulated event counters.
+    pub fn stats(&self) -> CoherenceStats {
+        self.stats
+    }
+
+    fn dir(&self, line: LineAddr) -> DirEntry {
+        self.directory.get(&line).copied().unwrap_or_default()
+    }
+
+    /// Which core holds `line` locked, if any.
+    pub fn locked_by(&self, line: LineAddr) -> Option<CoreId> {
+        self.dir(line).locked_by
+    }
+
+    /// `true` if `core` has `line` cached with write permission — the ALT
+    /// *Hit*-bit probe used by group locking (§5).
+    pub fn has_exclusive(&self, core: CoreId, line: LineAddr) -> bool {
+        self.caches[core.0]
+            .get(line)
+            .map(|m| m.mesi.is_exclusive())
+            .unwrap_or(false)
+    }
+
+    /// `true` if `core` currently caches `line` (any state).
+    pub fn is_cached(&self, core: CoreId, line: LineAddr) -> bool {
+        self.caches[core.0].contains(line)
+    }
+
+    /// Number of lines `core` holds locked.
+    pub fn locked_count(&self, core: CoreId) -> usize {
+        self.caches[core.0].iter().filter(|(_, m)| m.locked).count()
+    }
+
+    fn classify_miss(&self, core: CoreId, line: LineAddr, dir: &DirEntry) -> ServedBy {
+        if self.l2_shadow[core.0].contains(&line) {
+            ServedBy::L2
+        } else if dir.sharers != 0 || self.llc.contains(&line) {
+            ServedBy::L3
+        } else {
+            ServedBy::Memory
+        }
+    }
+
+    fn latency_of(&self, served_by: ServedBy, impacts: usize) -> u64 {
+        let base = match served_by {
+            ServedBy::L1 => self.config.lat_l1,
+            ServedBy::L2 => self.config.lat_l2,
+            ServedBy::L3 => self.config.lat_l3,
+            ServedBy::Memory => self.config.lat_mem,
+        };
+        base + impacts as u64 * self.config.lat_inval
+    }
+
+    fn collect_impacts(
+        &self,
+        core: CoreId,
+        line: LineAddr,
+        access: Access,
+    ) -> Vec<RemoteImpact> {
+        let dir = self.dir(line);
+        let mut impacts = Vec::new();
+        for c in 0..self.config.cores {
+            if c == core.0 || dir.sharers & (1 << c) == 0 {
+                continue;
+            }
+            let Some(meta) = self.caches[c].get(line) else { continue };
+            match access {
+                Access::Write => impacts.push(RemoteImpact {
+                    core: CoreId(c),
+                    tx_read: meta.tx_read,
+                    tx_write: meta.tx_write,
+                    would_invalidate: true,
+                }),
+                Access::Read => {
+                    if meta.mesi.is_exclusive() {
+                        impacts.push(RemoteImpact {
+                            core: CoreId(c),
+                            tx_read: meta.tx_read,
+                            tx_write: meta.tx_write,
+                            would_invalidate: false,
+                        });
+                    }
+                }
+            }
+        }
+        impacts
+    }
+
+    /// Reports what an access by `core` would do, without changing state.
+    pub fn probe(&self, core: CoreId, line: LineAddr, access: Access) -> ProbeResult {
+        let dir = self.dir(line);
+        let locked_by_other = dir.locked_by.filter(|&c| c != core);
+        let own = self.caches[core.0].get(line);
+        let hit = match (own, access) {
+            (Some(_), Access::Read) => true,
+            (Some(m), Access::Write) => m.mesi.is_exclusive(),
+            (None, _) => false,
+        };
+        let remote_impacts = if hit {
+            Vec::new()
+        } else {
+            self.collect_impacts(core, line, access)
+        };
+        let served_by = if hit {
+            ServedBy::L1
+        } else if own.is_some() {
+            // Upgrade S->M: data is local but the directory round-trip and
+            // invalidations cost an L3-class transaction.
+            ServedBy::L3
+        } else {
+            self.classify_miss(core, line, &dir)
+        };
+        let latency = self.latency_of(served_by, remote_impacts.len());
+        ProbeResult { served_by, latency, locked_by_other, remote_impacts }
+    }
+
+    fn record_serve(&mut self, served_by: ServedBy) {
+        match served_by {
+            ServedBy::L1 => self.stats.l1_hits += 1,
+            ServedBy::L2 => self.stats.l2_hits += 1,
+            ServedBy::L3 => self.stats.l3_serves += 1,
+            ServedBy::Memory => self.stats.mem_serves += 1,
+        }
+    }
+
+    fn invalidate_remote(&mut self, victim: CoreId, line: LineAddr) {
+        self.caches[victim.0].remove(line);
+        self.l2_shadow[victim.0].remove(&line);
+        let e = self.directory.entry(line).or_default();
+        e.sharers &= !(1 << victim.0);
+        if e.owner == Some(victim) {
+            e.owner = None;
+        }
+    }
+
+    fn downgrade_remote(&mut self, victim: CoreId, line: LineAddr) {
+        if let Some(m) = self.caches[victim.0].get_mut(line) {
+            m.mesi = MesiState::Shared;
+        }
+        let e = self.directory.entry(line).or_default();
+        if e.owner == Some(victim) {
+            e.owner = None;
+        }
+    }
+
+    /// Applies an access, updating caches and the directory.
+    ///
+    /// The caller must have routed away accesses to lines locked by another
+    /// core (see [`CoherenceSystem::probe`]); applying one is a logic error.
+    /// Remote transactional copies *are* invalidated/downgraded here — the
+    /// policy layer is responsible for aborting the affected transactions
+    /// (it decided to proceed).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(LockFail::Capacity)` when the requester's cache cannot
+    /// hold the line without evicting a pinned (locked or transactional)
+    /// line; for a transactional access this is a capacity abort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is locked by another core.
+    pub fn apply(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        access: Access,
+        tx: TxTrack,
+    ) -> Result<ApplyOk, LockFail> {
+        self.apply_inner(core, line, access, tx, false)
+    }
+
+    fn apply_inner(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        access: Access,
+        tx: TxTrack,
+        lock: bool,
+    ) -> Result<ApplyOk, LockFail> {
+        let probe = self.probe(core, line, access);
+        assert!(
+            probe.locked_by_other.is_none(),
+            "apply() on a line locked by another core"
+        );
+        let impacts = probe.remote_impacts.clone();
+
+        // Update remote copies.
+        for imp in &impacts {
+            if imp.would_invalidate {
+                self.invalidate_remote(imp.core, line);
+            } else {
+                self.downgrade_remote(imp.core, line);
+            }
+            self.stats.invalidations += 1;
+        }
+
+        // Update (or install) the requester's copy.
+        let others_share = {
+            let e = self.dir(line);
+            e.sharers & !(1 << core.0) != 0
+        };
+        let new_mesi = match access {
+            Access::Write => MesiState::Modified,
+            Access::Read => {
+                if others_share {
+                    MesiState::Shared
+                } else {
+                    MesiState::Exclusive
+                }
+            }
+        };
+        if let Some(meta) = self.caches[core.0].touch(line) {
+            meta.mesi = match access {
+                Access::Write => MesiState::Modified,
+                Access::Read => meta.mesi, // keep stronger state on read hit
+            };
+            meta.locked |= lock;
+            match tx {
+                TxTrack::None => {}
+                TxTrack::Read => meta.tx_read = true,
+                TxTrack::Write => meta.tx_write = true,
+            }
+        } else {
+            let meta = LineMeta {
+                mesi: new_mesi,
+                locked: lock,
+                tx_read: tx == TxTrack::Read,
+                tx_write: tx == TxTrack::Write,
+            };
+            match self.caches[core.0].insert_respecting(line, meta, LineMeta::pinned) {
+                Ok(outcome) => {
+                    if let clear_mem::EvictionOutcome::Evicted(victim) = outcome {
+                        // Victim drops to the L2 shadow; directory forgets it.
+                        let e = self.directory.entry(victim).or_default();
+                        e.sharers &= !(1 << core.0);
+                        if e.owner == Some(core) {
+                            e.owner = None;
+                        }
+                        self.l2_shadow[core.0].insert(victim);
+                    }
+                }
+                Err(clear_mem::PinnedSetFull) => return Err(LockFail::Capacity),
+            }
+        }
+
+        // Update the directory for the accessed line.
+        let e = self.directory.entry(line).or_default();
+        e.sharers |= 1 << core.0;
+        match access {
+            Access::Write => {
+                e.owner = Some(core);
+                e.sharers = 1 << core.0;
+            }
+            Access::Read => {
+                if !others_share {
+                    e.owner = Some(core);
+                }
+            }
+        }
+        if lock {
+            e.locked_by = Some(core);
+        }
+
+        self.llc.insert(line);
+        self.l2_shadow[core.0].remove(&line);
+        self.record_serve(probe.served_by);
+        Ok(ApplyOk {
+            served_by: probe.served_by,
+            latency: probe.latency,
+            remote_impacts: impacts,
+        })
+    }
+
+    /// A failed-mode discovery read (§5.1): a *non-aborting* request. It
+    /// never invalidates, downgrades or conflicts with remote copies, but —
+    /// like the paper's failed-mode loads, which are ordinary cache fills
+    /// flagged non-aborting — it installs a Shared copy in the requester's
+    /// cache when no remote core holds the line exclusively. This warming
+    /// is what makes the subsequent S-CL lock pass hit the ALT Hit-bit
+    /// fast path.
+    pub fn read_untracked(&mut self, core: CoreId, line: LineAddr) -> u64 {
+        if self.caches[core.0].contains(line) {
+            self.record_serve(ServedBy::L1);
+            return self.latency_of(ServedBy::L1, 0);
+        }
+        let dir = self.dir(line);
+        let served_by = self.classify_miss(core, line, &dir);
+        let remote_exclusive = (0..self.config.cores).any(|c| {
+            c != core.0 && self.caches[c].get(line).map(|m| m.mesi.is_exclusive()).unwrap_or(false)
+        });
+        if !remote_exclusive && dir.locked_by.is_none() {
+            let meta = LineMeta {
+                mesi: MesiState::Shared,
+                locked: false,
+                tx_read: false,
+                tx_write: false,
+            };
+            if let Ok(outcome) =
+                self.caches[core.0].insert_respecting(line, meta, LineMeta::pinned)
+            {
+                if let clear_mem::EvictionOutcome::Evicted(victim) = outcome {
+                    let e = self.directory.entry(victim).or_default();
+                    e.sharers &= !(1 << core.0);
+                    if e.owner == Some(core) {
+                        e.owner = None;
+                    }
+                    self.l2_shadow[core.0].insert(victim);
+                }
+                let e = self.directory.entry(line).or_default();
+                e.sharers |= 1 << core.0;
+                self.llc.insert(line);
+                self.l2_shadow[core.0].remove(&line);
+            }
+        }
+        self.record_serve(served_by);
+        self.latency_of(served_by, 0)
+    }
+
+    /// Acquires the cacheline lock on `line` for `core` (NS-CL/S-CL, §4.4):
+    /// exclusive ownership plus the lock bit, invalidating remote copies.
+    ///
+    /// # Errors
+    ///
+    /// * [`LockFail::LockedBy`] — another core holds the line locked; the
+    ///   requester must retry later (the directory entry is *not* left in a
+    ///   transient state, per the Fig. 6 fix).
+    /// * [`LockFail::Capacity`] — the requester's cache cannot pin the line.
+    pub fn lock_line(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+    ) -> Result<ApplyOk, LockFail> {
+        if let Some(holder) = self.locked_by(line) {
+            if holder != core {
+                self.stats.lock_conflicts += 1;
+                return Err(LockFail::LockedBy(holder));
+            }
+        }
+        let r = self.apply_inner(core, line, Access::Write, TxTrack::None, true)?;
+        self.stats.locks += 1;
+        Ok(r)
+    }
+
+    /// Acquires the locks of a whole lexicographical conflict group — ALT
+    /// entries sharing one directory set — as a single transaction (§5).
+    ///
+    /// If every line already has the *Hit* bit (exclusive in the private
+    /// cache), the group locks silently at one cycle per line; otherwise a
+    /// single directory-set lock transaction is modelled: one L3-class
+    /// round trip charged once, plus invalidation costs for every remote
+    /// copy stolen across the group.
+    ///
+    /// # Errors
+    ///
+    /// * [`LockFail::LockedBy`] if any group line is locked by another
+    ///   core (nothing is acquired — the requester retries);
+    /// * [`LockFail::Capacity`] if a line cannot be pinned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is empty or the lines span different directory
+    /// sets.
+    pub fn lock_group(
+        &mut self,
+        core: CoreId,
+        lines: &[LineAddr],
+    ) -> Result<ApplyOk, LockFail> {
+        assert!(!lines.is_empty(), "empty lock group");
+        let set = self.config.directory.set_index(lines[0]);
+        assert!(
+            lines.iter().all(|&l| self.config.directory.set_index(l) == set),
+            "lock group spans directory sets"
+        );
+        // All-or-nothing admission check.
+        for &l in lines {
+            if let Some(holder) = self.locked_by(l) {
+                if holder != core {
+                    self.stats.lock_conflicts += 1;
+                    return Err(LockFail::LockedBy(holder));
+                }
+            }
+        }
+        let all_hit = lines.iter().all(|&l| self.has_exclusive(core, l));
+        let mut impacts = Vec::new();
+        let mut invalidations = 0usize;
+        for &l in lines {
+            let r = self.apply_inner(core, l, Access::Write, TxTrack::None, true)?;
+            invalidations += r.remote_impacts.len();
+            impacts.extend(r.remote_impacts);
+            self.stats.locks += 1;
+        }
+        let latency = if all_hit {
+            lines.len() as u64 * self.config.lat_l1
+        } else {
+            // One set-lock round trip amortised over the group.
+            self.config.lat_l3 + invalidations as u64 * self.config.lat_inval
+        };
+        Ok(ApplyOk {
+            served_by: if all_hit { ServedBy::L1 } else { ServedBy::L3 },
+            latency,
+            remote_impacts: impacts,
+        })
+    }
+
+    /// Releases the lock `core` holds on `line`. No-op if not held.
+    pub fn unlock_line(&mut self, core: CoreId, line: LineAddr) {
+        if let Some(m) = self.caches[core.0].get_mut(line) {
+            if m.locked {
+                m.locked = false;
+                self.stats.unlocks += 1;
+            }
+        }
+        if let Some(e) = self.directory.get_mut(&line) {
+            if e.locked_by == Some(core) {
+                e.locked_by = None;
+            }
+        }
+    }
+
+    /// Bulk-releases every lock `core` holds (the XEnd bulk unlock of §5.1).
+    pub fn unlock_all(&mut self, core: CoreId) {
+        let locked: Vec<LineAddr> = self.caches[core.0]
+            .iter()
+            .filter(|(_, m)| m.locked)
+            .map(|(l, _)| l)
+            .collect();
+        for l in locked {
+            self.unlock_line(core, l);
+        }
+    }
+
+    /// Clears `core`'s transactional read/write bits (commit or abort).
+    /// Lines stay cached; lock bits are untouched.
+    pub fn clear_tx(&mut self, core: CoreId) {
+        for (_, m) in self.caches[core.0].iter_mut() {
+            m.tx_read = false;
+            m.tx_write = false;
+        }
+    }
+
+    /// Lines currently in `core`'s transactional read or write set.
+    pub fn tx_lines(&self, core: CoreId) -> Vec<LineAddr> {
+        self.caches[core.0]
+            .iter()
+            .filter(|(_, m)| m.tx_read || m.tx_write)
+            .map(|(l, _)| l)
+            .collect()
+    }
+
+    /// Checks whether `lines` can be simultaneously resident (and therefore
+    /// simultaneously locked) in one private cache — discovery assessment 2
+    /// of §4.1.
+    pub fn fits_locked(&self, lines: &[LineAddr]) -> bool {
+        SetAssocCache::<LineMeta>::fits_simultaneously(
+            self.config.l1,
+            lines.iter().copied(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(cores: usize) -> CoherenceSystem {
+        CoherenceSystem::new(CoherenceConfig::small(cores))
+    }
+
+    #[test]
+    fn first_access_served_by_memory_then_l1() {
+        let mut s = sys(2);
+        let l = LineAddr(10);
+        let r = s.apply(CoreId(0), l, Access::Read, TxTrack::None).unwrap();
+        assert_eq!(r.served_by, ServedBy::Memory);
+        let p = s.probe(CoreId(0), l, Access::Read);
+        assert_eq!(p.served_by, ServedBy::L1);
+        assert_eq!(p.latency, 1);
+    }
+
+    #[test]
+    fn second_core_read_served_by_l3() {
+        let mut s = sys(2);
+        let l = LineAddr(10);
+        s.apply(CoreId(0), l, Access::Read, TxTrack::None).unwrap();
+        let r = s.apply(CoreId(1), l, Access::Read, TxTrack::None).unwrap();
+        assert_eq!(r.served_by, ServedBy::L3);
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let mut s = sys(3);
+        let l = LineAddr(4);
+        s.apply(CoreId(0), l, Access::Read, TxTrack::None).unwrap();
+        s.apply(CoreId(1), l, Access::Read, TxTrack::None).unwrap();
+        let r = s.apply(CoreId(2), l, Access::Write, TxTrack::None).unwrap();
+        assert_eq!(r.remote_impacts.len(), 2);
+        assert!(r.remote_impacts.iter().all(|i| i.would_invalidate));
+        assert!(!s.is_cached(CoreId(0), l));
+        assert!(!s.is_cached(CoreId(1), l));
+        assert!(s.has_exclusive(CoreId(2), l));
+    }
+
+    #[test]
+    fn read_downgrades_exclusive_owner() {
+        let mut s = sys(2);
+        let l = LineAddr(4);
+        s.apply(CoreId(0), l, Access::Write, TxTrack::None).unwrap();
+        let r = s.apply(CoreId(1), l, Access::Read, TxTrack::None).unwrap();
+        assert_eq!(r.remote_impacts.len(), 1);
+        assert!(!r.remote_impacts[0].would_invalidate);
+        assert!(s.is_cached(CoreId(0), l));
+        assert!(!s.has_exclusive(CoreId(0), l));
+    }
+
+    #[test]
+    fn tx_bits_reported_in_impacts() {
+        let mut s = sys(2);
+        let l = LineAddr(4);
+        s.apply(CoreId(0), l, Access::Read, TxTrack::Read).unwrap();
+        let p = s.probe(CoreId(1), l, Access::Write);
+        assert_eq!(p.remote_impacts.len(), 1);
+        assert!(p.remote_impacts[0].tx_read);
+        assert!(p.remote_impacts[0].is_tx_conflict(true));
+        assert!(!p.remote_impacts[0].is_tx_conflict(false));
+    }
+
+    #[test]
+    fn reader_conflicts_only_with_remote_write_set() {
+        let mut s = sys(2);
+        let l = LineAddr(4);
+        s.apply(CoreId(0), l, Access::Write, TxTrack::Write).unwrap();
+        let p = s.probe(CoreId(1), l, Access::Read);
+        assert!(p.remote_impacts[0].is_tx_conflict(false));
+    }
+
+    #[test]
+    fn capacity_error_when_set_full_of_pinned_lines() {
+        let mut s = sys(1);
+        // Geometry 4 sets x 2 ways; lines 0,4,8 share set 0.
+        s.apply(CoreId(0), LineAddr(0), Access::Read, TxTrack::Read).unwrap();
+        s.apply(CoreId(0), LineAddr(4), Access::Read, TxTrack::Read).unwrap();
+        let e = s.apply(CoreId(0), LineAddr(8), Access::Read, TxTrack::Read);
+        assert_eq!(e.unwrap_err(), LockFail::Capacity);
+    }
+
+    #[test]
+    fn unpinned_lines_evict_quietly() {
+        let mut s = sys(1);
+        s.apply(CoreId(0), LineAddr(0), Access::Read, TxTrack::None).unwrap();
+        s.apply(CoreId(0), LineAddr(4), Access::Read, TxTrack::None).unwrap();
+        let r = s.apply(CoreId(0), LineAddr(8), Access::Read, TxTrack::None);
+        assert!(r.is_ok());
+        // Victim went to the L2 shadow: a re-access is served by L2.
+        let revisit = [LineAddr(0), LineAddr(4)]
+            .into_iter()
+            .find(|&l| !s.is_cached(CoreId(0), l))
+            .unwrap();
+        let p = s.probe(CoreId(0), revisit, Access::Read);
+        assert_eq!(p.served_by, ServedBy::L2);
+    }
+
+    #[test]
+    fn lock_line_excludes_other_lockers() {
+        let mut s = sys(2);
+        let l = LineAddr(6);
+        s.lock_line(CoreId(0), l).unwrap();
+        assert_eq!(s.locked_by(l), Some(CoreId(0)));
+        assert_eq!(s.lock_line(CoreId(1), l).unwrap_err(), LockFail::LockedBy(CoreId(0)));
+        assert_eq!(s.stats().lock_conflicts, 1);
+    }
+
+    #[test]
+    fn relock_by_holder_is_idempotent() {
+        let mut s = sys(2);
+        let l = LineAddr(6);
+        s.lock_line(CoreId(0), l).unwrap();
+        assert!(s.lock_line(CoreId(0), l).is_ok());
+        assert_eq!(s.locked_by(l), Some(CoreId(0)));
+    }
+
+    #[test]
+    fn probe_reports_locked_by_other() {
+        let mut s = sys(2);
+        let l = LineAddr(6);
+        s.lock_line(CoreId(0), l).unwrap();
+        let p = s.probe(CoreId(1), l, Access::Read);
+        assert_eq!(p.locked_by_other, Some(CoreId(0)));
+        let own = s.probe(CoreId(0), l, Access::Read);
+        assert_eq!(own.locked_by_other, None);
+    }
+
+    #[test]
+    fn unlock_all_releases_every_lock() {
+        let mut s = sys(2);
+        s.lock_line(CoreId(0), LineAddr(1)).unwrap();
+        s.lock_line(CoreId(0), LineAddr(2)).unwrap();
+        assert_eq!(s.locked_count(CoreId(0)), 2);
+        s.unlock_all(CoreId(0));
+        assert_eq!(s.locked_count(CoreId(0)), 0);
+        assert_eq!(s.locked_by(LineAddr(1)), None);
+        assert!(s.lock_line(CoreId(1), LineAddr(1)).is_ok());
+    }
+
+    #[test]
+    fn locking_steals_remote_copies() {
+        let mut s = sys(2);
+        let l = LineAddr(3);
+        s.apply(CoreId(1), l, Access::Read, TxTrack::Read).unwrap();
+        let r = s.lock_line(CoreId(0), l).unwrap();
+        assert_eq!(r.remote_impacts.len(), 1);
+        assert!(r.remote_impacts[0].tx_read);
+        assert!(!s.is_cached(CoreId(1), l));
+    }
+
+    #[test]
+    fn clear_tx_unpins() {
+        let mut s = sys(1);
+        s.apply(CoreId(0), LineAddr(0), Access::Read, TxTrack::Read).unwrap();
+        s.apply(CoreId(0), LineAddr(4), Access::Write, TxTrack::Write).unwrap();
+        assert_eq!(s.tx_lines(CoreId(0)).len(), 2);
+        s.clear_tx(CoreId(0));
+        assert!(s.tx_lines(CoreId(0)).is_empty());
+        // Set 0 no longer pinned: a third line can come in.
+        assert!(s.apply(CoreId(0), LineAddr(8), Access::Read, TxTrack::Read).is_ok());
+    }
+
+    #[test]
+    fn read_untracked_changes_nothing() {
+        let mut s = sys(2);
+        let l = LineAddr(9);
+        s.apply(CoreId(0), l, Access::Write, TxTrack::Write).unwrap();
+        let lat = s.read_untracked(CoreId(1), l);
+        assert!(lat >= 45);
+        assert!(!s.is_cached(CoreId(1), l));
+        assert!(s.has_exclusive(CoreId(0), l));
+        // Untracked read of own cached line is an L1 hit.
+        assert_eq!(s.read_untracked(CoreId(0), l), 1);
+    }
+
+    #[test]
+    fn fits_locked_uses_l1_geometry() {
+        let s = sys(1);
+        // 4 sets x 2 ways: three same-set lines do not fit.
+        assert!(!s.fits_locked(&[LineAddr(0), LineAddr(4), LineAddr(8)]));
+        assert!(s.fits_locked(&[LineAddr(0), LineAddr(1), LineAddr(2), LineAddr(3)]));
+    }
+
+    #[test]
+    fn write_upgrade_from_shared_counts_as_l3() {
+        let mut s = sys(2);
+        let l = LineAddr(2);
+        s.apply(CoreId(0), l, Access::Read, TxTrack::None).unwrap();
+        s.apply(CoreId(1), l, Access::Read, TxTrack::None).unwrap();
+        let p = s.probe(CoreId(0), l, Access::Write);
+        assert_eq!(p.served_by, ServedBy::L3);
+        assert_eq!(p.remote_impacts.len(), 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = sys(2);
+        s.apply(CoreId(0), LineAddr(1), Access::Read, TxTrack::None).unwrap();
+        s.apply(CoreId(0), LineAddr(1), Access::Read, TxTrack::None).unwrap();
+        s.lock_line(CoreId(0), LineAddr(2)).unwrap();
+        s.unlock_all(CoreId(0));
+        let st = s.stats();
+        assert_eq!(st.mem_serves, 2); // line 1 first touch + lock of line 2
+        assert_eq!(st.l1_hits, 1);
+        assert_eq!(st.locks, 1);
+        assert_eq!(st.unlocks, 1);
+    }
+
+    #[test]
+    fn lock_group_all_or_nothing() {
+        let mut s = sys(2);
+        // Directory has 8 sets; lines 1 and 9 share set 1.
+        let (a, b) = (LineAddr(1), LineAddr(9));
+        s.lock_line(CoreId(1), b).unwrap();
+        assert_eq!(
+            s.lock_group(CoreId(0), &[a, b]).unwrap_err(),
+            LockFail::LockedBy(CoreId(1))
+        );
+        assert_eq!(s.locked_by(a), None, "nothing acquired on failure");
+        s.unlock_all(CoreId(1));
+        assert!(s.lock_group(CoreId(0), &[a, b]).is_ok());
+        assert_eq!(s.locked_by(a), Some(CoreId(0)));
+        assert_eq!(s.locked_by(b), Some(CoreId(0)));
+    }
+
+    #[test]
+    fn lock_group_hit_fast_path_is_cheap() {
+        let mut s = sys(2);
+        let (a, b) = (LineAddr(1), LineAddr(9));
+        // Warm both lines exclusive.
+        s.apply(CoreId(0), a, Access::Write, TxTrack::None).unwrap();
+        s.apply(CoreId(0), b, Access::Write, TxTrack::None).unwrap();
+        let r = s.lock_group(CoreId(0), &[a, b]).unwrap();
+        assert_eq!(r.latency, 2, "all-Hit group locks at 1 cycle per line");
+        s.unlock_all(CoreId(0));
+        // Cold path costs a set-lock round trip.
+        let mut s2 = sys(2);
+        let r2 = s2.lock_group(CoreId(0), &[a, b]).unwrap();
+        assert!(r2.latency >= 45);
+    }
+
+    #[test]
+    fn lock_group_steals_remote_tx_copies() {
+        let mut s = sys(2);
+        let (a, b) = (LineAddr(1), LineAddr(9));
+        s.apply(CoreId(1), a, Access::Read, TxTrack::Read).unwrap();
+        let r = s.lock_group(CoreId(0), &[a, b]).unwrap();
+        assert_eq!(r.remote_impacts.len(), 1);
+        assert!(r.remote_impacts[0].tx_read);
+    }
+
+    #[test]
+    #[should_panic(expected = "spans directory sets")]
+    fn lock_group_rejects_mixed_sets() {
+        let mut s = sys(2);
+        let _ = s.lock_group(CoreId(0), &[LineAddr(1), LineAddr(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "locked by another core")]
+    fn apply_on_foreign_locked_line_panics() {
+        let mut s = sys(2);
+        let l = LineAddr(6);
+        s.lock_line(CoreId(0), l).unwrap();
+        let _ = s.apply(CoreId(1), l, Access::Read, TxTrack::None);
+    }
+}

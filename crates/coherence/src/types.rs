@@ -1,0 +1,118 @@
+//! Shared coherence-layer types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a simulated core.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct CoreId(pub usize);
+
+impl fmt::Debug for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// Kind of memory access at the coherence layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Access {
+    /// Read permission (Shared is enough).
+    Read,
+    /// Write permission (exclusive ownership required).
+    Write,
+}
+
+/// MESI stable states of a line in a private cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MesiState {
+    /// Exclusive ownership, dirty with respect to memory.
+    Modified,
+    /// Exclusive ownership, clean.
+    Exclusive,
+    /// Shared, read-only.
+    Shared,
+}
+
+impl MesiState {
+    /// `true` for states granting write permission.
+    pub fn is_exclusive(self) -> bool {
+        matches!(self, MesiState::Modified | MesiState::Exclusive)
+    }
+}
+
+/// How an access should be recorded in the requester's transactional sets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TxTrack {
+    /// Non-transactional access (outside any AR, or fallback execution).
+    None,
+    /// Add the line to the transactional read set.
+    Read,
+    /// Add the line to the transactional write set.
+    Write,
+}
+
+/// Which level of the hierarchy served an access (Table 2 latencies).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServedBy {
+    /// Requester's L1 (1 cycle).
+    L1,
+    /// Requester's L2 shadow (10 cycles).
+    L2,
+    /// Shared L3 / remote cache via the directory (45 cycles).
+    L3,
+    /// Main memory (80 cycles).
+    Memory,
+}
+
+/// Why a lock acquisition could not complete.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockFail {
+    /// The line is currently locked by another core; the requester should
+    /// retry (the directory is released in between — Fig. 6 behaviour).
+    LockedBy(CoreId),
+    /// The requester's cache cannot hold the line together with its other
+    /// pinned (locked/transactional) lines.
+    Capacity,
+}
+
+impl fmt::Display for LockFail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockFail::LockedBy(c) => write!(f, "line locked by {c}"),
+            LockFail::Capacity => write!(f, "cache capacity exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for LockFail {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesi_exclusivity() {
+        assert!(MesiState::Modified.is_exclusive());
+        assert!(MesiState::Exclusive.is_exclusive());
+        assert!(!MesiState::Shared.is_exclusive());
+    }
+
+    #[test]
+    fn core_id_display() {
+        assert_eq!(CoreId(3).to_string(), "core3");
+    }
+
+    #[test]
+    fn lock_fail_display() {
+        assert_eq!(LockFail::LockedBy(CoreId(1)).to_string(), "line locked by core1");
+        assert_eq!(LockFail::Capacity.to_string(), "cache capacity exhausted");
+    }
+}

@@ -1,0 +1,157 @@
+//! Protocol-level property tests: for any sequence of reads, writes,
+//! locks, unlocks and transactional clears, the MESI single-writer /
+//! multiple-reader invariant and lock exclusivity must hold.
+
+use clear_coherence::{Access, CoherenceConfig, CoherenceSystem, CoreId, LockFail, TxTrack};
+use clear_mem::LineAddr;
+use proptest::prelude::*;
+
+const CORES: usize = 4;
+const LINES: u64 = 16;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Read { core: usize, line: u64, tx: bool },
+    Write { core: usize, line: u64, tx: bool },
+    Lock { core: usize, line: u64 },
+    UnlockAll { core: usize },
+    ClearTx { core: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..CORES, 0..LINES, any::<bool>()).prop_map(|(core, line, tx)| Op::Read { core, line, tx }),
+        (0..CORES, 0..LINES, any::<bool>()).prop_map(|(core, line, tx)| Op::Write { core, line, tx }),
+        (0..CORES, 0..LINES).prop_map(|(core, line)| Op::Lock { core, line }),
+        (0..CORES).prop_map(|core| Op::UnlockAll { core }),
+        (0..CORES).prop_map(|core| Op::ClearTx { core }),
+    ]
+}
+
+/// Single-writer / multiple-reader: if any core holds a line exclusively,
+/// no other core caches it; a locked line is held exclusively by its
+/// locker.
+fn check_invariants(sys: &CoherenceSystem) {
+    for line in 0..LINES {
+        let l = LineAddr(line);
+        let exclusive: Vec<usize> =
+            (0..CORES).filter(|&c| sys.has_exclusive(CoreId(c), l)).collect();
+        assert!(exclusive.len() <= 1, "line {line}: two exclusive holders {exclusive:?}");
+        if let Some(&owner) = exclusive.first() {
+            for c in 0..CORES {
+                if c != owner {
+                    assert!(
+                        !sys.is_cached(CoreId(c), l),
+                        "line {line}: core {c} caches a line core {owner} holds exclusively"
+                    );
+                }
+            }
+        }
+        if let Some(holder) = sys.locked_by(l) {
+            assert!(
+                sys.has_exclusive(holder, l),
+                "line {line}: locked by {holder} without exclusive permission"
+            );
+        }
+    }
+}
+
+fn apply_op(sys: &mut CoherenceSystem, op: &Op) {
+    match *op {
+        Op::Read { core, line, tx } => {
+            let l = LineAddr(line);
+            if sys.locked_by(l).map(|h| h != CoreId(core)).unwrap_or(false) {
+                return; // policy layer would retry/NACK; never apply
+            }
+            let track = if tx { TxTrack::Read } else { TxTrack::None };
+            match sys.apply(CoreId(core), l, Access::Read, track) {
+                Ok(_) | Err(LockFail::Capacity) => {}
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        Op::Write { core, line, tx } => {
+            let l = LineAddr(line);
+            if sys.locked_by(l).map(|h| h != CoreId(core)).unwrap_or(false) {
+                return;
+            }
+            let track = if tx { TxTrack::Write } else { TxTrack::None };
+            match sys.apply(CoreId(core), l, Access::Write, track) {
+                Ok(_) | Err(LockFail::Capacity) => {}
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        Op::Lock { core, line } => {
+            let _ = sys.lock_line(CoreId(core), LineAddr(line));
+        }
+        Op::UnlockAll { core } => sys.unlock_all(CoreId(core)),
+        Op::ClearTx { core } => sys.clear_tx(CoreId(core)),
+    }
+}
+
+proptest! {
+    #[test]
+    fn swmr_and_lock_exclusivity_hold(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let mut sys = CoherenceSystem::new(CoherenceConfig::small(CORES));
+        for op in &ops {
+            apply_op(&mut sys, op);
+            check_invariants(&sys);
+        }
+    }
+
+    /// Locks are never silently dropped: after a successful lock and before
+    /// any unlock by that core, the line reports the right holder.
+    #[test]
+    fn lock_holder_is_stable(
+        pre in prop::collection::vec(op_strategy(), 0..50),
+        line in 0..LINES,
+        post in prop::collection::vec(op_strategy(), 0..50),
+    ) {
+        let mut sys = CoherenceSystem::new(CoherenceConfig::small(CORES));
+        for op in &pre {
+            apply_op(&mut sys, op);
+        }
+        if sys.lock_line(CoreId(0), LineAddr(line)).is_ok() {
+            for op in &post {
+                // Skip core 0's own unlocks to test stability.
+                if matches!(op, Op::UnlockAll { core: 0 }) {
+                    continue;
+                }
+                apply_op(&mut sys, op);
+                prop_assert_eq!(sys.locked_by(LineAddr(line)), Some(CoreId(0)));
+            }
+        }
+    }
+
+    /// clear_tx leaves no transactional lines behind.
+    #[test]
+    fn clear_tx_is_complete(ops in prop::collection::vec(op_strategy(), 1..100)) {
+        let mut sys = CoherenceSystem::new(CoherenceConfig::small(CORES));
+        for op in &ops {
+            apply_op(&mut sys, op);
+        }
+        for c in 0..CORES {
+            sys.clear_tx(CoreId(c));
+            prop_assert!(sys.tx_lines(CoreId(c)).is_empty());
+        }
+    }
+
+    /// Probe never mutates: two identical probes agree, and an apply-free
+    /// sequence of probes leaves all inspection results unchanged.
+    #[test]
+    fn probe_is_pure(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+        core in 0..CORES,
+        line in 0..LINES,
+    ) {
+        let mut sys = CoherenceSystem::new(CoherenceConfig::small(CORES));
+        for op in &ops {
+            apply_op(&mut sys, op);
+        }
+        let l = LineAddr(line);
+        let p1 = sys.probe(CoreId(core), l, Access::Write);
+        let p2 = sys.probe(CoreId(core), l, Access::Write);
+        prop_assert_eq!(p1.latency, p2.latency);
+        prop_assert_eq!(p1.locked_by_other, p2.locked_by_other);
+        prop_assert_eq!(p1.remote_impacts.len(), p2.remote_impacts.len());
+    }
+}

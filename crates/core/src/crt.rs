@@ -1,0 +1,99 @@
+//! The Conflicting Reads Table (CRT, Fig. 7 ④).
+
+use clear_mem::{CacheGeometry, LineAddr, SetAssocCache};
+
+/// The Conflicting Reads Table: read lines that were **not written** by the
+/// AR during discovery but received a conflict-causing invalidation in a
+/// previous execution. Before an S-CL retry, lines present here get their
+/// ALT Needs-Locking bit set so the same conflict cannot recur (§4.4.2).
+///
+/// Paper sizing: 64 entries, 8-way set-associative, LRU.
+///
+/// # Examples
+///
+/// ```
+/// use clear_core::Crt;
+/// use clear_mem::LineAddr;
+///
+/// let mut crt = Crt::new(8, 8);
+/// crt.record(LineAddr(42));
+/// assert!(crt.contains(LineAddr(42)));
+/// assert!(!crt.contains(LineAddr(43)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Crt {
+    table: SetAssocCache<()>,
+}
+
+impl Crt {
+    /// Creates a CRT with `sets × ways` entries (paper: 8 × 8).
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Crt { table: SetAssocCache::new(CacheGeometry::new(sets, ways)) }
+    }
+
+    /// Records a conflicting read of `line` (LRU-replacing within its set).
+    pub fn record(&mut self, line: LineAddr) {
+        self.table.insert(line, ());
+    }
+
+    /// `true` if `line` suffered a conflict in a previous execution.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.table.contains(line)
+    }
+
+    /// Consumes the entry for `line`, returning whether it was present.
+    ///
+    /// S-CL retries *take* CRT entries when they add the line to their lock
+    /// set: the lock prevents the recorded conflict from recurring on this
+    /// retry, and if the line is genuinely write-hot the next conflict
+    /// re-records it. Leaving entries in place would instead make every
+    /// future S-CL of any AR whose footprint contains a once-conflicted
+    /// line (e.g. a data structure's root) lock it forever — a
+    /// serialization feedback loop.
+    pub fn take(&mut self, line: LineAddr) -> bool {
+        self.table.remove(line).is_some()
+    }
+
+    /// Number of recorded lines.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// `true` if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut c = Crt::new(2, 2);
+        c.record(LineAddr(1));
+        assert!(c.contains(LineAddr(1)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn record_is_idempotent() {
+        let mut c = Crt::new(2, 2);
+        c.record(LineAddr(1));
+        c.record(LineAddr(1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn set_overflow_evicts_lru() {
+        let mut c = Crt::new(2, 2);
+        // Lines 0, 2, 4 map to set 0 of a 2-set table.
+        c.record(LineAddr(0));
+        c.record(LineAddr(2));
+        c.record(LineAddr(4));
+        assert!(!c.contains(LineAddr(0)));
+        assert!(c.contains(LineAddr(2)));
+        assert!(c.contains(LineAddr(4)));
+    }
+}

@@ -1,0 +1,202 @@
+//! The Explored Region Table (ERT, Fig. 7 ②).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-static-AR state stored in the ERT.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ErtEntry {
+    /// Cacheline locking can be employed on a retry.
+    pub is_convertible: bool,
+    /// A retry can start in NS-CL mode (no indirections were observed).
+    /// If convertible but not immutable, retries start in S-CL.
+    pub is_immutable: bool,
+    /// 2-bit saturating counter of failed discoveries that ran out of SQ.
+    sq_full: u8,
+}
+
+impl ErtEntry {
+    const SQ_FULL_MAX: u8 = 3;
+
+    /// The reset state of a fresh entry: convertible, immutable, counter 0.
+    pub fn fresh() -> Self {
+        ErtEntry { is_convertible: true, is_immutable: true, sq_full: 0 }
+    }
+
+    /// Current SQ-full counter value (0..=3).
+    pub fn sq_full(&self) -> u8 {
+        self.sq_full
+    }
+
+    /// Saturating increment, on a failed discovery exhausting the SQ.
+    pub fn bump_sq_full(&mut self) {
+        self.sq_full = (self.sq_full + 1).min(Self::SQ_FULL_MAX);
+    }
+
+    /// Saturating decrement, on a commit of this AR.
+    pub fn decay_sq_full(&mut self) {
+        self.sq_full = self.sq_full.saturating_sub(1);
+    }
+
+    /// Discovery is disabled for this AR while the counter is saturated or
+    /// the AR was marked non-convertible (§5.1).
+    pub fn discovery_enabled(&self) -> bool {
+        self.is_convertible && self.sq_full < Self::SQ_FULL_MAX
+    }
+}
+
+impl Default for ErtEntry {
+    fn default() -> Self {
+        Self::fresh()
+    }
+}
+
+/// The Explored Region Table: a small, fully-associative, LRU-replaced
+/// table keyed by the AR's static identity (its entry PC in hardware;
+/// `ArId` in the `clear-isa` crate — the key type here is a plain
+/// `u32` to keep this crate independent of the ISA crate).
+///
+/// # Examples
+///
+/// ```
+/// use clear_core::Ert;
+///
+/// let mut ert = Ert::new(2);
+/// ert.entry(1).is_immutable = false;
+/// assert!(!ert.lookup(1).unwrap().is_immutable);
+/// assert!(ert.lookup(99).is_none());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Ert {
+    capacity: usize,
+    entries: Vec<Slot>,
+    tick: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    key: u32,
+    entry: ErtEntry,
+    last_use: u64,
+}
+
+impl Ert {
+    /// Creates an ERT with `capacity` entries (paper: 16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ERT capacity must be non-zero");
+        Ert { capacity, entries: Vec::new(), tick: 0 }
+    }
+
+    /// Looks up the entry for AR `key` without allocating or touching LRU.
+    pub fn lookup(&self, key: u32) -> Option<&ErtEntry> {
+        self.entries.iter().find(|s| s.key == key).map(|s| &s.entry)
+    }
+
+    /// Returns the entry for AR `key`, allocating a fresh one (possibly
+    /// evicting the LRU entry) if absent, and refreshing its LRU position.
+    pub fn entry(&mut self, key: u32) -> &mut ErtEntry {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(i) = self.entries.iter().position(|s| s.key == key) {
+            self.entries[i].last_use = tick;
+            return &mut self.entries[i].entry;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push(Slot { key, entry: ErtEntry::fresh(), last_use: tick });
+            let i = self.entries.len() - 1;
+            return &mut self.entries[i].entry;
+        }
+        let lru = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.last_use)
+            .map(|(i, _)| i)
+            .expect("capacity > 0");
+        self.entries[lru] = Slot { key, entry: ErtEntry::fresh(), last_use: tick };
+        &mut self.entries[lru].entry
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_entry_defaults() {
+        let e = ErtEntry::fresh();
+        assert!(e.is_convertible);
+        assert!(e.is_immutable);
+        assert_eq!(e.sq_full(), 0);
+        assert!(e.discovery_enabled());
+    }
+
+    #[test]
+    fn sq_full_saturates_and_disables_discovery() {
+        let mut e = ErtEntry::fresh();
+        for _ in 0..5 {
+            e.bump_sq_full();
+        }
+        assert_eq!(e.sq_full(), 3);
+        assert!(!e.discovery_enabled());
+        e.decay_sq_full();
+        assert_eq!(e.sq_full(), 2);
+        assert!(e.discovery_enabled());
+    }
+
+    #[test]
+    fn decay_does_not_underflow() {
+        let mut e = ErtEntry::fresh();
+        e.decay_sq_full();
+        assert_eq!(e.sq_full(), 0);
+    }
+
+    #[test]
+    fn non_convertible_disables_discovery() {
+        let mut e = ErtEntry::fresh();
+        e.is_convertible = false;
+        assert!(!e.discovery_enabled());
+    }
+
+    #[test]
+    fn entry_allocates_and_persists() {
+        let mut ert = Ert::new(4);
+        ert.entry(7).is_convertible = false;
+        assert!(!ert.lookup(7).unwrap().is_convertible);
+        assert_eq!(ert.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_drops_oldest() {
+        let mut ert = Ert::new(2);
+        ert.entry(1).is_immutable = false;
+        ert.entry(2);
+        ert.entry(1); // refresh 1; 2 becomes LRU
+        ert.entry(3); // evicts 2
+        assert!(ert.lookup(1).is_some());
+        assert!(ert.lookup(2).is_none());
+        assert!(ert.lookup(3).is_some());
+        // Evicted-and-reallocated entries come back fresh.
+        assert!(ert.entry(2).is_immutable);
+        assert!(ert.lookup(1).is_none()); // 1 was LRU after touching 3 and 2
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        Ert::new(0);
+    }
+}

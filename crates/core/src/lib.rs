@@ -1,0 +1,61 @@
+//! **CLEAR** — CacheLine-locked Executed Atomic Regions.
+//!
+//! This crate implements the paper's primary contribution: the hardware
+//! structures and decision logic that bound speculative retries of an
+//! atomic region (AR) to a single one by re-executing the AR under ordered
+//! cacheline locking with the footprint learned during *discovery*.
+//!
+//! The architecture of Fig. 7 maps to:
+//!
+//! * [`Ert`] — the *Explored Region Table* ②: per-static-AR state — Is
+//!   Convertible, Is Immutable, 2-bit SQ-Full saturating counter, 16
+//!   entries, fully associative, LRU;
+//! * [`Alt`] — the *Addresses to Lock Table* ③: up to 32 cacheline
+//!   addresses learned in discovery, kept sorted in the deadlock-free
+//!   lexicographical order (directory set index), with Needs-Locking /
+//!   Locked / Hit / Conflict bits and group handling;
+//! * [`Crt`] — the *Conflicting Reads Table* ④: 64-entry, 8-way table of
+//!   read lines that caused a conflict abort, which S-CL must also lock;
+//! * [`Discovery`] — the per-execution discovery assessment (§4.1/§4.2):
+//!   footprint collection, indirection observation, failed-mode tracking
+//!   and SQ pressure;
+//! * [`decide`] — the Fig. 2 decision tree choosing the retry
+//!   [`RetryMode`]: NS-CL, S-CL, speculative retry or fallback.
+//!
+//! The per-register indirection bits ① live in `clear-isa` (they are part
+//! of the register file); the cache-controller side of cacheline locking
+//! lives in `clear-coherence`; the machine crate wires everything into the
+//! execution loop.
+//!
+//! # Examples
+//!
+//! ```
+//! use clear_core::{decide, ClearConfig, Discovery, RetryMode};
+//! use clear_mem::{CacheGeometry, LineAddr};
+//!
+//! let cfg = ClearConfig::default();
+//! let dir = CacheGeometry::new(64, 16);
+//! let mut d = Discovery::new(&cfg, dir);
+//! d.on_access(LineAddr(3), true, false);
+//! d.on_access(LineAddr(9), false, false);
+//! // No indirections, footprint of two lines: eligible for NS-CL.
+//! let a = d.assess(|lines| lines.len() <= 2);
+//! assert_eq!(decide(&a), RetryMode::NsCl);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod alt;
+mod config;
+mod crt;
+mod decision;
+mod discovery;
+mod ert;
+
+pub use alt::{Alt, AltEntry, AltOverflow};
+pub use config::{ClearConfig, SclLockPolicy};
+pub use crt::Crt;
+pub use decision::{decide, RetryMode};
+pub use discovery::{Discovery, DiscoveryAssessment};
+pub use ert::{Ert, ErtEntry};

@@ -1,0 +1,160 @@
+//! The global fallback lock.
+
+use clear_coherence::CoreId;
+use clear_mem::LineAddr;
+
+/// The fallback mutex of SLE/HTM (§2.1, §4.3).
+///
+/// Semantically a reader/writer lock over a dedicated cacheline:
+///
+/// * a thread entering the **fallback path** write-locks it (mutual
+///   exclusion with everything);
+/// * **NS-CL / S-CL** executions *read-lock* it before locking cachelines,
+///   guaranteeing no fallback execution is in flight (§4.3) — multiple
+///   CL-mode ARs may hold the read lock concurrently;
+/// * **speculative** ARs do not lock it at all: they *subscribe* by adding
+///   [`FallbackLock::line`] to their transactional read set at `XBegin`, so
+///   a writer's lock acquisition aborts them through normal conflict
+///   detection.
+///
+/// The lock itself is modelled logically (not through simulated memory
+/// words) but exposes the line address used for read-set subscription.
+///
+/// # Examples
+///
+/// ```
+/// use clear_htm::FallbackLock;
+/// use clear_coherence::CoreId;
+/// use clear_mem::LineAddr;
+///
+/// let mut fl = FallbackLock::new(LineAddr(1));
+/// assert!(fl.try_read(CoreId(0)));
+/// assert!(!fl.try_write(CoreId(1))); // reader blocks writer
+/// fl.release_read(CoreId(0));
+/// assert!(fl.try_write(CoreId(1)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct FallbackLock {
+    line: LineAddr,
+    writer: Option<CoreId>,
+    readers: u64,
+}
+
+impl FallbackLock {
+    /// Creates the lock living on cacheline `line`.
+    pub fn new(line: LineAddr) -> Self {
+        FallbackLock { line, writer: None, readers: 0 }
+    }
+
+    /// The cacheline speculative ARs subscribe to.
+    pub fn line(&self) -> LineAddr {
+        self.line
+    }
+
+    /// Current write holder, if any.
+    pub fn writer(&self) -> Option<CoreId> {
+        self.writer
+    }
+
+    /// `true` if any core holds the read lock.
+    pub fn has_readers(&self) -> bool {
+        self.readers != 0
+    }
+
+    /// `true` if `core` holds the read lock.
+    pub fn is_reader(&self, core: CoreId) -> bool {
+        self.readers & (1 << core.0) != 0
+    }
+
+    /// Attempts to write-lock (fallback path entry). Fails while any reader
+    /// or another writer holds the lock.
+    pub fn try_write(&mut self, core: CoreId) -> bool {
+        if self.writer.is_none() && self.readers == 0 {
+            self.writer = Some(core);
+            true
+        } else {
+            self.writer == Some(core)
+        }
+    }
+
+    /// Releases the write lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` does not hold it.
+    pub fn release_write(&mut self, core: CoreId) {
+        assert_eq!(self.writer, Some(core), "release_write by non-holder");
+        self.writer = None;
+    }
+
+    /// Attempts to read-lock (CL-mode entry). Fails while write-locked.
+    pub fn try_read(&mut self, core: CoreId) -> bool {
+        if self.writer.is_some() {
+            return false;
+        }
+        self.readers |= 1 << core.0;
+        true
+    }
+
+    /// Releases `core`'s read lock (idempotent).
+    pub fn release_read(&mut self, core: CoreId) {
+        self.readers &= !(1 << core.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_excludes_writer() {
+        let mut fl = FallbackLock::new(LineAddr(1));
+        assert!(fl.try_write(CoreId(0)));
+        assert!(!fl.try_write(CoreId(1)));
+        assert_eq!(fl.writer(), Some(CoreId(0)));
+        fl.release_write(CoreId(0));
+        assert!(fl.try_write(CoreId(1)));
+    }
+
+    #[test]
+    fn write_is_reentrant_for_holder() {
+        let mut fl = FallbackLock::new(LineAddr(1));
+        assert!(fl.try_write(CoreId(0)));
+        assert!(fl.try_write(CoreId(0)));
+    }
+
+    #[test]
+    fn readers_share() {
+        let mut fl = FallbackLock::new(LineAddr(1));
+        assert!(fl.try_read(CoreId(0)));
+        assert!(fl.try_read(CoreId(1)));
+        assert!(fl.is_reader(CoreId(0)) && fl.is_reader(CoreId(1)));
+    }
+
+    #[test]
+    fn writer_blocks_readers_and_vice_versa() {
+        let mut fl = FallbackLock::new(LineAddr(1));
+        assert!(fl.try_write(CoreId(0)));
+        assert!(!fl.try_read(CoreId(1)));
+        fl.release_write(CoreId(0));
+        assert!(fl.try_read(CoreId(1)));
+        assert!(!fl.try_write(CoreId(0)));
+        fl.release_read(CoreId(1));
+        assert!(fl.try_write(CoreId(0)));
+    }
+
+    #[test]
+    fn release_read_is_idempotent() {
+        let mut fl = FallbackLock::new(LineAddr(1));
+        fl.release_read(CoreId(3));
+        assert!(!fl.has_readers());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-holder")]
+    fn foreign_write_release_panics() {
+        let mut fl = FallbackLock::new(LineAddr(1));
+        fl.try_write(CoreId(0));
+        fl.release_write(CoreId(1));
+    }
+}

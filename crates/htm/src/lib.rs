@@ -1,0 +1,36 @@
+//! Hardware-transactional-memory substrate for the CLEAR reproduction.
+//!
+//! Models the policy layer of an Intel-TSX-like best-effort HTM (Vol 1
+//! Ch 16 of the Intel SDM) plus **PowerTM** \[Dice, Herlihy, Kogan — TACO
+//! 2018\], the two baselines of the paper:
+//!
+//! * [`AbortKind`] — the abort taxonomy of Fig. 11 (memory conflict,
+//!   explicit fallback, other fallback, capacity, NACK, explicit, other)
+//!   and which kinds count toward the retry limit;
+//! * [`FallbackLock`] — the global fallback mutex with *read-lock*
+//!   subscription: speculative ARs subscribe by reading the lock's
+//!   cacheline; NS-CL/S-CL executions read-lock it (§4.3); a thread taking
+//!   the fallback path write-locks it;
+//! * [`PowerToken`] — the single global power-mode slot of PowerTM;
+//! * [`resolve_conflict`] — requester-wins conflict resolution with the
+//!   PowerTM and S-CL NACK enhancements of §5.2;
+//! * [`RetryPolicy`] — the bounded-retries-then-fallback policy (the paper
+//!   sweeps best-of-1..10 per application).
+//!
+//! Read/write *sets* themselves are tracked by `clear-coherence` as
+//! per-line transactional bits; this crate is pure policy and holds no
+//! per-line state.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod abort;
+mod fallback;
+mod policy;
+
+pub use abort::AbortKind;
+pub use fallback::FallbackLock;
+pub use policy::{resolve_conflict, HtmFlavor, Resolution, RetryPolicy, TxInfo};
+
+mod power;
+pub use power::PowerToken;

@@ -1,0 +1,169 @@
+//! Conflict resolution and retry policies.
+
+use clear_coherence::CoreId;
+use serde::{Deserialize, Serialize};
+
+/// Which baseline HTM flavour is simulated (the B/P axes of the figures).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HtmFlavor {
+    /// Intel-TSX-like requester-wins: the core *receiving* a conflicting
+    /// coherence request aborts; the requester proceeds.
+    RequesterWins,
+    /// PowerTM: like requester-wins, except the unique power-mode
+    /// transaction wins every conflict (requesters are NACKed and abort).
+    PowerTm,
+}
+
+/// Transactional status of one party in a conflict, as the policy sees it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxInfo {
+    /// The core.
+    pub core: CoreId,
+    /// Holds the PowerTM power token.
+    pub power: bool,
+    /// Executing in S-CL mode (speculative cacheline-locked, §4.3).
+    pub scl: bool,
+}
+
+/// Outcome of conflict arbitration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Resolution {
+    /// Requester wins: every conflicting victim transaction aborts.
+    AbortVictims,
+    /// A victim is protected (power mode or S-CL, §5.2): the request is
+    /// answered with a NACK and the *requester* aborts.
+    NackRequester,
+}
+
+/// Arbitrates a transactional conflict between `requester` and the
+/// conflicting `victims` under `flavor`.
+///
+/// Baseline rule is requester-wins: victims abort. Under
+/// [`HtmFlavor::PowerTm`], the unique power-mode victim NACKs the requester
+/// instead, and — the §5.2 enhancement — S-CL and power transactions never
+/// abort *each other*: a power requester hitting an S-CL victim is NACKed
+/// too. A plain requester hitting an S-CL victim still aborts the victim
+/// (which then records the line in its CRT and locks it on the next retry).
+pub fn resolve_conflict(
+    flavor: HtmFlavor,
+    requester: TxInfo,
+    victims: &[TxInfo],
+) -> Resolution {
+    let protected = |v: &TxInfo| match flavor {
+        HtmFlavor::RequesterWins => false,
+        HtmFlavor::PowerTm => v.power || (v.scl && requester.power),
+    };
+    if victims.iter().any(protected) {
+        Resolution::NackRequester
+    } else {
+        Resolution::AbortVictims
+    }
+}
+
+/// Bounded-retries-then-fallback policy.
+///
+/// The paper performs a per-application design-space exploration over 1..10
+/// maximum retries and reports the best; harnesses sweep this value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Counted aborts after which the AR takes the fallback path.
+    pub max_retries: u32,
+}
+
+impl RetryPolicy {
+    /// Creates a policy with the given retry bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_retries` is zero.
+    pub fn new(max_retries: u32) -> Self {
+        assert!(max_retries > 0, "at least one retry required");
+        RetryPolicy { max_retries }
+    }
+
+    /// `true` when an AR with `counted_retries` failed attempts must take
+    /// the fallback path instead of retrying speculatively.
+    pub fn must_fall_back(&self, counted_retries: u32) -> bool {
+        counted_retries >= self.max_retries
+    }
+}
+
+impl Default for RetryPolicy {
+    /// A common TSX-runtime default of 5 retries.
+    fn default() -> Self {
+        RetryPolicy::new(5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plain(core: usize) -> TxInfo {
+        TxInfo { core: CoreId(core), power: false, scl: false }
+    }
+
+    #[test]
+    fn requester_wins_aborts_victims() {
+        let r = resolve_conflict(HtmFlavor::RequesterWins, plain(0), &[plain(1), plain(2)]);
+        assert_eq!(r, Resolution::AbortVictims);
+    }
+
+    #[test]
+    fn power_victim_nacks_requester() {
+        let mut v = plain(1);
+        v.power = true;
+        assert_eq!(
+            resolve_conflict(HtmFlavor::PowerTm, plain(0), &[v]),
+            Resolution::NackRequester
+        );
+        // Under plain requester-wins the power bit has no meaning.
+        assert_eq!(
+            resolve_conflict(HtmFlavor::RequesterWins, plain(0), &[v]),
+            Resolution::AbortVictims
+        );
+    }
+
+    #[test]
+    fn plain_requester_aborts_scl_victim() {
+        // S-CL victims abort on plain conflicts (and learn via the CRT);
+        // only the power interplay of §5.2 protects them.
+        let mut v = plain(1);
+        v.scl = true;
+        for f in [HtmFlavor::RequesterWins, HtmFlavor::PowerTm] {
+            assert_eq!(resolve_conflict(f, plain(0), &[v]), Resolution::AbortVictims);
+        }
+    }
+
+    #[test]
+    fn power_requester_also_nacked_by_scl() {
+        let mut req = plain(0);
+        req.power = true;
+        let mut v = plain(1);
+        v.scl = true;
+        assert_eq!(
+            resolve_conflict(HtmFlavor::PowerTm, req, &[v]),
+            Resolution::NackRequester
+        );
+    }
+
+    #[test]
+    fn retry_policy_bounds() {
+        let p = RetryPolicy::new(3);
+        assert!(!p.must_fall_back(0));
+        assert!(!p.must_fall_back(2));
+        assert!(p.must_fall_back(3));
+        assert!(p.must_fall_back(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_retries_panics() {
+        RetryPolicy::new(0);
+    }
+
+    #[test]
+    fn default_retry_policy_is_five() {
+        assert_eq!(RetryPolicy::default().max_retries, 5);
+    }
+}

@@ -1,0 +1,91 @@
+//! The PowerTM power-mode token.
+
+use clear_coherence::CoreId;
+
+/// The single global power-mode slot of PowerTM \[9\].
+///
+/// A transaction that has already aborted at least once may enter *power
+/// mode* if the slot is free; a power transaction wins all conflicts (its
+/// peers abort or get NACKed) until it commits, at which point it releases
+/// the slot.
+///
+/// # Examples
+///
+/// ```
+/// use clear_htm::PowerToken;
+/// use clear_coherence::CoreId;
+///
+/// let mut t = PowerToken::new();
+/// assert!(t.try_acquire(CoreId(2)));
+/// assert!(!t.try_acquire(CoreId(3)));
+/// assert!(t.is_held_by(CoreId(2)));
+/// t.release(CoreId(2));
+/// assert!(t.try_acquire(CoreId(3)));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PowerToken {
+    holder: Option<CoreId>,
+}
+
+impl PowerToken {
+    /// Creates a free token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current holder.
+    pub fn holder(&self) -> Option<CoreId> {
+        self.holder
+    }
+
+    /// `true` if `core` holds the token.
+    pub fn is_held_by(&self, core: CoreId) -> bool {
+        self.holder == Some(core)
+    }
+
+    /// Attempts to take the token; reentrant for the current holder.
+    pub fn try_acquire(&mut self, core: CoreId) -> bool {
+        match self.holder {
+            None => {
+                self.holder = Some(core);
+                true
+            }
+            Some(h) => h == core,
+        }
+    }
+
+    /// Releases the token if held by `core` (idempotent otherwise).
+    pub fn release(&mut self, core: CoreId) {
+        if self.holder == Some(core) {
+            self.holder = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_one_holder() {
+        let mut t = PowerToken::new();
+        assert!(t.try_acquire(CoreId(0)));
+        assert!(!t.try_acquire(CoreId(1)));
+        assert_eq!(t.holder(), Some(CoreId(0)));
+    }
+
+    #[test]
+    fn reentrant_for_holder() {
+        let mut t = PowerToken::new();
+        assert!(t.try_acquire(CoreId(0)));
+        assert!(t.try_acquire(CoreId(0)));
+    }
+
+    #[test]
+    fn release_by_non_holder_is_noop() {
+        let mut t = PowerToken::new();
+        t.try_acquire(CoreId(0));
+        t.release(CoreId(1));
+        assert!(t.is_held_by(CoreId(0)));
+    }
+}

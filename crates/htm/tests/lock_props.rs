@@ -1,0 +1,78 @@
+//! Property tests for the fallback lock and power token state machines.
+
+use clear_coherence::CoreId;
+use clear_htm::{FallbackLock, PowerToken};
+use clear_mem::LineAddr;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    TryWrite(usize),
+    ReleaseWrite(usize),
+    TryRead(usize),
+    ReleaseRead(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..4).prop_map(Op::TryWrite),
+        (0usize..4).prop_map(Op::ReleaseWrite),
+        (0usize..4).prop_map(Op::TryRead),
+        (0usize..4).prop_map(Op::ReleaseRead),
+    ]
+}
+
+proptest! {
+    /// Writer and readers are mutually exclusive under any op sequence.
+    #[test]
+    fn fallback_lock_never_mixes_writer_and_readers(
+        ops in prop::collection::vec(op_strategy(), 1..200),
+    ) {
+        let mut fl = FallbackLock::new(LineAddr(1));
+        for op in ops {
+            match op {
+                Op::TryWrite(c) => {
+                    let _ = fl.try_write(CoreId(c));
+                }
+                Op::ReleaseWrite(c) => {
+                    if fl.writer() == Some(CoreId(c)) {
+                        fl.release_write(CoreId(c));
+                    }
+                }
+                Op::TryRead(c) => {
+                    let _ = fl.try_read(CoreId(c));
+                }
+                Op::ReleaseRead(c) => fl.release_read(CoreId(c)),
+            }
+            prop_assert!(
+                !(fl.writer().is_some() && fl.has_readers()),
+                "writer and readers held simultaneously"
+            );
+        }
+    }
+
+    /// The power token has at most one holder, and acquire/release pairs
+    /// leave it free.
+    #[test]
+    fn power_token_single_holder(
+        ops in prop::collection::vec((0usize..4, any::<bool>()), 1..100),
+    ) {
+        let mut t = PowerToken::new();
+        let mut model: Option<usize> = None;
+        for (c, acquire) in ops {
+            if acquire {
+                let got = t.try_acquire(CoreId(c));
+                prop_assert_eq!(got, model.is_none() || model == Some(c));
+                if got {
+                    model = Some(c);
+                }
+            } else {
+                t.release(CoreId(c));
+                if model == Some(c) {
+                    model = None;
+                }
+            }
+            prop_assert_eq!(t.holder(), model.map(CoreId));
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Disassembly: human-readable rendering of instructions and programs.
+
+use crate::{AluOp, Cond, Instr, Program};
+use std::fmt;
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Rem => "rem",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Instr::Mv { rd, rs } => write!(f, "mv {rd}, {rs}"),
+            Instr::Alu { op, rd, rs1, rs2 } => write!(f, "{op} {rd}, {rs1}, {rs2}"),
+            Instr::AluImm { op, rd, rs, imm } => write!(f, "{op} {rd}, {rs}, {imm}"),
+            Instr::Ld { rd, base, offset } => {
+                if *offset < 0 {
+                    write!(f, "ld {rd}, [{base}{offset}]")
+                } else {
+                    write!(f, "ld {rd}, [{base}+{offset}]")
+                }
+            }
+            Instr::St { base, offset, src } => {
+                if *offset < 0 {
+                    write!(f, "st [{base}{offset}], {src}")
+                } else {
+                    write!(f, "st [{base}+{offset}], {src}")
+                }
+            }
+            Instr::Branch { cond, rs1, rs2, .. } => write!(f, "b{cond} {rs1}, {rs2}"),
+            Instr::Jmp { .. } => write!(f, "jmp"),
+            Instr::Nop { cycles } => write!(f, "compute {cycles}"),
+            Instr::XEnd => write!(f, "xend"),
+            Instr::XAbort { code } => write!(f, "xabort {code}"),
+        }
+    }
+}
+
+impl Program {
+    /// Renders the whole program, one instruction per line, with branch
+    /// targets resolved to instruction indices.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use clear_isa::{ProgramBuilder, Reg};
+    ///
+    /// let mut b = ProgramBuilder::new();
+    /// b.li(Reg(1), 7).st(Reg(0), 8, Reg(1)).xend();
+    /// let text = b.build().disassemble();
+    /// assert!(text.contains("li r1, 7"));
+    /// assert!(text.contains("st [r0+8], r1"));
+    /// ```
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for pc in 0..self.len() {
+            let instr = self.fetch(pc);
+            let rendered = match instr {
+                Instr::Branch { cond, rs1, rs2, target } => {
+                    format!("b{cond} {rs1}, {rs2} -> @{}", self.resolve(*target))
+                }
+                Instr::Jmp { target } => format!("jmp -> @{}", self.resolve(*target)),
+                other => other.to_string(),
+            };
+            out.push_str(&format!("{pc:>4}: {rendered}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProgramBuilder, Reg};
+
+    #[test]
+    fn instruction_rendering() {
+        assert_eq!(Instr::Li { rd: Reg(1), imm: 7 }.to_string(), "li r1, 7");
+        assert_eq!(Instr::Mv { rd: Reg(2), rs: Reg(3) }.to_string(), "mv r2, r3");
+        assert_eq!(
+            Instr::Alu { op: AluOp::Xor, rd: Reg(1), rs1: Reg(2), rs2: Reg(3) }.to_string(),
+            "xor r1, r2, r3"
+        );
+        assert_eq!(
+            Instr::AluImm { op: AluOp::Add, rd: Reg(1), rs: Reg(1), imm: 8 }.to_string(),
+            "add r1, r1, 8"
+        );
+        assert_eq!(Instr::Ld { rd: Reg(4), base: Reg(0), offset: 16 }.to_string(), "ld r4, [r0+16]");
+        assert_eq!(
+            Instr::Ld { rd: Reg(4), base: Reg(0), offset: -8 }.to_string(),
+            "ld r4, [r0-8]"
+        );
+        assert_eq!(Instr::St { base: Reg(0), offset: 0, src: Reg(5) }.to_string(), "st [r0+0], r5");
+        assert_eq!(Instr::Nop { cycles: 3 }.to_string(), "compute 3");
+        assert_eq!(Instr::XEnd.to_string(), "xend");
+        assert_eq!(Instr::XAbort { code: 2 }.to_string(), "xabort 2");
+    }
+
+    #[test]
+    fn program_disassembly_resolves_targets() {
+        let mut b = ProgramBuilder::new();
+        let done = b.label();
+        b.branch(Cond::Eq, Reg(1), Reg(2), done).li(Reg(3), 1).bind(done).xend();
+        let text = b.build().disassemble();
+        assert!(text.contains("beq r1, r2 -> @2"), "{text}");
+        assert!(text.lines().count() == 3);
+    }
+}

@@ -1,0 +1,251 @@
+//! Instruction set definition.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of general-purpose registers.
+pub const NUM_REGS: usize = 32;
+
+/// A general-purpose register identifier (`r0` .. `r31`).
+///
+/// All registers are general purpose; there is no hardwired zero register.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Asserts the register index is in range and returns it as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        let i = self.0 as usize;
+        assert!(i < NUM_REGS, "register r{} out of range", self.0);
+        i
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// ALU operations. All operate on 64-bit values with wrapping semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (shift amount masked to 63).
+    Shl,
+    /// Logical shift right (shift amount masked to 63).
+    Shr,
+    /// Unsigned remainder; divisor of zero yields zero (no fault).
+    Rem,
+}
+
+impl AluOp {
+    /// Applies the operation.
+    #[inline]
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+            AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+            AluOp::Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    a % b
+                }
+            }
+        }
+    }
+}
+
+/// Branch conditions comparing two registers (unsigned).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Unsigned less-than.
+    Lt,
+    /// Unsigned greater-or-equal.
+    Ge,
+}
+
+impl Cond {
+    /// Evaluates the condition.
+    #[inline]
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+        }
+    }
+}
+
+/// A branch target label, resolved by [`ProgramBuilder`](crate::ProgramBuilder).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Label(pub(crate) u32);
+
+/// One mini-ISA instruction.
+///
+/// Memory operands use base-register + immediate-offset addressing; the
+/// base register's indirection bit determines whether the access is an
+/// *indirection* in the paper's sense (the address depends on a value loaded
+/// inside the AR).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instr {
+    /// `rd <- imm`. Clears `rd`'s indirection bit.
+    Li {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate value.
+        imm: u64,
+    },
+    /// `rd <- rs`. Propagates `rs`'s indirection bit.
+    Mv {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs: Reg,
+    },
+    /// `rd <- op(rs1, rs2)`. Propagates the OR of source indirection bits.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Reg,
+    },
+    /// `rd <- op(rs, imm)`. Propagates `rs`'s indirection bit.
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs: Reg,
+        /// Immediate operand.
+        imm: u64,
+    },
+    /// `rd <- mem[rs_base + offset]`. Sets `rd`'s indirection bit.
+    Ld {
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset added to the base.
+        offset: i64,
+    },
+    /// `mem[rs_base + offset] <- rs_val`.
+    St {
+        /// Base address register.
+        base: Reg,
+        /// Byte offset added to the base.
+        offset: i64,
+        /// Value register.
+        src: Reg,
+    },
+    /// Conditional branch to `target`.
+    Branch {
+        /// Condition.
+        cond: Cond,
+        /// Left comparand.
+        rs1: Reg,
+        /// Right comparand.
+        rs2: Reg,
+        /// Branch target.
+        target: Label,
+    },
+    /// Unconditional jump.
+    Jmp {
+        /// Jump target.
+        target: Label,
+    },
+    /// Models non-memory work (e.g. floating-point compute) taking `cycles`
+    /// cycles to retire.
+    Nop {
+        /// Retire latency in cycles.
+        cycles: u32,
+    },
+    /// Commit the atomic region.
+    XEnd,
+    /// Explicitly abort the atomic region with a program-defined code.
+    XAbort {
+        /// Abort code surfaced to the runtime.
+        code: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_ops_apply() {
+        assert_eq!(AluOp::Add.apply(2, 3), 5);
+        assert_eq!(AluOp::Sub.apply(2, 3), u64::MAX);
+        assert_eq!(AluOp::Mul.apply(4, 4), 16);
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Shl.apply(1, 4), 16);
+        assert_eq!(AluOp::Shr.apply(16, 4), 1);
+        assert_eq!(AluOp::Rem.apply(17, 5), 2);
+        assert_eq!(AluOp::Rem.apply(17, 0), 0);
+    }
+
+    #[test]
+    fn shifts_mask_amount() {
+        assert_eq!(AluOp::Shl.apply(1, 64), 1);
+        assert_eq!(AluOp::Shr.apply(2, 65), 1);
+    }
+
+    #[test]
+    fn conds_eval() {
+        assert!(Cond::Eq.eval(1, 1));
+        assert!(Cond::Ne.eval(1, 2));
+        assert!(Cond::Lt.eval(1, 2));
+        assert!(Cond::Ge.eval(2, 2));
+        assert!(!Cond::Lt.eval(2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_out_of_range_panics() {
+        Reg(32).index();
+    }
+
+    #[test]
+    fn reg_display() {
+        assert_eq!(format!("{}", Reg(5)), "r5");
+        assert_eq!(format!("{:?}", Reg(5)), "r5");
+    }
+}

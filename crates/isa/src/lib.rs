@@ -1,0 +1,71 @@
+//! Mini-ISA for the CLEAR reproduction.
+//!
+//! The paper evaluates CLEAR on x86 programs running under gem5. We replace
+//! that substrate with a small 64-bit load/store ISA interpreted one
+//! instruction per simulated step. The ISA preserves exactly the properties
+//! CLEAR's hardware observes:
+//!
+//! * **memory footprint** — loads/stores carry their effective cacheline;
+//! * **indirection dataflow** — every register has an *indirection bit*
+//!   (§5 ① of the paper), set when the register is written by a load or by
+//!   an instruction whose sources are indirect; address registers of memory
+//!   operations and condition registers of branches report their indirection
+//!   so CLEAR can track footprint immutability;
+//! * **speculative-window pressure** — the VM counts retired instructions
+//!   and stores so the machine can model ROB/SQ exhaustion.
+//!
+//! A program is one **atomic region**: execution implicitly begins with
+//! `XBegin` at pc 0 and ends at [`Instr::XEnd`] (commit) or [`Instr::XAbort`]
+//! (explicit abort). The machine re-runs the same program on retries.
+//!
+//! # Examples
+//!
+//! Build and run the paper's Listing 1 (`arrayswap`): swap two words whose
+//! addresses were computed *outside* the AR.
+//!
+//! ```
+//! use clear_isa::{Effect, ProgramBuilder, Reg, Vm};
+//! use clear_mem::{Addr, Memory};
+//!
+//! let (a, b) = (Reg(1), Reg(2));
+//! let (ea, eb) = (Reg(3), Reg(4));
+//! let mut p = ProgramBuilder::new();
+//! p.ld(ea, a, 0).ld(eb, b, 0).st(a, 0, eb).st(b, 0, ea).xend();
+//! let program = p.build();
+//!
+//! let mut mem = Memory::new();
+//! let arr = mem.alloc_words(2);
+//! mem.store_word(arr, 10);
+//! mem.store_word(arr.add_words(1), 20);
+//!
+//! let mut vm = Vm::new(std::sync::Arc::new(program));
+//! vm.set_reg(a, arr.0);
+//! vm.set_reg(b, arr.add_words(1).0);
+//! loop {
+//!     match vm.step() {
+//!         Effect::Load { addr, .. } => {
+//!             let v = mem.load_word(addr);
+//!             vm.finish_load(v);
+//!         }
+//!         Effect::Store { addr, value, .. } => mem.store_word(addr, value),
+//!         Effect::Commit => break,
+//!         _ => {}
+//!     }
+//! }
+//! assert_eq!(mem.load_word(arr), 20);
+//! assert_eq!(mem.load_word(arr.add_words(1)), 10);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod disasm;
+mod instr;
+mod program;
+mod vm;
+mod workload;
+
+pub use instr::{AluOp, Cond, Instr, Label, Reg, NUM_REGS};
+pub use program::{Program, ProgramBuilder};
+pub use vm::{Effect, Vm, VmState};
+pub use workload::{ArId, ArInvocation, ArSpec, Mutability, Workload, WorkloadMeta};

@@ -1,0 +1,260 @@
+//! Programs and the label-resolving program builder.
+
+use crate::{AluOp, Cond, Instr, Label, Reg};
+use serde::{Deserialize, Serialize};
+
+/// An immutable, label-resolved atomic-region program.
+///
+/// Produced by [`ProgramBuilder::build`]. Branch targets are instruction
+/// indices. A program always terminates in [`Instr::XEnd`] or
+/// [`Instr::XAbort`] on every path (enforced dynamically by the VM: running
+/// off the end is a builder bug and panics).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    instrs: Vec<Instr>,
+    targets: Vec<usize>,
+}
+
+impl Program {
+    /// The instruction at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` runs past the end of the program, which indicates a
+    /// malformed program (missing `XEnd`).
+    #[inline]
+    pub fn fetch(&self, pc: usize) -> &Instr {
+        self.instrs
+            .get(pc)
+            .expect("program ran past its end: missing XEnd/XAbort")
+    }
+
+    /// Resolves a label to its instruction index.
+    #[inline]
+    pub fn resolve(&self, label: Label) -> usize {
+        self.targets[label.0 as usize]
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// `true` if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+/// Incrementally builds a [`Program`], resolving forward label references.
+///
+/// All emit methods return `&mut self` for chaining.
+///
+/// # Examples
+///
+/// ```
+/// use clear_isa::{Cond, ProgramBuilder, Reg};
+///
+/// let mut b = ProgramBuilder::new();
+/// let done = b.label();
+/// b.li(Reg(0), 3)
+///     .li(Reg(1), 0)
+///     .branch(Cond::Eq, Reg(0), Reg(1), done)
+///     .addi(Reg(1), Reg(1), 1)
+///     .bind(done)
+///     .xend();
+/// let p = b.build();
+/// assert_eq!(p.len(), 5);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    instrs: Vec<Instr>,
+    targets: Vec<Option<usize>>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.targets.push(None);
+        Label((self.targets.len() - 1) as u32)
+    }
+
+    /// Binds `label` to the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        let slot = &mut self.targets[label.0 as usize];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.instrs.len());
+        self
+    }
+
+    /// Emits a raw instruction.
+    pub fn push(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+
+    /// `rd <- imm`.
+    pub fn li(&mut self, rd: Reg, imm: u64) -> &mut Self {
+        self.push(Instr::Li { rd, imm })
+    }
+
+    /// `rd <- rs`.
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.push(Instr::Mv { rd, rs })
+    }
+
+    /// `rd <- rs1 + rs2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Instr::Alu { op: AluOp::Add, rd, rs1, rs2 })
+    }
+
+    /// `rd <- rs + imm`.
+    pub fn addi(&mut self, rd: Reg, rs: Reg, imm: u64) -> &mut Self {
+        self.push(Instr::AluImm { op: AluOp::Add, rd, rs, imm })
+    }
+
+    /// `rd <- rs - imm`.
+    pub fn subi(&mut self, rd: Reg, rs: Reg, imm: u64) -> &mut Self {
+        self.push(Instr::AluImm { op: AluOp::Sub, rd, rs, imm })
+    }
+
+    /// `rd <- op(rs1, rs2)`.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Instr::Alu { op, rd, rs1, rs2 })
+    }
+
+    /// `rd <- op(rs, imm)`.
+    pub fn alui(&mut self, op: AluOp, rd: Reg, rs: Reg, imm: u64) -> &mut Self {
+        self.push(Instr::AluImm { op, rd, rs, imm })
+    }
+
+    /// `rd <- mem[base + offset]`.
+    pub fn ld(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.push(Instr::Ld { rd, base, offset })
+    }
+
+    /// `mem[base + offset] <- src`.
+    pub fn st(&mut self, base: Reg, offset: i64, src: Reg) -> &mut Self {
+        self.push(Instr::St { base, offset, src })
+    }
+
+    /// Conditional branch.
+    pub fn branch(&mut self, cond: Cond, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
+        self.push(Instr::Branch { cond, rs1, rs2, target })
+    }
+
+    /// Unconditional jump.
+    pub fn jmp(&mut self, target: Label) -> &mut Self {
+        self.push(Instr::Jmp { target })
+    }
+
+    /// Non-memory work of `cycles` cycles.
+    pub fn compute(&mut self, cycles: u32) -> &mut Self {
+        self.push(Instr::Nop { cycles })
+    }
+
+    /// Commit the atomic region.
+    pub fn xend(&mut self) -> &mut Self {
+        self.push(Instr::XEnd)
+    }
+
+    /// Explicitly abort with `code`.
+    pub fn xabort(&mut self, code: u64) -> &mut Self {
+        self.push(Instr::XAbort { code })
+    }
+
+    /// Finalises the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound or the program is
+    /// empty.
+    pub fn build(self) -> Program {
+        assert!(!self.instrs.is_empty(), "empty program");
+        let targets: Vec<usize> = self
+            .targets
+            .iter()
+            .enumerate()
+            .map(|(i, t)| t.unwrap_or_else(|| panic!("label {i} never bound")))
+            .collect();
+        Program { instrs: self.instrs, targets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_label_resolves() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.jmp(l).li(Reg(0), 1).bind(l).xend();
+        let p = b.build();
+        assert_eq!(p.resolve(l), 2);
+    }
+
+    #[test]
+    fn backward_label_resolves() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.bind(top).compute(1).jmp(top);
+        // Unreachable xend to satisfy build-time sanity.
+        b.xend();
+        let p = b.build();
+        assert_eq!(p.resolve(top), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.jmp(l).xend();
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.bind(l).xend();
+        b.bind(l);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty program")]
+    fn empty_build_panics() {
+        ProgramBuilder::new().build();
+    }
+
+    #[test]
+    fn fetch_returns_instruction() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(7), 42).xend();
+        let p = b.build();
+        assert_eq!(*p.fetch(0), Instr::Li { rd: Reg(7), imm: 42 });
+        assert_eq!(*p.fetch(1), Instr::XEnd);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ran past its end")]
+    fn fetch_past_end_panics() {
+        let mut b = ProgramBuilder::new();
+        b.xend();
+        let p = b.build();
+        p.fetch(1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Analytic energy model (McPAT substitute).
+//!
+//! The paper models energy with McPAT at 22 nm. We replace it with a linear
+//! event-cost model: static power integrated over the run plus per-event
+//! dynamic costs. Fig. 10's effect — less wasted (aborted) work and shorter
+//! runtime ⇒ less energy — is preserved because both terms appear
+//! explicitly.
+
+use clear_coherence::CoherenceStats;
+use serde::{Deserialize, Serialize};
+
+/// Energy coefficients, in arbitrary consistent units ("nJ").
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnergyConfig {
+    /// Static energy per core per cycle.
+    pub static_per_core_cycle: f64,
+    /// Dynamic energy per retired non-memory instruction.
+    pub per_instruction: f64,
+    /// Per access served by L1.
+    pub per_l1: f64,
+    /// Per access served by the L2 shadow.
+    pub per_l2: f64,
+    /// Per access served by L3 / remote cache.
+    pub per_l3: f64,
+    /// Per access served by memory.
+    pub per_mem: f64,
+    /// Per remote invalidation/downgrade message.
+    pub per_invalidation: f64,
+    /// Per cacheline lock/unlock operation.
+    pub per_lock_op: f64,
+    /// Per abort (pipeline flush, checkpoint restore).
+    pub per_abort: f64,
+}
+
+impl Default for EnergyConfig {
+    fn default() -> Self {
+        EnergyConfig {
+            static_per_core_cycle: 0.05,
+            per_instruction: 0.01,
+            per_l1: 0.02,
+            per_l2: 0.06,
+            per_l3: 0.25,
+            per_mem: 0.60,
+            per_invalidation: 0.08,
+            per_lock_op: 0.05,
+            per_abort: 0.80,
+        }
+    }
+}
+
+/// Energy totals of a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Static component (leakage + clock over runtime).
+    pub static_energy: f64,
+    /// Dynamic component (instructions, cache/coherence events, aborts).
+    pub dynamic_energy: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.static_energy + self.dynamic_energy
+    }
+}
+
+/// Computes the energy of a run from the event counters.
+pub fn compute_energy(
+    cfg: &EnergyConfig,
+    cores: usize,
+    total_cycles: u64,
+    instructions_retired: u64,
+    aborts: u64,
+    lock_ops: u64,
+    coherence: &CoherenceStats,
+) -> EnergyBreakdown {
+    let static_energy = cfg.static_per_core_cycle * cores as f64 * total_cycles as f64;
+    let dynamic_energy = cfg.per_instruction * instructions_retired as f64
+        + cfg.per_l1 * coherence.l1_hits as f64
+        + cfg.per_l2 * coherence.l2_hits as f64
+        + cfg.per_l3 * coherence.l3_serves as f64
+        + cfg.per_mem * coherence.mem_serves as f64
+        + cfg.per_invalidation * coherence.invalidations as f64
+        + cfg.per_lock_op * lock_ops as f64
+        + cfg.per_abort * aborts as f64;
+    EnergyBreakdown { static_energy, dynamic_energy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_scales_with_time_and_events() {
+        let cfg = EnergyConfig::default();
+        let stats = CoherenceStats::default();
+        let short = compute_energy(&cfg, 4, 100, 50, 0, 0, &stats);
+        let long = compute_energy(&cfg, 4, 200, 50, 0, 0, &stats);
+        assert!(long.total() > short.total());
+        assert_eq!(long.static_energy, 2.0 * short.static_energy);
+    }
+
+    #[test]
+    fn aborts_cost_energy() {
+        let cfg = EnergyConfig::default();
+        let stats = CoherenceStats::default();
+        let clean = compute_energy(&cfg, 1, 100, 100, 0, 0, &stats);
+        let aborty = compute_energy(&cfg, 1, 100, 100, 10, 0, &stats);
+        assert!(aborty.dynamic_energy > clean.dynamic_energy);
+    }
+
+    #[test]
+    fn breakdown_total_is_sum() {
+        let e = EnergyBreakdown { static_energy: 1.5, dynamic_energy: 2.5 };
+        assert_eq!(e.total(), 4.0);
+    }
+}

@@ -1,0 +1,330 @@
+//! Attempt lifecycle: starting attempts in each mode, aborting with the
+//! Fig. 2 decision, committing, and the Fig. 1 footprint instrumentation.
+use super::*;
+
+impl Machine {
+    pub(super) fn start_attempt(&mut self, c: usize) {
+        let spin = self.config.timing.spin_interval;
+        match self.cores[c].planned {
+            RetryMode::Fallback => {
+                if self.fallback.try_write(CoreId(c)) {
+                    // Acquiring the lock writes its line, aborting every
+                    // subscribed speculative AR through conflict detection.
+                    let line = self.fallback.line();
+                    let impacts = self.force_apply(c, line, Access::Write, TxTrack::None);
+                    self.abort_victims(c, line, &impacts, AbortKind::OtherFallback);
+                    self.arm_vm(c);
+                    self.cores[c].mode = ExecMode::Fallback;
+                    self.trace.record(
+                        self.cores[c].clock,
+                        c,
+                        TraceEvent::AttemptStart { mode: RetryMode::Fallback },
+                    );
+                    self.cores[c].phase = Phase::Running;
+                    self.cores[c].clock += self.config.timing.xbegin_cost;
+                } else {
+                    self.cores[c].clock += spin;
+                    self.stats.fallback_wait_cycles += spin;
+                }
+            }
+            RetryMode::NsCl | RetryMode::SCl => {
+                if self.fallback.writer().is_some() || !self.fallback.try_read(CoreId(c)) {
+                    self.cores[c].clock += spin;
+                    self.stats.fallback_wait_cycles += spin;
+                    return;
+                }
+                let mode = if self.cores[c].planned == RetryMode::NsCl {
+                    ExecMode::NsCl
+                } else {
+                    ExecMode::SCl
+                };
+                // Refresh the S-CL lock list with lines the CRT has learned
+                // about since the ALT was built (§5.1).
+                let lock_list = {
+                    let core = &mut self.cores[c];
+                    let alt = core.alt.as_mut().expect("CL mode requires ALT");
+                    alt.reset_lock_state();
+                    if mode == ExecMode::SCl {
+                        let lines: Vec<LineAddr> = alt.footprint();
+                        for l in lines {
+                            if core.crt.take(l) {
+                                alt.mark_needs_locking(l);
+                            }
+                        }
+                    }
+                    alt.lock_list()
+                };
+                self.arm_vm(c);
+                self.trace.record(
+                    self.cores[c].clock,
+                    c,
+                    TraceEvent::AttemptStart {
+                        mode: if mode == ExecMode::NsCl { RetryMode::NsCl } else { RetryMode::SCl },
+                    },
+                );
+                let core = &mut self.cores[c];
+                core.mode = mode;
+                core.lock_list = lock_list;
+                core.phase = Phase::LockAcquire { idx: 0 };
+                // S-CL checkpoints like a transaction; NS-CL does not.
+                core.clock += if mode == ExecMode::SCl {
+                    self.config.timing.xbegin_cost
+                } else {
+                    1
+                };
+            }
+            RetryMode::SpeculativeRetry => {
+                if self.fallback.writer().is_some() {
+                    if !self.cores[c].explicit_fb_recorded {
+                        self.stats.aborts.record(AbortKind::ExplicitFallback);
+                        self.cores[c].explicit_fb_recorded = true;
+                    }
+                    self.cores[c].clock += spin;
+                    self.stats.fallback_wait_cycles += spin;
+                    return;
+                }
+                self.cores[c].explicit_fb_recorded = false;
+                self.arm_vm(c);
+                self.cores[c].mode = ExecMode::Speculative;
+                self.trace.record(
+                    self.cores[c].clock,
+                    c,
+                    TraceEvent::AttemptStart { mode: RetryMode::SpeculativeRetry },
+                );
+                // Subscribe to the fallback lock line (read set).
+                let line = self.fallback.line();
+                let impacts = self.force_apply(c, line, Access::Read, TxTrack::Read);
+                debug_assert!(impacts.iter().all(|i| !i.is_tx_conflict(false)));
+                // Arm discovery unless the ERT forbids it.
+                if self.clear_enabled() {
+                    let ar = self.cores[c].inv.as_ref().unwrap().ar.0;
+                    let enabled = self.cores[c].ert.entry(ar).discovery_enabled();
+                    if enabled {
+                        let mut d = Discovery::new(
+                            self.config.clear.as_ref().unwrap(),
+                            self.coherence.dir_geometry(),
+                        );
+                        d.rearm();
+                        self.cores[c].discovery = Some(d);
+                    } else {
+                        self.cores[c].discovery = None;
+                    }
+                } else {
+                    self.cores[c].discovery = None;
+                }
+                self.cores[c].phase = Phase::Running;
+                self.cores[c].clock += self.config.timing.xbegin_cost;
+            }
+        }
+    }
+
+    /// Applies an access that the policy layer has already cleared,
+    /// returning the remote impacts. Capacity failures are impossible here
+    /// (`TxTrack::None` accesses evict quietly; callers with transactional
+
+    pub(super) fn perform_abort(&mut self, c: usize, kind: AbortKind) {
+        self.trace.record(self.cores[c].clock, c, TraceEvent::Abort { kind });
+        self.stats.aborts.record(kind);
+        if let Some(inv) = self.cores[c].inv.as_ref() {
+            self.stats.ar_stats.entry(inv.ar.0).or_default().aborts += 1;
+        }
+        let was_scl = self.cores[c].mode == ExecMode::SCl;
+        if let Some(vm) = self.cores[c].vm.as_ref() {
+            self.stats.instructions_wasted += vm.retired();
+        }
+        self.note_attempt_end(c, true);
+
+        // Roll back all speculative and lock state.
+        self.cores[c].sq.clear();
+        self.cores[c].pending = None;
+        self.cores[c].held_abort = None;
+        self.cores[c].discovery = None;
+        self.coherence.clear_tx(CoreId(c));
+        self.coherence.unlock_all(CoreId(c));
+        self.fallback.release_read(CoreId(c));
+        // An explicit abort on the fallback path (a program-level retry
+        // loop) must release the write lock too, or every other thread
+        // deadlocks behind it.
+        if self.fallback.writer() == Some(CoreId(c)) {
+            self.fallback.release_write(CoreId(c));
+        }
+
+        // S-CL aborts for non-conflict reasons mark the AR non-discoverable
+        // (§4.4.2).
+        if was_scl
+            && matches!(kind, AbortKind::Capacity | AbortKind::Explicit | AbortKind::Other)
+        {
+            if let Some(inv) = self.cores[c].inv.as_ref() {
+                let ar = inv.ar.0;
+                self.cores[c].ert.entry(ar).is_convertible = false;
+            }
+            self.cores[c].planned = RetryMode::SpeculativeRetry;
+            self.cores[c].alt = None;
+        }
+
+        if kind.counts_toward_retry_limit() {
+            self.cores[c].retries_counted += 1;
+        }
+        self.cores[c].retries_total += 1;
+
+        // PowerTM: a transaction that failed once may enter power mode.
+        if self.config.flavor == clear_htm::HtmFlavor::PowerTm
+            && !self.cores[c].power
+            && self.power_token.try_acquire(CoreId(c))
+        {
+            self.cores[c].power = true;
+        }
+
+        if self.config.retry.must_fall_back(self.cores[c].retries_counted) {
+            self.cores[c].planned = RetryMode::Fallback;
+        }
+
+        let penalty = self.config.timing.abort_penalty + self.jitter();
+        self.cores[c].clock += penalty;
+        self.cores[c].phase = Phase::StartAttempt;
+    }
+
+    /// Fig. 1 instrumentation: called at the end of every attempt.
+    pub(super) fn note_attempt_end(&mut self, c: usize, aborting: bool) {
+        let core = &mut self.cores[c];
+        if core.retries_total == 0 {
+            if aborting {
+                core.fp_first = Some(core.fp_cur.clone());
+            }
+        } else if core.retries_total == 1 {
+            if let Some(first) = core.fp_first.take() {
+                self.stats.retried_ars += 1;
+                // The aborted first attempt may have been truncated at the
+                // conflict, so "same footprint" is observed as: everything
+                // it did access is accessed again by the retry, and the
+                // retry's footprint is small (Fig. 1's ≤ 32 lines).
+                if core.fp_cur.len() <= 32 && first.is_subset(&core.fp_cur) {
+                    self.stats.immutable_small_retries += 1;
+                }
+            }
+        }
+    }
+
+    /// Failed-mode discovery reached the end of the AR: assess, decide the
+    /// retry mode (Fig. 2), then complete the held abort.
+    pub(super) fn decision_abort(&mut self, c: usize) {
+        let kind = self.cores[c].held_abort.take().unwrap_or(AbortKind::MemoryConflict);
+        let discovery = self.cores[c].discovery.take();
+        if let Some(d) = discovery {
+            let assessment = d.assess(|fp| self.coherence.fits_locked(fp));
+            let ar = self.cores[c].inv.as_ref().unwrap().ar.0;
+            {
+                let e = self.cores[c].ert.entry(ar);
+                e.is_convertible = assessment.lockable;
+                e.is_immutable = assessment.immutable;
+            }
+            let mode = decide(&assessment);
+            self.trace.record(
+                self.cores[c].clock,
+                c,
+                TraceEvent::Decision {
+                    ar: clear_isa::ArId(ar),
+                    mode,
+                    footprint: assessment.footprint.len(),
+                    immutable: assessment.immutable,
+                },
+            );
+            match mode {
+                RetryMode::NsCl => {
+                    let mut alt = d.into_alt();
+                    alt.mark_all_needs_locking();
+                    self.cores[c].alt = Some(alt);
+                    self.cores[c].planned = RetryMode::NsCl;
+                }
+                RetryMode::SCl => {
+                    let mut alt = d.into_alt();
+                    // The paper's choice locks the write set plus CRT reads
+                    // (added at attempt start); the rejected "lock all"
+                    // alternative is kept as an ablation (§4.4.2).
+                    if self.config.clear.as_ref().map(|cc| cc.scl_lock_policy)
+                        == Some(clear_core::SclLockPolicy::AllAccessed)
+                    {
+                        alt.mark_all_needs_locking();
+                    }
+                    self.cores[c].alt = Some(alt);
+                    self.cores[c].planned = RetryMode::SCl;
+                }
+                _ => {
+                    self.cores[c].planned = RetryMode::SpeculativeRetry;
+                    self.cores[c].alt = None;
+                }
+            }
+        }
+        self.perform_abort(c, kind);
+    }
+
+    pub(super) fn commit(&mut self, c: usize) {
+        self.note_attempt_end(c, false);
+        let mode = self.cores[c].mode;
+        self.trace.record(
+            self.cores[c].clock,
+            c,
+            TraceEvent::Commit { mode: mode.commit_bucket(), retries: self.cores[c].retries_total },
+        );
+        // Publish buffered stores.
+        let sq: Vec<(u64, u64)> = self.cores[c].sq.drain().collect();
+        for (word_addr, value) in sq {
+            self.memory.store_word(Addr(word_addr), value);
+        }
+        self.coherence.clear_tx(CoreId(c));
+        match mode {
+            ExecMode::SCl | ExecMode::NsCl => {
+                self.coherence.unlock_all(CoreId(c));
+                self.fallback.release_read(CoreId(c));
+            }
+            ExecMode::Fallback => self.fallback.release_write(CoreId(c)),
+            ExecMode::Speculative => {}
+        }
+        if self.cores[c].power {
+            self.power_token.release(CoreId(c));
+            self.cores[c].power = false;
+        }
+        if self.clear_enabled() {
+            let ar = self.cores[c].inv.as_ref().unwrap().ar.0;
+            self.cores[c].ert.entry(ar).decay_sq_full();
+        }
+        self.stats.commits_by_mode.record(mode.commit_bucket());
+        if let Some(inv) = self.cores[c].inv.as_ref() {
+            let e = self.stats.ar_stats.entry(inv.ar.0).or_default();
+            e.commits += 1;
+            e.by_mode.record(mode.commit_bucket());
+        }
+        if mode != ExecMode::Fallback {
+            *self
+                .stats
+                .commits_by_retries
+                .entry(self.cores[c].retries_total)
+                .or_insert(0) += 1;
+        }
+        if let Some(vm) = self.cores[c].vm.as_ref() {
+            self.stats.instructions_retired += vm.retired();
+        }
+        let core = &mut self.cores[c];
+        core.discovery = None;
+        core.alt = None;
+        core.inv = None;
+        core.vm = None;
+        core.phase = Phase::Idle;
+        core.clock += self.config.timing.commit_cost;
+    }
+
+    /// The learned footprint exceeded the ALT (assessment 1, §4.1): mark
+    /// the AR non-convertible; abort immediately if already failed,
+    /// otherwise just disarm discovery and let the attempt continue.
+    pub(super) fn on_discovery_overflow(&mut self, c: usize) {
+        let ar = self.cores[c].inv.as_ref().unwrap().ar.0;
+        self.cores[c].ert.entry(ar).is_convertible = false;
+        let failed = self.in_failed_mode(c);
+        if failed {
+            let kind = self.cores[c].held_abort.take().unwrap_or(AbortKind::Capacity);
+            self.perform_abort(c, kind);
+        } else {
+            self.cores[c].discovery = None;
+        }
+    }
+}

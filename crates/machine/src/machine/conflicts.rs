@@ -1,0 +1,108 @@
+//! Conflict delivery: applying accesses that steal remote transactional
+//! copies, CRT learning, and victim notification (failed-mode entry vs
+//! immediate abort).
+use super::*;
+
+impl Machine {
+    pub(super) fn force_apply(
+        &mut self,
+        c: usize,
+        line: LineAddr,
+        access: Access,
+        tx: TxTrack,
+    ) -> Vec<RemoteImpact> {
+        match self.coherence.apply(CoreId(c), line, access, tx) {
+            Ok(ok) => {
+                self.cores[c].clock += ok.latency;
+                ok.remote_impacts
+            }
+            Err(LockFail::Capacity) => {
+                // The line could not be installed together with existing
+                // pinned lines. For non-transactional accesses we model the
+                // access as bypassing the L1 (uncached), which cannot
+                // conflict because the impacted copies were already handled
+                // by probe-time policy. Charge memory latency.
+                self.cores[c].clock += self.config.coherence.lat_mem;
+                Vec::new()
+            }
+            Err(LockFail::LockedBy(_)) => unreachable!("caller routed locked lines"),
+        }
+    }
+
+    /// Aborts every victim whose transactional copy was stolen.
+    pub(super) fn abort_victims_tagged(
+        &mut self,
+        requester: usize,
+        line: LineAddr,
+        impacts: &[RemoteImpact],
+        kind: AbortKind,
+        from_lock: bool,
+    ) {
+        let requester_writes = true; // callers pass only conflicting impacts
+        let _ = requester_writes;
+        for imp in impacts {
+            let v = imp.core.0;
+            if v == requester || !(imp.tx_read || imp.tx_write) {
+                continue;
+            }
+            // CRT learning: a read-only line that caused a conflict abort.
+            // Lock-acquisition invalidations are excluded: recording them
+            // would make every victim lock the same line on its own S-CL
+            // retry, a positive-feedback serialization loop (the lock
+            // already prevents the conflict from recurring).
+            if imp.tx_read && !imp.tx_write && !from_lock {
+                self.cores[v].crt.record(line);
+            }
+            if from_lock {
+                self.stats.conflicts_from_locks += 1;
+            } else {
+                self.stats.conflicts_from_access += 1;
+            }
+            self.signal_conflict(v, kind);
+        }
+    }
+
+    pub(super) fn abort_victims(
+        &mut self,
+        requester: usize,
+        line: LineAddr,
+        impacts: &[RemoteImpact],
+        kind: AbortKind,
+    ) {
+        self.abort_victims_tagged(requester, line, impacts, kind, false);
+    }
+
+    /// Delivers a conflict to a victim core: enter failed-mode discovery
+    /// (CLEAR) or abort immediately (baseline).
+    pub(super) fn signal_conflict(&mut self, v: usize, kind: AbortKind) {
+        let core = &mut self.cores[v];
+        match core.mode {
+            ExecMode::Speculative if core.phase == Phase::Running => {
+                let clock = core.clock;
+                self.trace.record(clock, v, TraceEvent::ConflictReceived);
+                let core = &mut self.cores[v];
+                if let Some(d) = core.discovery.as_mut() {
+                    if !d.in_failed_mode() && !d.overflowed() {
+                        d.on_conflict();
+                        core.held_abort = Some(kind);
+                        self.trace.record(clock, v, TraceEvent::EnterFailedMode);
+                        return;
+                    }
+                    if d.in_failed_mode() {
+                        // Already failed: the abort is already held.
+                        return;
+                    }
+                }
+                self.perform_abort(v, kind);
+            }
+            ExecMode::SCl if core.phase == Phase::Running => {
+                self.trace.record(core.clock, v, TraceEvent::ConflictReceived);
+                self.perform_abort(v, kind);
+            }
+            // NS-CL and fallback hold no transactional lines; lock-phase
+            // CL cores have not yet installed any either.
+            _ => {}
+        }
+    }
+
+}

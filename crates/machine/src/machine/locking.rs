@@ -1,0 +1,93 @@
+//! The NS-CL/S-CL lock-acquisition phase: lexicographical order, group
+//! locking with the ALT Hit-bit fast path, and lock-conflict policy.
+use super::*;
+
+impl Machine {
+    pub(super) fn lock_step(&mut self, c: usize, idx: usize) {
+        if idx >= self.cores[c].lock_list.len() {
+            self.cores[c].phase = Phase::Running;
+            return;
+        }
+        // Lexicographical conflict groups (same directory set) are locked
+        // together (§5): entries are lex-sorted, so a group is a maximal
+        // consecutive run with one set index.
+        let dir = self.coherence.dir_geometry();
+        let group: Vec<LineAddr> = {
+            let list = &self.cores[c].lock_list;
+            let set = dir.set_index(list[idx]);
+            list[idx..]
+                .iter()
+                .take_while(|l| dir.set_index(**l) == set)
+                .copied()
+                .collect()
+        };
+
+        // Policy check over the whole group before stealing anything.
+        let mut victims: Vec<TxInfo> = Vec::new();
+        for &line in &group {
+            let probe = self.coherence.probe(CoreId(c), line, Access::Write);
+            if probe.locked_by_other.is_some() {
+                // Another core holds a group line locked: retried request
+                // (Fig. 6).
+                self.cores[c].clock += self.config.timing.spin_interval;
+                self.stats.lock_spin_cycles += self.config.timing.spin_interval;
+                return;
+            }
+            victims.extend(
+                probe
+                    .remote_impacts
+                    .iter()
+                    .filter(|i| i.is_tx_conflict(true))
+                    .map(|i| self.tx_info(i.core.0)),
+            );
+        }
+        if !victims.is_empty() {
+            let me = self.tx_info(c);
+            if resolve_conflict(self.config.flavor, me, &victims) == Resolution::NackRequester
+            {
+                self.perform_abort(c, AbortKind::Nacked);
+                return;
+            }
+        }
+        // Record the ALT Hit bits (group-locking probe of §5).
+        for &line in &group {
+            let hit = self.coherence.has_exclusive(CoreId(c), line);
+            if let Some(alt) = self.cores[c].alt.as_mut() {
+                alt.mark_hit(line, hit);
+            }
+        }
+        let result = if group.len() == 1 {
+            self.coherence.lock_line(CoreId(c), group[0])
+        } else {
+            self.coherence.lock_group(CoreId(c), &group)
+        };
+        match result {
+            Ok(ok) => {
+                self.cores[c].clock += ok.latency;
+                let impacts = ok.remote_impacts;
+                for &line in &group {
+                    if let Some(alt) = self.cores[c].alt.as_mut() {
+                        alt.mark_locked(line);
+                    }
+                    self.trace.record(self.cores[c].clock, c, TraceEvent::LockAcquired { line });
+                }
+                // The impacts list of a group lock spans lines; CRT
+                // attribution uses the first group line, which is exact for
+                // single-line groups and conservative otherwise.
+                self.abort_victims_tagged(c, group[0], &impacts, AbortKind::MemoryConflict, true);
+                self.cores[c].phase = Phase::LockAcquire { idx: idx + group.len() };
+            }
+            Err(LockFail::LockedBy(_)) => {
+                self.cores[c].clock += self.config.timing.spin_interval;
+                self.stats.lock_spin_cycles += self.config.timing.spin_interval;
+            }
+            Err(LockFail::Capacity) => {
+                // Should not happen (discovery verified the fit); treat as a
+                // capacity abort and fall back to a speculative retry.
+                self.cores[c].planned = RetryMode::SpeculativeRetry;
+                self.cores[c].alt = None;
+                self.perform_abort(c, AbortKind::Capacity);
+            }
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! The multicore machine: drives AR programs through HTM, CLEAR, the
+//! coherence protocol, timing and statistics.
+//!
+//! # Execution model
+//!
+//! Each simulated core owns a clock; the machine repeatedly advances the
+//! core with the smallest clock (ties broken by core id — fully
+//! deterministic) by one *step*: one retired instruction, one lock
+//! acquisition, one spin poll, or one phase transition. Memory operations
+//! are routed through the store queue, the CLEAR discovery logic, and the
+//! two-phase coherence API; conflicting remote transactions are resolved by
+//! the HTM policy (requester-wins / PowerTM / §5.2 NACK rules).
+//!
+//! # Simplifications vs. the paper (documented per DESIGN.md)
+//!
+//! * NS-CL/S-CL acquire all their locks *before* executing the body rather
+//!   than overlapping locking with execution; this only shifts a small
+//!   constant of latency.
+//! * Speculative store data is buffered in the store queue until commit
+//!   (lazy data, eager conflict detection), which is observationally
+//!   equivalent for other cores.
+
+use crate::{compute_energy, MachineConfig, RunStats, SpeculationKind, Trace, TraceEvent};
+use clear_coherence::{Access, CoherenceSystem, CoreId, LockFail, RemoteImpact, TxTrack};
+use clear_core::{decide, Alt, Crt, Discovery, Ert, RetryMode};
+use clear_htm::{resolve_conflict, AbortKind, FallbackLock, PowerToken, Resolution, TxInfo};
+use clear_isa::{ArInvocation, Effect, Vm, Workload};
+use clear_mem::{Addr, LineAddr, Memory};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// The execution mode of the current attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ExecMode {
+    Speculative,
+    NsCl,
+    SCl,
+    Fallback,
+}
+
+impl ExecMode {
+    fn commit_bucket(self) -> RetryMode {
+        match self {
+            ExecMode::Speculative => RetryMode::SpeculativeRetry,
+            ExecMode::NsCl => RetryMode::NsCl,
+            ExecMode::SCl => RetryMode::SCl,
+            ExecMode::Fallback => RetryMode::Fallback,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    /// Fetch the next AR from the workload.
+    Idle,
+    /// Non-AR think time until the given cycle.
+    Think { until: u64 },
+    /// Begin the next attempt in the planned mode.
+    StartAttempt,
+    /// CL modes: acquiring the lock list in lexicographical order.
+    LockAcquire { idx: usize },
+    /// Executing the AR body.
+    Running,
+    /// The thread has no more ARs.
+    Finished,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum PendingOp {
+    Load { addr: Addr, indirect: bool },
+    Store { addr: Addr, value: u64, indirect: bool },
+}
+
+struct Core {
+    clock: u64,
+    phase: Phase,
+    vm: Option<Vm>,
+    inv: Option<ArInvocation>,
+    mode: ExecMode,
+    pending: Option<PendingOp>,
+    /// Speculative store buffer: word address -> value.
+    sq: HashMap<u64, u64>,
+    /// Abort held while failed-mode discovery continues (§4.1).
+    held_abort: Option<AbortKind>,
+    discovery: Option<Discovery>,
+    /// Mode chosen for the next attempt.
+    planned: RetryMode,
+    /// Learned footprint for CL-mode retries.
+    alt: Option<Alt>,
+    lock_list: Vec<LineAddr>,
+    retries_counted: u32,
+    retries_total: u32,
+    power: bool,
+    explicit_fb_recorded: bool,
+    ert: Ert,
+    crt: Crt,
+    /// Footprint of the current attempt (Fig. 1 instrumentation).
+    fp_cur: HashSet<LineAddr>,
+    /// Footprint of the first (aborted) attempt of this invocation.
+    fp_first: Option<HashSet<LineAddr>>,
+}
+
+impl Core {
+    fn new(clear: &Option<clear_core::ClearConfig>) -> Self {
+        let cc = clear.unwrap_or_default();
+        Core {
+            clock: 0,
+            phase: Phase::Idle,
+            vm: None,
+            inv: None,
+            mode: ExecMode::Speculative,
+            pending: None,
+            sq: HashMap::new(),
+            held_abort: None,
+            discovery: None,
+            planned: RetryMode::SpeculativeRetry,
+            alt: None,
+            lock_list: Vec::new(),
+            retries_counted: 0,
+            retries_total: 0,
+            power: false,
+            explicit_fb_recorded: false,
+            ert: Ert::new(cc.ert_entries),
+            crt: Crt::new(cc.crt_sets, cc.crt_ways),
+            fp_cur: HashSet::new(),
+            fp_first: None,
+        }
+    }
+}
+
+/// The simulated multicore machine.
+///
+/// # Examples
+///
+/// See the crate-level docs and the repository `examples/` directory; the
+/// unit tests below exercise single-workload runs end to end.
+pub struct Machine {
+    config: MachineConfig,
+    cores: Vec<Core>,
+    coherence: CoherenceSystem,
+    fallback: FallbackLock,
+    power_token: PowerToken,
+    memory: Memory,
+    workload: Box<dyn Workload>,
+    stats: RunStats,
+    rng: SmallRng,
+    trace: Trace,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("cores", &self.config.cores)
+            .field("workload", &self.workload.meta().name)
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Builds a machine, lays out the workload in simulated memory and
+    /// allocates the fallback lock line.
+    pub fn new(config: MachineConfig, mut workload: Box<dyn Workload>) -> Self {
+        let mut memory = Memory::new();
+        let fallback_line = memory.alloc_line().line();
+        workload.setup(&mut memory, config.cores);
+        let cores = (0..config.cores).map(|_| Core::new(&config.clear)).collect();
+        let rng = SmallRng::seed_from_u64(config.seed);
+        Machine {
+            coherence: CoherenceSystem::new(config.coherence),
+            fallback: FallbackLock::new(fallback_line),
+            power_token: PowerToken::new(),
+            memory,
+            workload,
+            cores,
+            stats: RunStats::default(),
+            rng,
+            trace: Trace::new(),
+            config,
+        }
+    }
+
+    /// Enables event tracing (see [`Trace`]). Call before [`Machine::run`].
+    pub fn enable_tracing(&mut self) {
+        self.trace.enable();
+    }
+
+    /// The recorded trace (empty unless tracing was enabled).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The final committed memory state.
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// The workload under simulation.
+    pub fn workload(&self) -> &dyn Workload {
+        self.workload.as_ref()
+    }
+
+    /// Runs the workload to completion (or to the `max_cycles` safety stop)
+    /// and returns the collected statistics.
+    pub fn run(&mut self) -> RunStats {
+        loop {
+            let next = self
+                .cores
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.phase != Phase::Finished)
+                .min_by_key(|(i, c)| (c.clock, *i))
+                .map(|(i, _)| i);
+            let Some(c) = next else { break };
+            if self.cores[c].clock > self.config.max_cycles {
+                self.stats.timed_out = true;
+                break;
+            }
+            self.step_core(c);
+        }
+        self.finalize_stats();
+        self.stats.clone()
+    }
+
+    fn finalize_stats(&mut self) {
+        self.stats.total_cycles =
+            self.cores.iter().map(|c| c.clock).max().unwrap_or(0);
+        self.stats.coherence = self.coherence.stats();
+        self.stats.lock_ops =
+            self.stats.coherence.locks + self.stats.coherence.unlocks;
+        self.stats.energy = compute_energy(
+            &self.config.energy,
+            self.config.cores,
+            self.stats.total_cycles,
+            self.stats.instructions_retired + self.stats.instructions_wasted,
+            self.stats.aborts.total(),
+            self.stats.lock_ops,
+            &self.stats.coherence,
+        );
+    }
+
+    fn jitter(&mut self) -> u64 {
+        if self.config.timing.backoff_jitter == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..self.config.timing.backoff_jitter)
+        }
+    }
+
+    fn clear_enabled(&self) -> bool {
+        self.config.clear.is_some()
+    }
+
+    fn tx_info(&self, c: usize) -> TxInfo {
+        TxInfo {
+            core: CoreId(c),
+            power: self.cores[c].power,
+            scl: self.cores[c].mode == ExecMode::SCl
+                && matches!(self.cores[c].phase, Phase::Running | Phase::LockAcquire { .. }),
+        }
+    }
+
+    fn step_core(&mut self, c: usize) {
+        match self.cores[c].phase {
+            Phase::Finished => {}
+            Phase::Idle => self.fetch_next(c),
+            Phase::Think { until } => {
+                self.cores[c].clock = until;
+                self.cores[c].phase = Phase::StartAttempt;
+            }
+            Phase::StartAttempt => self.start_attempt(c),
+            Phase::LockAcquire { idx } => self.lock_step(c, idx),
+            Phase::Running => self.run_step(c),
+        }
+    }
+
+    fn fetch_next(&mut self, c: usize) {
+        match self.workload.next_ar(c, &self.memory) {
+            None => self.cores[c].phase = Phase::Finished,
+            Some(inv) => {
+                self.trace.record(self.cores[c].clock, c, TraceEvent::ArFetched { ar: inv.ar });
+                let until = self.cores[c].clock + inv.think_cycles;
+                // A-priori locking (§2.2 comparator): eligible ARs start in
+                // NS-CL with their statically-known footprint, bypassing
+                // speculation entirely.
+                let apriori_alt = if self.config.a_priori_locking {
+                    inv.static_footprint.as_ref().and_then(|lines| {
+                        if !self.coherence.fits_locked(lines) {
+                            return None;
+                        }
+                        let cc = self.config.clear.unwrap_or_default();
+                        let mut alt = Alt::new(cc.alt_entries, self.coherence.dir_geometry());
+                        for &l in lines {
+                            if alt.observe(l, true).is_err() {
+                                return None;
+                            }
+                        }
+                        Some(alt)
+                    })
+                } else {
+                    None
+                };
+                let core = &mut self.cores[c];
+                core.inv = Some(inv);
+                if let Some(alt) = apriori_alt {
+                    core.alt = Some(alt);
+                    core.planned = RetryMode::NsCl;
+                } else {
+                    core.planned = RetryMode::SpeculativeRetry;
+                    core.alt = None;
+                }
+                core.retries_counted = 0;
+                core.retries_total = 0;
+                core.fp_first = None;
+                core.phase = Phase::Think { until };
+            }
+        }
+    }
+
+    fn arm_vm(&mut self, c: usize) {
+        let inv = self.cores[c].inv.as_ref().expect("invocation present");
+        let program: Arc<_> = Arc::clone(&inv.program);
+        let args = inv.args.clone();
+        let mut vm = Vm::new(program);
+        for (r, v) in args {
+            vm.set_reg(r, v);
+        }
+        let core = &mut self.cores[c];
+        core.vm = Some(vm);
+        core.pending = None;
+        core.sq.clear();
+        core.held_abort = None;
+        core.fp_cur.clear();
+    }
+}
+
+mod attempt;
+mod conflicts;
+mod locking;
+mod memops;

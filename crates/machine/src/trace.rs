@@ -1,0 +1,158 @@
+//! Optional execution tracing: a timeline of AR lifecycle events.
+//!
+//! Disabled by default (zero overhead beyond a branch); enable with
+//! [`Machine::enable_tracing`](crate::Machine::enable_tracing) to record
+//! every attempt start, conflict, discovery transition, decision, lock
+//! acquisition, commit and abort. Tests use it to assert protocol
+//! sequences; the `discovery_trace` example shows the decision logic
+//! standalone.
+
+use clear_core::RetryMode;
+use clear_htm::AbortKind;
+use clear_isa::ArId;
+use clear_mem::LineAddr;
+use std::fmt;
+
+/// One traced event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A new AR invocation was fetched from the workload.
+    ArFetched {
+        /// Static AR identity.
+        ar: ArId,
+    },
+    /// An attempt began in the given mode.
+    AttemptStart {
+        /// The planned mode of this attempt.
+        mode: RetryMode,
+    },
+    /// A conflict reached this core while it was speculating.
+    ConflictReceived,
+    /// The core entered failed-mode discovery instead of aborting (§4.1).
+    EnterFailedMode,
+    /// Discovery finished and the Fig. 2 decision tree chose a retry mode.
+    Decision {
+        /// The AR the decision is for.
+        ar: ArId,
+        /// The chosen mode.
+        mode: RetryMode,
+        /// Lines in the learned footprint.
+        footprint: usize,
+        /// Whether the footprint was assessed immutable.
+        immutable: bool,
+    },
+    /// A cacheline lock was acquired (NS-CL / S-CL lock pass).
+    LockAcquired {
+        /// The locked line.
+        line: LineAddr,
+    },
+    /// The attempt aborted.
+    Abort {
+        /// Why.
+        kind: AbortKind,
+    },
+    /// The AR committed.
+    Commit {
+        /// The mode it committed in.
+        mode: RetryMode,
+        /// Total retries the invocation took.
+        retries: u32,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::ArFetched { ar } => write!(f, "fetch {ar}"),
+            TraceEvent::AttemptStart { mode } => write!(f, "start {mode}"),
+            TraceEvent::ConflictReceived => write!(f, "conflict"),
+            TraceEvent::EnterFailedMode => write!(f, "enter-failed-mode"),
+            TraceEvent::Decision { ar, mode, footprint, immutable } => {
+                write!(f, "decide {ar} -> {mode} (fp={footprint}, immutable={immutable})")
+            }
+            TraceEvent::LockAcquired { line } => write!(f, "lock {line}"),
+            TraceEvent::Abort { kind } => write!(f, "abort {kind}"),
+            TraceEvent::Commit { mode, retries } => {
+                write!(f, "commit {mode} after {retries} retries")
+            }
+        }
+    }
+}
+
+/// A recorded trace: `(cycle, core, event)` triples in emission order.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<(u64, usize, TraceEvent)>,
+}
+
+impl Trace {
+    /// Creates a disabled trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Turns recording on.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// `true` when recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op while disabled).
+    pub fn record(&mut self, cycle: u64, core: usize, event: TraceEvent) {
+        if self.enabled {
+            self.events.push((cycle, core, event));
+        }
+    }
+
+    /// All recorded events.
+    pub fn events(&self) -> &[(u64, usize, TraceEvent)] {
+        &self.events
+    }
+
+    /// Events of one core, in order.
+    pub fn core_events(&self, core: usize) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |(_, c, _)| *c == core).map(|(_, _, e)| e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new();
+        t.record(1, 0, TraceEvent::ConflictReceived);
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::new();
+        t.enable();
+        t.record(5, 1, TraceEvent::ConflictReceived);
+        t.record(9, 0, TraceEvent::EnterFailedMode);
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].0, 5);
+        assert_eq!(t.core_events(1).count(), 1);
+        assert_eq!(t.core_events(0).count(), 1);
+    }
+
+    #[test]
+    fn events_display() {
+        let e = TraceEvent::Decision {
+            ar: ArId(2),
+            mode: RetryMode::NsCl,
+            footprint: 3,
+            immutable: true,
+        };
+        assert_eq!(e.to_string(), "decide AR2 -> NS-CL (fp=3, immutable=true)");
+        assert_eq!(TraceEvent::LockAcquired { line: LineAddr(2) }.to_string(), "lock L0x2");
+    }
+}

@@ -1,0 +1,112 @@
+//! Cache geometry descriptions (size, associativity, set indexing).
+
+use crate::LineAddr;
+use serde::{Deserialize, Serialize};
+
+/// The geometry of a set-associative cache-like structure.
+///
+/// Used for the private data cache model, for the directory cache (whose set
+/// index defines the lexicographical lock order of §5), and for CLEAR's
+/// simultaneous-lockability check during discovery.
+///
+/// # Examples
+///
+/// ```
+/// use clear_mem::CacheGeometry;
+///
+/// // 48 KiB, 12-way, 64-byte lines => 64 sets (Icelake L1D, Table 2).
+/// let l1d = CacheGeometry::from_capacity(48 * 1024, 12);
+/// assert_eq!(l1d.sets, 64);
+/// assert_eq!(l1d.ways, 12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    /// Number of sets. Must be a power of two.
+    pub sets: usize,
+    /// Number of ways per set.
+    pub ways: usize,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry from an explicit set/way count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is zero or not a power of two, or if `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways > 0, "ways must be non-zero");
+        CacheGeometry { sets, ways }
+    }
+
+    /// Creates a geometry from a total capacity in bytes and associativity,
+    /// assuming 64-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the derived set count is zero or not a power of two.
+    pub fn from_capacity(capacity_bytes: usize, ways: usize) -> Self {
+        let lines = capacity_bytes / crate::LINE_BYTES as usize;
+        Self::new(lines / ways, ways)
+    }
+
+    /// Total number of lines the structure can hold.
+    #[inline]
+    pub fn lines(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Set index for a line address (low-order bits).
+    #[inline]
+    pub fn set_index(&self, line: LineAddr) -> usize {
+        (line.0 as usize) & (self.sets - 1)
+    }
+}
+
+impl Default for CacheGeometry {
+    /// The Icelake-like L1D of Table 2: 48 KiB, 12-way.
+    fn default() -> Self {
+        CacheGeometry::from_capacity(48 * 1024, 12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1d_geometry_matches_table2() {
+        let g = CacheGeometry::default();
+        assert_eq!(g.sets, 64);
+        assert_eq!(g.ways, 12);
+        assert_eq!(g.lines(), 768);
+    }
+
+    #[test]
+    fn set_index_uses_low_bits() {
+        let g = CacheGeometry::new(64, 8);
+        assert_eq!(g.set_index(LineAddr(0)), 0);
+        assert_eq!(g.set_index(LineAddr(63)), 63);
+        assert_eq!(g.set_index(LineAddr(64)), 0);
+        assert_eq!(g.set_index(LineAddr(65)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panics() {
+        CacheGeometry::new(48, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_ways_panics() {
+        CacheGeometry::new(64, 0);
+    }
+
+    #[test]
+    fn from_capacity_l2() {
+        // 512 KiB, 8-way => 1024 sets.
+        let g = CacheGeometry::from_capacity(512 * 1024, 8);
+        assert_eq!(g.sets, 1024);
+    }
+}

@@ -1,0 +1,120 @@
+//! The deadlock-free lexicographical lock-ordering key.
+
+use crate::{CacheGeometry, LineAddr};
+use serde::{Deserialize, Serialize};
+
+/// Lock-ordering key for cacheline locking.
+///
+/// Following §5 of the paper (and MAD atomics \[16\]), the lexicographical
+/// order used to lock cachelines deadlock-free is defined by the **set index
+/// of the smallest shared structure** — the directory cache — with ties
+/// (addresses in the same directory set, a *lexicographical conflict group*)
+/// broken by the line address itself so the total order is strict.
+///
+/// # Examples
+///
+/// ```
+/// use clear_mem::{CacheGeometry, LexKey, LineAddr};
+///
+/// let dir = CacheGeometry::new(4, 2);
+/// let a = LexKey::new(dir, LineAddr(1));
+/// let b = LexKey::new(dir, LineAddr(6)); // set 2
+/// assert!(a < b);
+/// // Same directory set => same group.
+/// assert!(LexKey::new(dir, LineAddr(2)).same_group(LexKey::new(dir, LineAddr(6))));
+/// ```
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct LexKey {
+    /// Directory set index (primary order).
+    pub dir_set: usize,
+    /// Line address (tie-break within a group).
+    pub line: LineAddr,
+}
+
+impl LexKey {
+    /// Builds the key of `line` under directory geometry `dir`.
+    pub fn new(dir: CacheGeometry, line: LineAddr) -> Self {
+        LexKey { dir_set: dir.set_index(line), line }
+    }
+
+    /// `true` if both lines fall into the same directory set (a
+    /// lexicographical conflict group, §5).
+    pub fn same_group(self, other: LexKey) -> bool {
+        self.dir_set == other.dir_set
+    }
+}
+
+/// Sorts lines into lock order and returns them with a `last_of_group` marker
+/// mirroring the ALT's Conflict-bit convention: every entry of a multi-line
+/// group is marked conflicting except the last one, which delimits the group.
+pub fn lock_order(dir: CacheGeometry, lines: &[LineAddr]) -> Vec<(LineAddr, bool)> {
+    let mut keys: Vec<LexKey> = lines.iter().map(|&l| LexKey::new(dir, l)).collect();
+    keys.sort();
+    keys.dedup();
+    let mut out = Vec::with_capacity(keys.len());
+    for (i, k) in keys.iter().enumerate() {
+        let last_of_group =
+            i + 1 == keys.len() || keys[i + 1].dir_set != k.dir_set;
+        out.push((k.line, last_of_group));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_by_dir_set_then_line() {
+        let dir = CacheGeometry::new(4, 2);
+        // line 5 -> set 1; line 2 -> set 2; line 9 -> set 1.
+        let mut v = [LineAddr(2), LineAddr(5), LineAddr(9)]
+            .map(|l| LexKey::new(dir, l));
+        v.sort();
+        assert_eq!(v[0].line, LineAddr(5));
+        assert_eq!(v[1].line, LineAddr(9));
+        assert_eq!(v[2].line, LineAddr(2));
+    }
+
+    #[test]
+    fn lock_order_marks_group_ends() {
+        let dir = CacheGeometry::new(4, 2);
+        // Lines 1, 5, 9 all map to set 1; line 2 maps to set 2.
+        let o = lock_order(dir, &[LineAddr(9), LineAddr(2), LineAddr(1), LineAddr(5)]);
+        assert_eq!(
+            o,
+            vec![
+                (LineAddr(1), false),
+                (LineAddr(5), false),
+                (LineAddr(9), true),
+                (LineAddr(2), true),
+            ]
+        );
+    }
+
+    #[test]
+    fn lock_order_dedups() {
+        let dir = CacheGeometry::new(4, 2);
+        let o = lock_order(dir, &[LineAddr(3), LineAddr(3)]);
+        assert_eq!(o.len(), 1);
+        assert!(o[0].1);
+    }
+
+    #[test]
+    fn same_group_is_reflexive() {
+        let dir = CacheGeometry::new(8, 1);
+        let k = LexKey::new(dir, LineAddr(12));
+        assert!(k.same_group(k));
+    }
+
+    #[test]
+    fn total_order_is_strict_for_distinct_lines() {
+        let dir = CacheGeometry::new(2, 2);
+        let a = LexKey::new(dir, LineAddr(0));
+        let b = LexKey::new(dir, LineAddr(2)); // same set 0
+        assert!(a < b || b < a);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,89 @@
+//! Shared workload plumbing: sizes, per-thread RNG streams.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Input-size presets (the paper uses STAMP's "medium" inputs; simulation
+/// here is software, so sizes are scaled to keep runs tractable).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Size {
+    /// Unit-test scale: seconds of wall-clock for the whole suite.
+    Tiny,
+    /// Criterion-bench scale.
+    Small,
+    /// Figure-harness scale (the default for EXPERIMENTS.md numbers).
+    Medium,
+}
+
+impl Size {
+    /// Operations per simulated thread.
+    pub fn ops_per_thread(self) -> u32 {
+        match self {
+            Size::Tiny => 12,
+            Size::Small => 60,
+            Size::Medium => 200,
+        }
+    }
+
+    /// Generic data-structure capacity scale factor.
+    pub fn scale(self) -> usize {
+        match self {
+            Size::Tiny => 1,
+            Size::Small => 4,
+            Size::Medium => 8,
+        }
+    }
+}
+
+/// One independent RNG stream per simulated thread, so the operation mix of
+/// thread *t* does not depend on how many threads run or how they
+/// interleave.
+#[derive(Debug)]
+pub(crate) struct ThreadRngs {
+    streams: Vec<SmallRng>,
+    seed: u64,
+}
+
+impl ThreadRngs {
+    pub(crate) fn new(seed: u64) -> Self {
+        ThreadRngs { streams: Vec::new(), seed }
+    }
+
+    pub(crate) fn init(&mut self, threads: usize) {
+        self.streams = (0..threads)
+            .map(|t| SmallRng::seed_from_u64(self.seed ^ (0x9e37_79b9_7f4a_7c15u64
+                .wrapping_mul(t as u64 + 1))))
+            .collect();
+    }
+
+    pub(crate) fn get(&mut self, tid: usize) -> &mut SmallRng {
+        &mut self.streams[tid]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn sizes_are_monotonic() {
+        assert!(Size::Tiny.ops_per_thread() < Size::Small.ops_per_thread());
+        assert!(Size::Small.ops_per_thread() < Size::Medium.ops_per_thread());
+        assert!(Size::Tiny.scale() <= Size::Medium.scale());
+    }
+
+    #[test]
+    fn thread_streams_are_independent_and_deterministic() {
+        let mut a = ThreadRngs::new(7);
+        a.init(2);
+        let mut b = ThreadRngs::new(7);
+        b.init(2);
+        let x: u64 = a.get(0).gen();
+        let y: u64 = b.get(0).gen();
+        assert_eq!(x, y);
+        let z: u64 = b.get(1).gen();
+        assert_ne!(x, z, "streams should differ across threads");
+    }
+}

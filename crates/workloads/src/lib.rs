@@ -1,0 +1,200 @@
+//! The paper's 19 benchmarks, re-implemented as mini-ISA atomic-region
+//! generators over simulated shared memory.
+//!
+//! Two families:
+//!
+//! * **Data-structure benchmarks** (arrayswap, bitcoin, bst, deque,
+//!   hashmap, mwobject, queue, stack, sorted-list) are *real*
+//!   implementations: the pointer chasing, index arithmetic and branching
+//!   happen inside the AR through simulated loads/stores, so footprint
+//!   mutability emerges exactly as in the original C benchmarks.
+//! * **STAMP application models** (bayes, genome, intruder, kmeans-h/l,
+//!   labyrinth, ssca2, vacation-h/l, yada) are synthetic AR generators
+//!   whose per-AR footprint size, indirection structure, contention and AR
+//!   count match the paper's Table 1 characterisation (see
+//!   [`stamp`] for the per-application parameters and DESIGN.md for the
+//!   substitution argument).
+//!
+//! Every workload:
+//!
+//! * is deterministic for a fixed seed (per-thread RNG streams);
+//! * reports its static AR classification ([`WorkloadMeta`]) for the
+//!   Table 1 harness;
+//! * checks a *real* atomicity invariant in [`Workload::validate`]
+//!   (conserved sums, permutation preservation, structural integrity), so
+//!   integration tests prove the simulated HTM/CLEAR machinery is correct,
+//!   not just fast.
+//!
+//! [`Workload::validate`]: clear_isa::Workload::validate
+//! [`WorkloadMeta`]: clear_isa::WorkloadMeta
+//!
+//! # Examples
+//!
+//! ```
+//! use clear_workloads::{by_name, Size};
+//!
+//! let w = by_name("arrayswap", Size::Tiny, 7).expect("known benchmark");
+//! assert_eq!(w.meta().name, "arrayswap");
+//! assert_eq!(w.meta().ars.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod arrayswap;
+mod bitcoin;
+mod bst;
+mod common;
+mod deque;
+mod hashmap;
+mod mwobject;
+mod queue;
+mod sorted_list;
+mod stack;
+pub mod stamp;
+
+pub use arrayswap::ArraySwap;
+pub use bitcoin::Bitcoin;
+pub use bst::Bst;
+pub use common::Size;
+pub use deque::Deque;
+pub use hashmap::HashMapBench;
+pub use mwobject::MwObject;
+pub use queue::Queue;
+pub use sorted_list::SortedList;
+pub use stack::Stack;
+pub use stamp::StampModel;
+
+use clear_isa::Workload;
+
+/// Names of all 19 benchmarks in the paper's figure order.
+pub const BENCHMARK_NAMES: [&str; 19] = [
+    "arrayswap",
+    "bitcoin",
+    "bst",
+    "deque",
+    "hashmap",
+    "mwobject",
+    "queue",
+    "stack",
+    "sorted-list",
+    "bayes",
+    "genome",
+    "intruder",
+    "kmeans-h",
+    "kmeans-l",
+    "labyrinth",
+    "ssca2",
+    "vacation-h",
+    "vacation-l",
+    "yada",
+];
+
+/// Constructs a benchmark by its figure name.
+///
+/// Returns `None` for unknown names.
+pub fn by_name(name: &str, size: Size, seed: u64) -> Option<Box<dyn Workload>> {
+    Some(match name {
+        "arrayswap" => Box::new(ArraySwap::new(size, seed)),
+        "bitcoin" => Box::new(Bitcoin::new(size, seed)),
+        "bst" => Box::new(Bst::new(size, seed)),
+        "deque" => Box::new(Deque::new(size, seed)),
+        "hashmap" => Box::new(HashMapBench::new(size, seed)),
+        "mwobject" => Box::new(MwObject::new(size, seed)),
+        "queue" => Box::new(Queue::new(size, seed)),
+        "stack" => Box::new(Stack::new(size, seed)),
+        "sorted-list" => Box::new(SortedList::new(size, seed)),
+        other => Box::new(StampModel::by_name(other, size, seed)?),
+    })
+}
+
+/// Constructs all 19 benchmarks.
+pub fn all_benchmarks(size: Size, seed: u64) -> Vec<Box<dyn Workload>> {
+    BENCHMARK_NAMES
+        .iter()
+        .map(|n| by_name(n, size, seed).expect("registry names are valid"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_names() {
+        let all = all_benchmarks(Size::Tiny, 1);
+        assert_eq!(all.len(), 19);
+        for (w, n) in all.iter().zip(BENCHMARK_NAMES) {
+            assert_eq!(w.meta().name, n);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("nonexistent", Size::Tiny, 1).is_none());
+    }
+
+    #[test]
+    fn table1_ar_counts_match_paper() {
+        let expected = [
+            ("arrayswap", 2),
+            ("bitcoin", 1),
+            ("bst", 3),
+            ("deque", 2),
+            ("hashmap", 3),
+            ("mwobject", 1),
+            ("queue", 2),
+            ("stack", 2),
+            ("sorted-list", 3),
+            ("bayes", 14),
+            ("genome", 5),
+            ("intruder", 3),
+            ("kmeans-h", 3),
+            ("kmeans-l", 3),
+            ("labyrinth", 3),
+            ("ssca2", 3),
+            ("vacation-h", 3),
+            ("vacation-l", 3),
+            ("yada", 6),
+        ];
+        for (name, count) in expected {
+            let w = by_name(name, Size::Tiny, 1).unwrap();
+            assert_eq!(w.meta().ars.len(), count, "{name}");
+        }
+    }
+
+    #[test]
+    fn table1_classification_matches_paper() {
+        use clear_isa::Mutability::*;
+        // (name, immutable, likely-immutable, mutable) — Table 1.
+        let expected = [
+            ("arrayswap", 2, 0, 0),
+            ("bitcoin", 0, 1, 0),
+            ("bst", 0, 0, 3),
+            ("deque", 0, 1, 1),
+            ("hashmap", 0, 0, 3),
+            ("mwobject", 1, 0, 0),
+            ("queue", 0, 1, 1),
+            ("stack", 0, 1, 1),
+            ("sorted-list", 1, 0, 2),
+            ("bayes", 0, 5, 9),
+            ("genome", 0, 0, 5),
+            ("intruder", 0, 2, 1),
+            ("kmeans-h", 1, 2, 0),
+            ("kmeans-l", 1, 2, 0),
+            ("labyrinth", 0, 0, 3),
+            ("ssca2", 2, 1, 0),
+            ("vacation-h", 0, 1, 2),
+            ("vacation-l", 0, 1, 2),
+            ("yada", 1, 0, 5),
+        ];
+        for (name, imm, likely, mutable) in expected {
+            let w = by_name(name, Size::Tiny, 1).unwrap();
+            let meta = w.meta();
+            let count = |m| meta.ars.iter().filter(|a| a.mutability == m).count();
+            assert_eq!(count(Immutable), imm, "{name} immutable");
+            assert_eq!(count(LikelyImmutable), likely, "{name} likely");
+            assert_eq!(count(Mutable), mutable, "{name} mutable");
+        }
+    }
+}

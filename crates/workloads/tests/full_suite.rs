@@ -1,0 +1,150 @@
+//! Every benchmark × every preset: the run must finish, commit the right
+//! number of ARs, and pass the workload's own atomicity invariant.
+
+use clear_machine::{Machine, Preset};
+use clear_workloads::{all_benchmarks, by_name, Size, BENCHMARK_NAMES};
+
+fn run_one(name: &str, preset: Preset, cores: usize, seed: u64) {
+    let w = by_name(name, Size::Tiny, seed).unwrap();
+    let mut cfg = preset.config(cores, 4);
+    cfg.seed = seed;
+    let mut m = Machine::new(cfg, w);
+    let stats = m.run();
+    assert!(!stats.timed_out, "{name}/{preset}: simulation timed out");
+    assert!(stats.commits() > 0, "{name}/{preset}: no commits");
+    m.workload()
+        .validate(m.memory())
+        .unwrap_or_else(|e| panic!("{name}/{preset}: invariant violated: {e}"));
+}
+
+#[test]
+fn all_benchmarks_all_presets_preserve_invariants() {
+    for name in BENCHMARK_NAMES {
+        for preset in Preset::ALL {
+            run_one(name, preset, 8, 0xC1EA);
+        }
+    }
+}
+
+#[test]
+fn suite_is_deterministic_per_seed() {
+    for name in ["arrayswap", "bst", "intruder"] {
+        let run = |seed| {
+            let w = by_name(name, Size::Tiny, seed).unwrap();
+            let mut cfg = Preset::W.config(4, 4);
+            cfg.seed = seed;
+            Machine::new(cfg, w).run()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.total_cycles, b.total_cycles, "{name}");
+        assert_eq!(a.aborts.total(), b.aborts.total(), "{name}");
+        let c = run(8);
+        // Different seeds virtually always diverge in timing.
+        assert!(
+            c.total_cycles != a.total_cycles || c.aborts.total() != a.aborts.total(),
+            "{name}: different seeds produced identical runs"
+        );
+    }
+}
+
+#[test]
+fn every_benchmark_issues_exactly_ops_times_threads_commits() {
+    // Commits are per issued AR: the machine retries each until it commits.
+    let threads = 4;
+    for w in all_benchmarks(Size::Tiny, 3) {
+        let name = w.meta().name.clone();
+        let mut cfg = Preset::B.config(threads, 4);
+        cfg.seed = 3;
+        let mut m = Machine::new(cfg, w);
+        let stats = m.run();
+        let expected = threads as u64 * Size::Tiny.ops_per_thread() as u64;
+        assert_eq!(stats.commits(), expected, "{name}");
+    }
+}
+
+#[test]
+fn clear_presets_exercise_cl_modes_somewhere() {
+    // Across the full suite, C must commit some ARs in NS-CL and some in
+    // S-CL (Fig. 12 shows both modes in use).
+    let mut nscl = 0;
+    let mut scl = 0;
+    for name in BENCHMARK_NAMES {
+        let w = by_name(name, Size::Tiny, 11).unwrap();
+        let mut cfg = Preset::C.config(8, 4);
+        cfg.seed = 11;
+        let mut m = Machine::new(cfg, w);
+        let stats = m.run();
+        nscl += stats.commits_by_mode.nscl;
+        scl += stats.commits_by_mode.scl;
+    }
+    assert!(nscl > 0, "no NS-CL commits anywhere in the suite");
+    assert!(scl > 0, "no S-CL commits anywhere in the suite");
+}
+
+#[test]
+fn labyrinth_never_converts_large_ars() {
+    // Labyrinth's footprints exceed the 32-entry ALT: CLEAR must not run
+    // NS-CL there (the paper reports it stays in fallback/speculative).
+    let w = by_name("labyrinth", Size::Tiny, 5).unwrap();
+    let mut cfg = Preset::C.config(8, 4);
+    cfg.seed = 5;
+    let mut m = Machine::new(cfg, w);
+    let stats = m.run();
+    assert_eq!(
+        stats.commits_by_mode.nscl, 0,
+        "labyrinth ARs are mutable and oversized; NS-CL impossible"
+    );
+}
+
+#[test]
+fn mwobject_commits_mostly_nscl_under_clear() {
+    let w = by_name("mwobject", Size::Tiny, 5).unwrap();
+    let mut cfg = Preset::C.config(8, 4);
+    cfg.seed = 5;
+    let mut m = Machine::new(cfg, w);
+    let stats = m.run();
+    let retried_commits: u64 = stats
+        .commits_by_retries
+        .iter()
+        .filter(|(&r, _)| r >= 1)
+        .map(|(_, &c)| c)
+        .sum();
+    // Under contention, retried mwobject ARs should convert to NS-CL.
+    assert!(
+        stats.commits_by_mode.nscl > 0 || retried_commits == 0,
+        "mwobject retried {} ARs but committed none in NS-CL",
+        retried_commits
+    );
+}
+
+#[test]
+fn single_core_runs_validate_program_semantics() {
+    // With one core there is no concurrency: any invariant failure here is
+    // a bug in the benchmark's mini-ISA programs themselves.
+    for name in BENCHMARK_NAMES {
+        let w = by_name(name, Size::Tiny, 77).unwrap();
+        let mut cfg = Preset::B.config(1, 4);
+        cfg.seed = 77;
+        let mut m = Machine::new(cfg, w);
+        let stats = m.run();
+        assert_eq!(stats.aborts.total(), 0, "{name}: single core cannot conflict");
+        assert_eq!(stats.commits(), Size::Tiny.ops_per_thread() as u64, "{name}");
+        m.workload()
+            .validate(m.memory())
+            .unwrap_or_else(|e| panic!("{name}: program semantics broken: {e}"));
+    }
+}
+
+#[test]
+fn two_seeds_give_different_operation_mixes() {
+    // The RNG streams must actually vary the workload.
+    let run = |seed: u64| {
+        let w = by_name("bst", Size::Tiny, seed).unwrap();
+        let mut cfg = Preset::B.config(2, 4);
+        cfg.seed = seed;
+        let mut m = Machine::new(cfg, w);
+        m.run().instructions_retired
+    };
+    assert_ne!(run(1), run(2));
+}

@@ -1,0 +1,196 @@
+//! Program-level tests: execute each benchmark's ARs one at a time on a
+//! bare VM (no machine, no concurrency) and check the exact memory
+//! mutations. Isolates mini-ISA program bugs from machine/protocol bugs.
+
+use clear_isa::{ArId, ArInvocation, Effect, Vm};
+use clear_mem::{Addr, Memory};
+use clear_workloads::{by_name, Size};
+
+/// Executes one AR invocation to completion against `mem`.
+fn execute(inv: &ArInvocation, mem: &mut Memory) {
+    let mut vm = Vm::new(inv.program.clone());
+    for &(r, v) in &inv.args {
+        vm.set_reg(r, v);
+    }
+    let mut steps = 0;
+    loop {
+        steps += 1;
+        assert!(steps < 1_000_000, "AR did not terminate");
+        match vm.step() {
+            Effect::Load { addr, .. } => {
+                let v = mem.load_word(addr);
+                vm.finish_load(v);
+            }
+            Effect::Store { addr, value, .. } => mem.store_word(addr, value),
+            Effect::Commit => break,
+            Effect::Abort { code } => panic!("unexpected XAbort({code})"),
+            _ => {}
+        }
+    }
+}
+
+/// Runs a whole single-threaded session of a benchmark directly on the VM
+/// and then validates the workload invariant.
+fn run_workload_serially(name: &str, seed: u64) {
+    let mut w = by_name(name, Size::Tiny, seed).unwrap();
+    let mut mem = Memory::new();
+    w.setup(&mut mem, 2);
+    for tid in 0..2 {
+        while let Some(inv) = w.next_ar(tid, &mem) {
+            execute(&inv, &mut mem);
+        }
+    }
+    w.validate(&mem)
+        .unwrap_or_else(|e| panic!("{name}: serial VM execution broke the invariant: {e}"));
+}
+
+#[test]
+fn every_benchmark_survives_serial_vm_execution() {
+    for name in clear_workloads::BENCHMARK_NAMES {
+        for seed in [1, 9] {
+            run_workload_serially(name, seed);
+        }
+    }
+}
+
+#[test]
+fn queue_enqueue_then_dequeue_moves_one_value() {
+    let mut w = by_name("queue", Size::Tiny, 4).unwrap();
+    let mut mem = Memory::new();
+    w.setup(&mut mem, 1);
+
+    // Find one enqueue and one dequeue invocation.
+    let mut enq = None;
+    let mut deq = None;
+    while enq.is_none() || deq.is_none() {
+        let inv = w.next_ar(0, &mem).expect("enough ops");
+        match inv.ar {
+            ArId(0) if enq.is_none() => enq = Some(inv),
+            ArId(1) if deq.is_none() => deq = Some(inv),
+            _ => {}
+        }
+    }
+    let enq = enq.unwrap();
+    let deq = deq.unwrap();
+
+    let tail_slot = Addr(enq.args[0].1);
+    let value = enq.args[2].1;
+    let tail_before = mem.load_word(tail_slot);
+    execute(&enq, &mut mem);
+    assert_eq!(mem.load_word(tail_slot), tail_before + 1, "tail advanced");
+    let slots = Addr(enq.args[1].1);
+    assert_eq!(mem.load_word(slots.add_words(tail_before)), value, "value written");
+
+    let head_slot = Addr(deq.args[0].1);
+    let acc = Addr(deq.args[3].1);
+    let head_before = mem.load_word(head_slot);
+    let front_value = mem.load_word(slots.add_words(head_before));
+    let acc_before = mem.load_word(acc);
+    execute(&deq, &mut mem);
+    assert_eq!(mem.load_word(head_slot), head_before + 1, "head advanced");
+    assert_eq!(mem.load_word(acc), acc_before + front_value, "value consumed");
+}
+
+#[test]
+fn dequeue_on_empty_queue_is_a_noop() {
+    let mut w = by_name("queue", Size::Tiny, 4).unwrap();
+    let mut mem = Memory::new();
+    w.setup(&mut mem, 1);
+    // Drain: set head == tail artificially.
+    let inv = loop {
+        let inv = w.next_ar(0, &mem).expect("ops");
+        if inv.ar == ArId(1) {
+            break inv;
+        }
+    };
+    let head_slot = Addr(inv.args[0].1);
+    let tail_slot = Addr(inv.args[1].1);
+    let tail = mem.load_word(tail_slot);
+    mem.store_word(head_slot, tail); // empty
+    execute(&inv, &mut mem);
+    assert_eq!(mem.load_word(head_slot), tail, "empty dequeue must not move head");
+}
+
+#[test]
+fn stack_pop_reverses_push() {
+    let mut w = by_name("stack", Size::Tiny, 6).unwrap();
+    let mut mem = Memory::new();
+    w.setup(&mut mem, 1);
+    let (mut push, mut pop) = (None, None);
+    while push.is_none() || pop.is_none() {
+        let inv = w.next_ar(0, &mem).expect("ops");
+        match inv.ar {
+            ArId(0) if push.is_none() => push = Some(inv),
+            ArId(1) if pop.is_none() => pop = Some(inv),
+            _ => {}
+        }
+    }
+    let push = push.unwrap();
+    let pop = pop.unwrap();
+    let top_slot = Addr(push.args[0].1);
+    let value = push.args[2].1;
+    let top_before = mem.load_word(top_slot);
+    execute(&push, &mut mem);
+    assert_eq!(mem.load_word(top_slot), top_before + 1);
+
+    let acc = Addr(pop.args[2].1);
+    let acc_before = mem.load_word(acc);
+    execute(&pop, &mut mem);
+    assert_eq!(mem.load_word(top_slot), top_before, "pop undoes push");
+    assert_eq!(mem.load_word(acc), acc_before + value, "popped the pushed value");
+}
+
+#[test]
+fn bitcoin_transfer_moves_exactly_amount() {
+    let mut w = by_name("bitcoin", Size::Tiny, 8).unwrap();
+    let mut mem = Memory::new();
+    w.setup(&mut mem, 1);
+    let inv = w.next_ar(0, &mem).unwrap();
+    let users_slot = Addr(inv.args[0].1);
+    let base = mem.load_word(users_slot);
+    let from = Addr(base + inv.args[1].1);
+    let to = Addr(base + inv.args[2].1);
+    let amount = inv.args[3].1;
+    let (f0, t0) = (mem.load_word(from), mem.load_word(to));
+    execute(&inv, &mut mem);
+    assert_eq!(mem.load_word(from), f0 - amount);
+    assert_eq!(mem.load_word(to), t0 + amount);
+}
+
+#[test]
+fn mwobject_update_increments_all_four_words() {
+    let mut w = by_name("mwobject", Size::Tiny, 2).unwrap();
+    let mut mem = Memory::new();
+    w.setup(&mut mem, 1);
+    let inv = w.next_ar(0, &mem).unwrap();
+    let obj = Addr(inv.args[0].1);
+    execute(&inv, &mut mem);
+    for i in 0..4 {
+        assert_eq!(mem.load_word(obj.add_words(i)), 1, "word {i}");
+    }
+}
+
+#[test]
+fn sorted_list_insert_places_in_order() {
+    let mut w = by_name("sorted-list", Size::Tiny, 3).unwrap();
+    let mut mem = Memory::new();
+    w.setup(&mut mem, 1);
+    // Execute every op; after each insert the list must stay sorted.
+    while let Some(inv) = w.next_ar(0, &mem) {
+        execute(&inv, &mut mem);
+    }
+    w.validate(&mem).unwrap();
+}
+
+#[test]
+fn stamp_chase_preserves_permutation_per_op() {
+    let mut w = by_name("labyrinth", Size::Tiny, 5).unwrap();
+    let mut mem = Memory::new();
+    w.setup(&mut mem, 1);
+    for _ in 0..6 {
+        if let Some(inv) = w.next_ar(0, &mem) {
+            execute(&inv, &mut mem);
+            w.validate(&mem).unwrap_or_else(|e| panic!("after one chase: {e}"));
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Sweep thread count on a contended benchmark and watch the fallback
+//! share grow under the baseline while CLEAR keeps retries bounded —
+//! the paper's core claim, as a scaling curve.
+//!
+//! ```text
+//! cargo run --release --example contention_sweep [benchmark]
+//! ```
+
+use clear_machine::{Machine, Preset};
+use clear_workloads::{by_name, Size};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mwobject".to_string());
+    println!("benchmark: {name} (small input)\n");
+    println!(
+        "{:>6} | {:>12} {:>10} {:>9} | {:>12} {:>10} {:>9}",
+        "cores", "B cycles", "B apc", "B fb%", "C cycles", "C apc", "C fb%"
+    );
+    for cores in [2, 4, 8, 16, 32] {
+        let mut row = Vec::new();
+        for preset in [Preset::B, Preset::C] {
+            let workload = by_name(&name, Size::Small, 99).expect("known benchmark");
+            let mut config = preset.config(cores, 5);
+            config.seed = 99;
+            let mut machine = Machine::new(config, workload);
+            let stats = machine.run();
+            machine.workload().validate(machine.memory()).expect("invariant");
+            row.push((
+                stats.total_cycles,
+                stats.aborts_per_commit(),
+                100.0 * stats.commits_by_mode.fallback as f64 / stats.commits() as f64,
+            ));
+        }
+        println!(
+            "{:>6} | {:>12} {:>10.2} {:>9.1} | {:>12} {:>10.2} {:>9.1}",
+            cores, row[0].0, row[0].1, row[0].2, row[1].0, row[1].1, row[1].2
+        );
+    }
+    println!("\napc = aborts per commit; fb% = share of ARs completing on the fallback path");
+}

@@ -1,0 +1,51 @@
+//! Quickstart: run one benchmark under the four configurations of the
+//! paper (B = requester-wins, P = PowerTM, C = CLEAR over requester-wins,
+//! W = CLEAR over PowerTM) and print the headline metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart [benchmark] [cores]
+//! ```
+
+use clear_machine::{Machine, Preset};
+use clear_workloads::{by_name, Size};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "queue".to_string());
+    let cores: usize = args.next().map(|c| c.parse().expect("cores")).unwrap_or(16);
+
+    println!("benchmark: {name}, {cores} simulated cores, medium input\n");
+    println!(
+        "{:>3} {:>12} {:>10} {:>13} {:>10} {:>10}",
+        "cfg", "cycles", "norm", "aborts/commit", "1st-retry", "fallback"
+    );
+
+    let mut base = 0u64;
+    for preset in Preset::ALL {
+        let workload = by_name(&name, Size::Medium, 42).unwrap_or_else(|| {
+            eprintln!("unknown benchmark {name}; see clear_workloads::BENCHMARK_NAMES");
+            std::process::exit(1);
+        });
+        let mut config = preset.config(cores, 5);
+        config.seed = 42;
+        let mut machine = Machine::new(config, workload);
+        let stats = machine.run();
+        machine
+            .workload()
+            .validate(machine.memory())
+            .expect("atomicity invariant must hold");
+        if preset == Preset::B {
+            base = stats.total_cycles;
+        }
+        println!(
+            "{:>3} {:>12} {:>10.2} {:>13.2} {:>10.2} {:>10.2}",
+            preset.letter(),
+            stats.total_cycles,
+            stats.total_cycles as f64 / base as f64,
+            stats.aborts_per_commit(),
+            stats.first_retry_share(),
+            stats.fallback_share(),
+        );
+    }
+    println!("\nCLEAR (C/W) should commit most retried ARs on their first retry.");
+}

@@ -1,0 +1,14 @@
+//! Umbrella crate for the CLEAR reproduction: re-exports every workspace
+//! crate so examples and integration tests can use one dependency.
+//!
+//! See the repository `README.md` for the tour, `DESIGN.md` for the
+//! system inventory and per-experiment index, and `EXPERIMENTS.md` for
+//! paper-vs-measured results.
+
+pub use clear_coherence as coherence;
+pub use clear_core as core;
+pub use clear_htm as htm;
+pub use clear_isa as isa;
+pub use clear_machine as machine;
+pub use clear_mem as mem;
+pub use clear_workloads as workloads;

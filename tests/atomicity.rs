@@ -1,0 +1,89 @@
+//! Cross-crate integration tests: the full stack (workloads → machine →
+//! CLEAR → HTM → coherence → memory) must preserve every workload's
+//! atomicity invariant under varied core counts, seeds and configurations.
+
+use clear_machine::{Machine, Preset};
+use clear_workloads::{by_name, Size};
+
+fn check(name: &str, preset: Preset, cores: usize, seed: u64) {
+    let w = by_name(name, Size::Tiny, seed).unwrap();
+    let mut cfg = preset.config(cores, 3);
+    cfg.seed = seed;
+    let mut m = Machine::new(cfg, w);
+    let stats = m.run();
+    assert!(!stats.timed_out, "{name}/{preset}/{cores}c/s{seed} timed out");
+    m.workload()
+        .validate(m.memory())
+        .unwrap_or_else(|e| panic!("{name}/{preset}/{cores}c/s{seed}: {e}"));
+}
+
+#[test]
+fn varied_core_counts_preserve_invariants() {
+    for cores in [1, 2, 3, 8, 17] {
+        for name in ["arrayswap", "queue", "bst", "intruder"] {
+            check(name, Preset::W, cores, 5);
+        }
+    }
+}
+
+#[test]
+fn varied_seeds_preserve_invariants() {
+    for seed in 0..6 {
+        check("hashmap", Preset::C, 8, seed);
+        check("vacation-h", Preset::C, 8, seed);
+    }
+}
+
+#[test]
+fn tight_retry_budget_still_correct() {
+    // max_retries = 1: everything contended goes through fallback quickly.
+    for name in ["mwobject", "sorted-list", "labyrinth"] {
+        let w = by_name(name, Size::Tiny, 3).unwrap();
+        let mut cfg = Preset::C.config(8, 1);
+        cfg.seed = 3;
+        let mut m = Machine::new(cfg, w);
+        let stats = m.run();
+        assert!(!stats.timed_out);
+        m.workload().validate(m.memory()).unwrap();
+    }
+}
+
+#[test]
+fn generous_retry_budget_still_correct() {
+    for name in ["mwobject", "deque"] {
+        let w = by_name(name, Size::Tiny, 3).unwrap();
+        let mut cfg = Preset::B.config(8, 10);
+        cfg.seed = 3;
+        let mut m = Machine::new(cfg, w);
+        let stats = m.run();
+        assert!(!stats.timed_out);
+        m.workload().validate(m.memory()).unwrap();
+    }
+}
+
+#[test]
+fn stats_are_internally_consistent() {
+    let w = by_name("queue", Size::Tiny, 9).unwrap();
+    let mut cfg = Preset::C.config(8, 4);
+    cfg.seed = 9;
+    let mut m = Machine::new(cfg, w);
+    let s = m.run();
+    // Commit-by-retries (non-fallback) plus fallback equals total commits.
+    let by_retries: u64 = s.commits_by_retries.values().sum();
+    assert_eq!(by_retries + s.commits_by_mode.fallback, s.commits());
+    // Shares are probabilities.
+    for v in [s.first_retry_share(), s.fallback_share(), s.immutable_retry_ratio()] {
+        assert!((0.0..=1.0).contains(&v), "share out of range: {v}");
+    }
+    // Energy is positive and consistent.
+    assert!(s.energy.total() > 0.0);
+    assert!(s.energy.total() >= s.energy.static_energy);
+}
+
+// `check` must reject unknown names via by_name's Option; make sure the
+// helper's unwrap panics loudly rather than silently skipping.
+#[test]
+#[should_panic]
+fn unknown_benchmark_panics() {
+    check("stamp-model", Preset::B, 2, 1);
+}

@@ -1,0 +1,301 @@
+//! Property-based tests over the core data structures and the end-to-end
+//! machine.
+
+use clear_core::{Alt, Crt, Ert};
+use clear_isa::{AluOp, ProgramBuilder, Reg, Vm};
+use clear_mem::{lock_order, CacheGeometry, LexKey, LineAddr, SetAssocCache};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+proptest! {
+    /// lock_order: sorted by (directory set, line), duplicate-free, with
+    /// exactly one group-terminator per directory set.
+    #[test]
+    fn lock_order_is_sorted_deduped_grouped(
+        lines in prop::collection::vec(0u64..512, 0..40),
+        sets_log in 1u32..6,
+    ) {
+        let dir = CacheGeometry::new(1 << sets_log, 4);
+        let lines: Vec<LineAddr> = lines.into_iter().map(LineAddr).collect();
+        let order = lock_order(dir, &lines);
+
+        // Sorted & unique.
+        let keys: Vec<LexKey> = order.iter().map(|(l, _)| LexKey::new(dir, *l)).collect();
+        prop_assert!(keys.windows(2).all(|w| w[0] < w[1]));
+
+        // Same line set as the (deduped) input.
+        let in_set: HashSet<u64> = lines.iter().map(|l| l.0).collect();
+        let out_set: HashSet<u64> = order.iter().map(|(l, _)| l.0).collect();
+        prop_assert_eq!(in_set, out_set);
+
+        // One terminator per contiguous group.
+        let mut terminators_per_set = std::collections::HashMap::new();
+        for (l, last) in &order {
+            if *last {
+                *terminators_per_set.entry(dir.set_index(*l)).or_insert(0) += 1;
+            }
+        }
+        let distinct_sets: HashSet<usize> =
+            order.iter().map(|(l, _)| dir.set_index(*l)).collect();
+        prop_assert_eq!(terminators_per_set.len(), distinct_sets.len());
+        prop_assert!(terminators_per_set.values().all(|&c| c == 1));
+    }
+
+    /// SetAssocCache never exceeds per-set capacity and always finds what
+    /// it inserted most recently within a set's capacity window.
+    #[test]
+    fn cache_respects_capacity(
+        ops in prop::collection::vec(0u64..64, 1..200),
+        ways in 1usize..4,
+    ) {
+        let geom = CacheGeometry::new(8, ways);
+        let mut cache: SetAssocCache<u64> = SetAssocCache::new(geom);
+        for (i, &line) in ops.iter().enumerate() {
+            cache.insert(LineAddr(line), i as u64);
+            prop_assert!(cache.len() <= geom.lines());
+            // Just-inserted line is always resident with its payload.
+            prop_assert_eq!(cache.get(LineAddr(line)), Some(&(i as u64)));
+        }
+    }
+
+    /// fits_simultaneously agrees with actually inserting pinned lines.
+    #[test]
+    fn fits_matches_pinned_insertion(
+        lines in prop::collection::hash_set(0u64..64, 1..20),
+        ways in 1usize..4,
+    ) {
+        let geom = CacheGeometry::new(4, ways);
+        let lines: Vec<LineAddr> = lines.into_iter().map(LineAddr).collect();
+        let fits = SetAssocCache::<()>::fits_simultaneously(geom, lines.iter().copied());
+        let mut cache: SetAssocCache<()> = SetAssocCache::new(geom);
+        let mut all_ok = true;
+        for &l in &lines {
+            if cache.insert_respecting(l, (), |_| true).is_err() {
+                all_ok = false;
+                break;
+            }
+        }
+        prop_assert_eq!(fits, all_ok);
+    }
+
+    /// ALT keeps entries in lexicographical order with sticky write bits
+    /// and bounded size, for any observation sequence.
+    #[test]
+    fn alt_order_and_stickiness(
+        obs in prop::collection::vec((0u64..128, any::<bool>()), 1..64),
+    ) {
+        let dir = CacheGeometry::new(16, 4);
+        let mut alt = Alt::new(32, dir);
+        let mut written_lines = HashSet::new();
+        for (line, written) in &obs {
+            if alt.observe(LineAddr(*line), *written).is_ok() && *written {
+                written_lines.insert(*line);
+            }
+        }
+        prop_assert!(alt.len() <= 32);
+        let keys: Vec<LexKey> =
+            alt.iter().map(|e| LexKey::new(dir, e.line)).collect();
+        prop_assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        for e in alt.iter() {
+            prop_assert_eq!(e.needs_locking, written_lines.contains(&e.line.0));
+        }
+    }
+
+    /// ERT is bounded and sq-full counters saturate within [0, 3].
+    #[test]
+    fn ert_bounded_and_saturating(
+        keys in prop::collection::vec(0u32..64, 1..100),
+        bumps in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut ert = Ert::new(16);
+        for (k, b) in keys.iter().zip(bumps.iter().cycle()) {
+            let e = ert.entry(*k);
+            if *b {
+                e.bump_sq_full();
+            } else {
+                e.decay_sq_full();
+            }
+            prop_assert!(e.sq_full() <= 3);
+        }
+        prop_assert!(ert.len() <= 16);
+    }
+
+    /// CRT: record-then-take round-trips; take empties.
+    #[test]
+    fn crt_record_take_roundtrip(lines in prop::collection::vec(0u64..256, 1..64)) {
+        let mut crt = Crt::new(8, 8);
+        for &l in &lines {
+            crt.record(LineAddr(l));
+            prop_assert!(crt.contains(LineAddr(l)));
+            prop_assert!(crt.take(LineAddr(l)));
+            prop_assert!(!crt.contains(LineAddr(l)));
+            prop_assert!(!crt.take(LineAddr(l)));
+        }
+        prop_assert!(crt.is_empty());
+    }
+
+    /// The VM computes ALU chains exactly like the host.
+    #[test]
+    fn vm_matches_host_arithmetic(
+        a in any::<u64>(),
+        b in any::<u64>(),
+        ops in prop::collection::vec(0u8..9, 1..20),
+    ) {
+        let all = [
+            AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::And, AluOp::Or,
+            AluOp::Xor, AluOp::Shl, AluOp::Shr, AluOp::Rem,
+        ];
+        let mut builder = ProgramBuilder::new();
+        let mut expect = a;
+        for &o in &ops {
+            let op = all[o as usize];
+            builder.alu(op, Reg(0), Reg(0), Reg(1));
+            expect = op.apply(expect, b);
+        }
+        builder.xend();
+        let mut vm = Vm::new(Arc::new(builder.build()));
+        vm.set_reg(Reg(0), a);
+        vm.set_reg(Reg(1), b);
+        for _ in 0..ops.len() {
+            vm.step();
+        }
+        prop_assert_eq!(vm.reg(Reg(0)), expect);
+    }
+
+    /// Indirection bits propagate through any ALU dag: a register is
+    /// indirect iff a load feeds it transitively.
+    #[test]
+    fn indirection_propagation_is_transitive(
+        edges in prop::collection::vec((0u8..8, 0u8..8, 0u8..8), 1..24),
+    ) {
+        let mut builder = ProgramBuilder::new();
+        // r7 becomes indirect via a load; r0..r6 start direct.
+        builder.ld(Reg(7), Reg(6), 0);
+        let mut indirect = [false; 8];
+        indirect[7] = true;
+        for (d, s1, s2) in &edges {
+            builder.add(Reg(*d), Reg(*s1), Reg(*s2));
+            indirect[*d as usize] = indirect[*s1 as usize] || indirect[*s2 as usize];
+        }
+        builder.xend();
+        let mut vm = Vm::new(Arc::new(builder.build()));
+        let mut mem = clear_mem::Memory::new();
+        let addr = mem.alloc_words(1);
+        vm.set_reg(Reg(6), addr.0);
+        match vm.step() {
+            clear_isa::Effect::Load { addr, .. } => vm.finish_load(mem.load_word(addr)),
+            e => panic!("expected load, got {e:?}"),
+        }
+        for _ in 0..edges.len() {
+            vm.step();
+        }
+        for r in 0..8u8 {
+            prop_assert_eq!(vm.reg_indirect(Reg(r)), indirect[r as usize], "r{}", r);
+        }
+    }
+}
+
+mod machine_props {
+    use super::*;
+    use clear_isa::{ArId, ArInvocation, ArSpec, Mutability, Program, Workload, WorkloadMeta};
+    use clear_machine::{Machine, Preset};
+    use clear_mem::{Addr, Memory};
+
+    /// Random mix of private and shared counter increments.
+    struct MixedCounters {
+        shared: Addr,
+        private: Vec<Addr>,
+        plan: Vec<Vec<bool>>, // per thread: true = shared op
+        cursor: Vec<usize>,
+        program: Arc<Program>,
+        shared_ops: u64,
+    }
+
+    impl Workload for MixedCounters {
+        fn meta(&self) -> WorkloadMeta {
+            WorkloadMeta {
+                name: "mixed-counters".into(),
+                ars: vec![ArSpec {
+                    id: ArId(0),
+                    name: "inc".into(),
+                    mutability: Mutability::Immutable,
+                }],
+            }
+        }
+        fn setup(&mut self, mem: &mut Memory, threads: usize) {
+            self.shared = mem.alloc_words(1);
+            self.private = (0..threads).map(|_| mem.alloc_words(1)).collect();
+            self.cursor = vec![0; threads];
+        }
+        fn next_ar(&mut self, tid: usize, _mem: &Memory) -> Option<ArInvocation> {
+            let i = self.cursor[tid];
+            let shared = *self.plan[tid].get(i)?;
+            self.cursor[tid] += 1;
+            if shared {
+                self.shared_ops += 1;
+            }
+            let target = if shared { self.shared } else { self.private[tid] };
+            Some(ArInvocation {
+                ar: ArId(0),
+                program: Arc::clone(&self.program),
+                args: vec![(Reg(0), target.0)],
+                think_cycles: 7,
+                static_footprint: None,
+            })
+        }
+        fn validate(&self, mem: &Memory) -> Result<(), String> {
+            let shared = mem.load_word(self.shared);
+            if shared != self.shared_ops {
+                return Err(format!("shared {shared} != {}", self.shared_ops));
+            }
+            for (t, &p) in self.private.iter().enumerate() {
+                let got = mem.load_word(p);
+                let want = self.plan[t].iter().filter(|s| !**s).count() as u64;
+                if got != want {
+                    return Err(format!("private[{t}] {got} != {want}"));
+                }
+            }
+            Ok(())
+        }
+    }
+
+    fn inc_program() -> Arc<Program> {
+        let mut p = ProgramBuilder::new();
+        p.ld(Reg(1), Reg(0), 0).addi(Reg(1), Reg(1), 1).st(Reg(0), 0, Reg(1)).xend();
+        Arc::new(p.build())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Any random plan of shared/private increments is conserved under
+        /// every preset — the fundamental atomicity property, fuzzed.
+        #[test]
+        fn random_plans_conserve_counters(
+            plan in prop::collection::vec(
+                prop::collection::vec(any::<bool>(), 1..20), 2..5),
+            preset_idx in 0usize..4,
+            seed in 0u64..1000,
+        ) {
+            let threads = plan.len();
+            let w = MixedCounters {
+                shared: Addr::NULL,
+                private: vec![],
+                plan,
+                cursor: vec![],
+                program: inc_program(),
+                shared_ops: 0,
+            };
+            let preset = Preset::ALL[preset_idx];
+            let mut cfg = preset.config(threads, 3);
+            cfg.seed = seed;
+            let mut m = Machine::new(cfg, Box::new(w));
+            let stats = m.run();
+            prop_assert!(!stats.timed_out);
+            m.workload().validate(m.memory()).map_err(|e| {
+                TestCaseError::fail(format!("{preset}: {e}"))
+            })?;
+        }
+    }
+}
