@@ -1,61 +1,64 @@
 //! Microbenchmarks of the coherence substrate: probe/apply throughput and
 //! cacheline locking round-trips.
 
+use clear_bench::timing::{bench_function, black_box};
 use clear_coherence::{Access, CoherenceConfig, CoherenceSystem, CoreId, TxTrack};
 use clear_mem::LineAddr;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-fn bench_access(c: &mut Criterion) {
-    c.bench_function("coherence/read_hit", |b| {
-        let mut sys = CoherenceSystem::new(CoherenceConfig::table2(32));
-        sys.apply(CoreId(0), LineAddr(100), Access::Read, TxTrack::None).unwrap();
-        b.iter(|| {
-            black_box(
-                sys.apply(CoreId(0), LineAddr(100), Access::Read, TxTrack::None)
-                    .unwrap()
-                    .latency,
-            )
-        })
+fn bench_access() {
+    let mut sys = CoherenceSystem::new(CoherenceConfig::table2(32));
+    sys.apply(CoreId(0), LineAddr(100), Access::Read, TxTrack::None)
+        .unwrap();
+    bench_function("coherence/read_hit", 1_000_000, || {
+        black_box(
+            sys.apply(CoreId(0), LineAddr(100), Access::Read, TxTrack::None)
+                .unwrap()
+                .latency,
+        )
     });
-    c.bench_function("coherence/write_pingpong_2cores", |b| {
-        let mut sys = CoherenceSystem::new(CoherenceConfig::table2(32));
-        let mut who = 0usize;
-        b.iter(|| {
-            who ^= 1;
-            black_box(
-                sys.apply(CoreId(who), LineAddr(5), Access::Write, TxTrack::None)
-                    .unwrap()
-                    .latency,
-            )
-        })
+
+    let mut sys = CoherenceSystem::new(CoherenceConfig::table2(32));
+    let mut who = 0usize;
+    bench_function("coherence/write_pingpong_2cores", 500_000, || {
+        who ^= 1;
+        black_box(
+            sys.apply(CoreId(who), LineAddr(5), Access::Write, TxTrack::None)
+                .unwrap()
+                .latency,
+        )
     });
-    c.bench_function("coherence/probe_32_sharers", |b| {
-        let mut sys = CoherenceSystem::new(CoherenceConfig::table2(32));
-        for core in 0..32 {
-            sys.apply(CoreId(core), LineAddr(9), Access::Read, TxTrack::Read).unwrap();
+
+    let mut sys = CoherenceSystem::new(CoherenceConfig::table2(32));
+    for core in 0..32 {
+        sys.apply(CoreId(core), LineAddr(9), Access::Read, TxTrack::Read)
+            .unwrap();
+    }
+    bench_function("coherence/probe_32_sharers", 500_000, || {
+        black_box(
+            sys.probe(CoreId(0), LineAddr(9), Access::Write)
+                .remote_impacts
+                .len(),
+        )
+    });
+}
+
+fn bench_locking() {
+    let mut sys = CoherenceSystem::new(CoherenceConfig::table2(32));
+    bench_function("coherence/lock_unlock", 500_000, || {
+        sys.lock_line(CoreId(0), LineAddr(42)).unwrap();
+        sys.unlock_line(CoreId(0), LineAddr(42));
+    });
+
+    let mut sys = CoherenceSystem::new(CoherenceConfig::table2(32));
+    bench_function("coherence/lock_32_ordered", 50_000, || {
+        for i in 0..32u64 {
+            sys.lock_line(CoreId(1), LineAddr(1000 + i)).unwrap();
         }
-        b.iter(|| black_box(sys.probe(CoreId(0), LineAddr(9), Access::Write).remote_impacts.len()))
+        sys.unlock_all(CoreId(1));
     });
 }
 
-fn bench_locking(c: &mut Criterion) {
-    c.bench_function("coherence/lock_unlock", |b| {
-        let mut sys = CoherenceSystem::new(CoherenceConfig::table2(32));
-        b.iter(|| {
-            sys.lock_line(CoreId(0), LineAddr(42)).unwrap();
-            sys.unlock_line(CoreId(0), LineAddr(42));
-        })
-    });
-    c.bench_function("coherence/lock_32_ordered", |b| {
-        let mut sys = CoherenceSystem::new(CoherenceConfig::table2(32));
-        b.iter(|| {
-            for i in 0..32u64 {
-                sys.lock_line(CoreId(1), LineAddr(1000 + i)).unwrap();
-            }
-            sys.unlock_all(CoreId(1));
-        })
-    });
+fn main() {
+    bench_access();
+    bench_locking();
 }
-
-criterion_group!(benches, bench_access, bench_locking);
-criterion_main!(benches);

@@ -2,23 +2,19 @@
 //! ARs, with and without CLEAR.
 
 use clear_bench::run_once;
+use clear_bench::timing::bench_function;
 use clear_machine::Preset;
 use clear_workloads::Size;
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_machine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_throughput");
-    g.sample_size(10);
+fn main() {
     for preset in [Preset::B, Preset::C] {
-        g.bench_function(format!("arrayswap_8core_{preset}"), |b| {
-            b.iter(|| run_once("arrayswap", preset, 8, 5, Size::Tiny, 1))
-        });
-        g.bench_function(format!("bst_8core_{preset}"), |b| {
-            b.iter(|| run_once("bst", preset, 8, 5, Size::Tiny, 1))
+        bench_function(
+            &format!("sim_throughput/arrayswap_8core_{preset}"),
+            20,
+            || run_once("arrayswap", preset, 8, 5, Size::Tiny, 1),
+        );
+        bench_function(&format!("sim_throughput/bst_8core_{preset}"), 20, || {
+            run_once("bst", preset, 8, 5, Size::Tiny, 1)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_machine);
-criterion_main!(benches);

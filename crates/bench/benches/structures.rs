@@ -1,59 +1,58 @@
 //! Microbenchmarks of CLEAR's hardware structures (ERT, ALT, CRT): the
 //! per-access cost that would sit on a real pipeline's critical path.
 
+use clear_bench::timing::{bench_function, black_box};
 use clear_core::{Alt, Crt, Ert};
 use clear_mem::{CacheGeometry, LineAddr};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-fn bench_ert(c: &mut Criterion) {
-    c.bench_function("ert/lookup_hit", |b| {
-        let mut ert = Ert::new(16);
-        for k in 0..16 {
-            ert.entry(k);
-        }
-        b.iter(|| black_box(ert.lookup(black_box(7))).is_some())
+fn bench_ert() {
+    let mut ert = Ert::new(16);
+    for k in 0..16 {
+        ert.entry(k);
+    }
+    bench_function("ert/lookup_hit", 1_000_000, || {
+        black_box(ert.lookup(black_box(7))).is_some()
     });
-    c.bench_function("ert/entry_miss_evict", |b| {
-        let mut ert = Ert::new(16);
-        let mut k = 0u32;
-        b.iter(|| {
-            k = k.wrapping_add(1);
-            ert.entry(black_box(k)).is_convertible
-        })
+
+    let mut ert = Ert::new(16);
+    let mut k = 0u32;
+    bench_function("ert/entry_miss_evict", 1_000_000, || {
+        k = k.wrapping_add(1);
+        ert.entry(black_box(k)).is_convertible
     });
 }
 
-fn bench_alt(c: &mut Criterion) {
+fn bench_alt() {
     let dir = CacheGeometry::new(8192, 16);
-    c.bench_function("alt/observe_32_lines", |b| {
-        b.iter(|| {
-            let mut alt = Alt::new(32, dir);
-            for i in 0..32u64 {
-                alt.observe(LineAddr(i * 37), i % 3 == 0).unwrap();
-            }
-            black_box(alt.len())
-        })
-    });
-    c.bench_function("alt/lock_list", |b| {
+    bench_function("alt/observe_32_lines", 100_000, || {
         let mut alt = Alt::new(32, dir);
         for i in 0..32u64 {
-            alt.observe(LineAddr(i * 37), i % 2 == 0).unwrap();
+            alt.observe(LineAddr(i * 37), i % 3 == 0).unwrap();
         }
-        b.iter(|| black_box(alt.lock_list()).len())
+        black_box(alt.len())
+    });
+
+    let mut alt = Alt::new(32, dir);
+    for i in 0..32u64 {
+        alt.observe(LineAddr(i * 37), i % 2 == 0).unwrap();
+    }
+    bench_function("alt/lock_list", 100_000, || {
+        black_box(alt.lock_list()).len()
     });
 }
 
-fn bench_crt(c: &mut Criterion) {
-    c.bench_function("crt/record_and_take", |b| {
-        let mut crt = Crt::new(8, 8);
-        let mut i = 0u64;
-        b.iter(|| {
-            i = i.wrapping_add(1);
-            crt.record(LineAddr(i % 128));
-            black_box(crt.take(LineAddr((i + 64) % 128)))
-        })
+fn bench_crt() {
+    let mut crt = Crt::new(8, 8);
+    let mut i = 0u64;
+    bench_function("crt/record_and_take", 1_000_000, || {
+        i = i.wrapping_add(1);
+        crt.record(LineAddr(i % 128));
+        black_box(crt.take(LineAddr((i + 64) % 128)))
     });
 }
 
-criterion_group!(benches, bench_ert, bench_alt, bench_crt);
-criterion_main!(benches);
+fn main() {
+    bench_ert();
+    bench_alt();
+    bench_crt();
+}

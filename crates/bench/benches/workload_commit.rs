@@ -2,22 +2,16 @@
 //! (a smoke-level version of the Fig. 8 sweep suitable for `cargo bench`).
 
 use clear_bench::run_once;
+use clear_bench::timing::bench_function;
 use clear_machine::Preset;
 use clear_workloads::Size;
-use criterion::{criterion_group, criterion_main, Criterion};
 
-fn bench_workloads(c: &mut Criterion) {
-    let mut g = c.benchmark_group("workload_commit");
-    g.sample_size(10);
+fn main() {
     for name in ["mwobject", "queue", "intruder", "labyrinth"] {
         for preset in Preset::ALL {
-            g.bench_function(format!("{name}_{preset}"), |b| {
-                b.iter(|| run_once(name, preset, 8, 5, Size::Tiny, 1))
+            bench_function(&format!("workload_commit/{name}_{preset}"), 20, || {
+                run_once(name, preset, 8, 5, Size::Tiny, 1)
             });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_workloads);
-criterion_main!(benches);

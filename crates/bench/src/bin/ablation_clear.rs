@@ -1,67 +1,8 @@
-//! Ablation study of CLEAR's design choices (not a paper figure; DESIGN.md
-//! commits to these):
+//! CLEAR design-choice ablations (CRT, lock policy, ALT, ERT).
 //!
-//! * **CRT** on/off — does locking previously-conflicting reads help S-CL?
-//! * **S-CL lock policy** — write-set+CRT (the paper's choice) vs locking
-//!   every accessed line (the rejected §4.4.2 alternative);
-//! * **ALT size** — 8/32/64 entries (footprint convertibility bound);
-//! * **ERT size** — 4 vs 16 entries (static-AR working set).
-
-use clear_bench::{run_once, SuiteOptions};
-use clear_core::{ClearConfig, SclLockPolicy};
-use clear_machine::{Machine, Preset, RunStats};
-use clear_workloads::by_name;
-
-fn run_variant(
-    name: &str,
-    opts: &SuiteOptions,
-    tweak: impl Fn(&mut ClearConfig),
-) -> RunStats {
-    let w = by_name(name, opts.size, opts.seeds[0]).expect("known benchmark");
-    let mut cfg = Preset::C.config(opts.cores, 5);
-    cfg.seed = opts.seeds[0];
-    tweak(cfg.clear.as_mut().expect("preset C has CLEAR"));
-    let mut m = Machine::new(cfg, w);
-    let s = m.run();
-    m.workload().validate(m.memory()).expect("invariant");
-    s
-}
+//! Thin wrapper over the `ablation` experiment in the `clear-harness`
+//! registry; `cargo run -p clear-harness -- run ablation` is equivalent.
 
 fn main() {
-    let opts = SuiteOptions::from_args();
-    let apps = ["arrayswap", "bst", "hashmap", "intruder", "labyrinth", "mwobject"];
-    println!("=== CLEAR ablations (configuration C, retries=5) ===");
-    println!(
-        "{:12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "benchmark", "baseline-B", "C", "C/no-CRT", "C/lock-all", "C/ALT-8", "C/ALT-64", "C/ERT-4"
-    );
-    for name in apps {
-        if !opts.benchmarks.contains(&name) {
-            continue;
-        }
-        let b = run_once(name, Preset::B, opts.cores, 5, opts.size, opts.seeds[0]);
-        let c = run_variant(name, &opts, |_| {});
-        let no_crt = run_variant(name, &opts, |cc| {
-            cc.crt_sets = 1;
-            cc.crt_ways = 1;
-        });
-        let lock_all = run_variant(name, &opts, |cc| {
-            cc.scl_lock_policy = SclLockPolicy::AllAccessed;
-        });
-        let alt8 = run_variant(name, &opts, |cc| cc.alt_entries = 8);
-        let alt64 = run_variant(name, &opts, |cc| cc.alt_entries = 64);
-        let ert4 = run_variant(name, &opts, |cc| cc.ert_entries = 4);
-        println!(
-            "{:12} {:>12} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
-            name,
-            b.total_cycles,
-            c.total_cycles as f64 / b.total_cycles as f64,
-            no_crt.total_cycles as f64 / b.total_cycles as f64,
-            lock_all.total_cycles as f64 / b.total_cycles as f64,
-            alt8.total_cycles as f64 / b.total_cycles as f64,
-            alt64.total_cycles as f64 / b.total_cycles as f64,
-            ert4.total_cycles as f64 / b.total_cycles as f64,
-        );
-    }
-    println!("\ncolumns (except baseline-B, in cycles) are normalized to B; lower is better");
+    clear_bench::experiments::run_to_stdout("ablation", &clear_bench::SuiteOptions::from_args());
 }

@@ -1,47 +1,11 @@
-//! Per-atomic-region breakdown: connects the static Table 1 classification
-//! of every AR to its dynamic outcome under CLEAR — which ARs converted to
-//! NS-CL/S-CL, which stayed speculative, which fell back.
+//! Per-AR dynamic outcome under CLEAR.
 //!
-//! ```text
-//! cargo run --release -p clear-bench --bin ar_breakdown -- --bench kmeans-h
-//! ```
-
-use clear_bench::SuiteOptions;
-use clear_machine::{Machine, Preset};
-use clear_workloads::by_name;
+//! Thin wrapper over the `ar-breakdown` experiment in the `clear-harness`
+//! registry; `cargo run -p clear-harness -- run ar-breakdown` is equivalent.
 
 fn main() {
-    let opts = SuiteOptions::from_args();
-    for name in &opts.benchmarks {
-        let w = by_name(name, opts.size, opts.seeds[0]).expect("known benchmark");
-        let meta = w.meta();
-        let mut cfg = Preset::C.config(opts.cores, 5);
-        cfg.seed = opts.seeds[0];
-        let mut m = Machine::new(cfg, w);
-        let stats = m.run();
-        m.workload().validate(m.memory()).expect("invariant");
-
-        println!("\n=== {name} (configuration C) ===");
-        println!(
-            "{:16} {:18} {:>8} {:>8} {:>7} {:>7} {:>7} {:>9}",
-            "AR", "static class", "commits", "aborts", "spec%", "S-CL%", "NS-CL%", "fallback%"
-        );
-        for spec in &meta.ars {
-            let e = stats.ar_stats.get(&spec.id.0).copied().unwrap_or_default();
-            let total = e.by_mode.total().max(1) as f64;
-            println!(
-                "{:16} {:18} {:>8} {:>8} {:>7.1} {:>7.1} {:>7.1} {:>9.1}",
-                spec.name,
-                spec.mutability.to_string(),
-                e.commits,
-                e.aborts,
-                100.0 * e.by_mode.speculative as f64 / total,
-                100.0 * e.by_mode.scl as f64 / total,
-                100.0 * e.by_mode.nscl as f64 / total,
-                100.0 * e.by_mode.fallback as f64 / total,
-            );
-        }
-    }
-    println!("\nimmutable ARs should convert to NS-CL under contention; likely-immutable");
-    println!("and small mutable ARs to S-CL; oversized ARs stay speculative/fallback");
+    clear_bench::experiments::run_to_stdout(
+        "ar-breakdown",
+        &clear_bench::SuiteOptions::from_args(),
+    );
 }

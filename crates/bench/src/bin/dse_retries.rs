@@ -1,42 +1,8 @@
-//! Design-space exploration of the retry threshold (§6 of the paper: "we
-//! run from 1 to 10 retries for all benchmarks and select the
-//! best-performing one"). Prints the full sensitivity curve per benchmark
-//! so the best-of choice used by the figure harnesses is auditable.
-
-use clear_bench::{run_once, trimmed_mean, SuiteOptions};
-use clear_machine::Preset;
+//! Retry-threshold sensitivity curves.
+//!
+//! Thin wrapper over the `dse-retries` experiment in the `clear-harness`
+//! registry; `cargo run -p clear-harness -- run dse-retries` is equivalent.
 
 fn main() {
-    let mut opts = SuiteOptions::from_args();
-    if opts.retry_sweep.len() <= 3 {
-        opts.retry_sweep = (1..=10).collect();
-    }
-    println!("=== Retry-threshold design-space exploration (cycles, per threshold) ===");
-    for name in &opts.benchmarks {
-        println!("\n{name}:");
-        print!("{:>4}", "cfg");
-        for r in &opts.retry_sweep {
-            print!(" {:>10}", format!("r={r}"));
-        }
-        println!(" {:>6}", "best");
-        for preset in Preset::ALL {
-            print!("{:>4}", preset.letter());
-            let mut best = (0u32, f64::INFINITY);
-            for &r in &opts.retry_sweep {
-                let cycles: Vec<f64> = opts
-                    .seeds
-                    .iter()
-                    .map(|&s| {
-                        run_once(name, preset, opts.cores, r, opts.size, s).total_cycles as f64
-                    })
-                    .collect();
-                let mean = trimmed_mean(&cycles);
-                if mean < best.1 {
-                    best = (r, mean);
-                }
-                print!(" {:>10.0}", mean);
-            }
-            println!(" {:>6}", format!("r={}", best.0));
-        }
-    }
+    clear_bench::experiments::run_to_stdout("dse-retries", &clear_bench::SuiteOptions::from_args());
 }

@@ -1,32 +1,8 @@
-//! Figure 1 — ratio of retrying ARs that access ≤ 32 cachelines and whose
-//! footprint is identical between the first attempt and the first retry.
+//! Figure 1: share of retried ARs with a small immutable footprint.
 //!
-//! Measured on the requester-wins baseline (the motivation figure predates
-//! CLEAR). The paper reports a 60.2% average across the suite.
-
-use clear_bench::{run_once, trimmed_mean, SuiteOptions};
-use clear_machine::Preset;
+//! Thin wrapper over the `fig01` experiment in the `clear-harness`
+//! registry; `cargo run -p clear-harness -- run fig01` is equivalent.
 
 fn main() {
-    let opts = SuiteOptions::from_args();
-    println!("=== Figure 1: ARs that do not change their accessed cachelines on the first retry ===");
-    println!("{:14} {:>10} {:>12} {:>8}", "benchmark", "retried", "immutable", "ratio");
-    let mut ratios = Vec::new();
-    for name in &opts.benchmarks {
-        let runs: Vec<_> = opts
-            .seeds
-            .iter()
-            .map(|&s| run_once(name, Preset::B, opts.cores, 5, opts.size, s))
-            .collect();
-        let retried: u64 = runs.iter().map(|r| r.retried_ars).sum();
-        let immutable: u64 = runs.iter().map(|r| r.immutable_small_retries).sum();
-        let ratio = trimmed_mean(
-            &runs.iter().map(|r| r.immutable_retry_ratio()).collect::<Vec<_>>(),
-        );
-        ratios.push(ratio);
-        println!("{:14} {:>10} {:>12} {:>8.2}", name, retried, immutable, ratio);
-    }
-    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
-    println!("{:14} {:>10} {:>12} {:>8.2}", "average", "", "", avg);
-    println!("\npaper: 60.2% of ARs that abort keep a small immutable footprint on the first retry");
+    clear_bench::experiments::run_to_stdout("fig01", &clear_bench::SuiteOptions::from_args());
 }

@@ -1,67 +1,8 @@
-//! Figure 8 — execution time normalized to requester-wins (B), including
-//! the share of time spent running aborted work in discovery.
+//! Figure 8: execution time normalized to requester-wins.
 //!
-//! Paper headline: PowerTM −12.7% vs B; CLEAR −27.4% (over B) and −35.0%
-//! (over PowerTM, i.e. configuration W vs B); discovery overhead usually
-//! < 1%, peaking at ~3.4% for intruder.
-
-use clear_bench::{geomean, print_table, run_suite, SuiteOptions};
+//! Thin wrapper over the `fig08` experiment in the `clear-harness`
+//! registry; `cargo run -p clear-harness -- run fig08` is equivalent.
 
 fn main() {
-    let opts = SuiteOptions::from_args();
-    let suite = run_suite(&opts);
-
-    let mut rows = Vec::new();
-    let mut norms = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
-    let mut disc_rows = Vec::new();
-    for cells in &suite {
-        let base = cells[0].cycles();
-        let mut vals = [0.0; 4];
-        let mut disc = [0.0; 4];
-        for (i, cell) in cells.iter().enumerate() {
-            vals[i] = cell.cycles() / base;
-            norms[i].push(vals[i]);
-            disc[i] = cell.mean(|r| {
-                r.discovery_failed_cycles as f64
-                    / (r.total_cycles as f64 * opts.cores as f64)
-            });
-        }
-        rows.push((cells[0].name.clone(), vals));
-        disc_rows.push((cells[0].name.clone(), disc));
-    }
-    let agg = [
-        geomean(&norms[0]),
-        geomean(&norms[1]),
-        geomean(&norms[2]),
-        geomean(&norms[3]),
-    ];
-    print_table(
-        "Figure 8: Normalized execution time",
-        "lower is better; normalized to B",
-        &rows,
-        ("geomean", agg),
-    );
-    print_table(
-        "Figure 8 overlay: time running aborted in discovery",
-        "fraction of machine time",
-        &disc_rows,
-        (
-            "average",
-            [0, 1, 2, 3].map(|i| {
-                disc_rows.iter().map(|r| r.1[i]).sum::<f64>() / disc_rows.len() as f64
-            }),
-        ),
-    );
-    println!("\nbest retry threshold per cell:");
-    for cells in &suite {
-        println!(
-            "  {:14} B={} P={} C={} W={}",
-            cells[0].name,
-            cells[0].best_retries,
-            cells[1].best_retries,
-            cells[2].best_retries,
-            cells[3].best_retries
-        );
-    }
-    println!("\npaper: P -12.7%, C -27.4%, W -35.0% vs B (geomean)");
+    clear_bench::experiments::run_to_stdout("fig08", &clear_bench::SuiteOptions::from_args());
 }

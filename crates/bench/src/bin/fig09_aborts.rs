@@ -1,28 +1,8 @@
-//! Figure 9 — aborts per committed transaction.
+//! Figure 9: aborts per committed transaction.
 //!
-//! Paper headline: B 7.9 → P 6.6 → C 1.6 → W 2.3.
-
-use clear_bench::{print_table, run_suite, SuiteOptions};
+//! Thin wrapper over the `fig09` experiment in the `clear-harness`
+//! registry; `cargo run -p clear-harness -- run fig09` is equivalent.
 
 fn main() {
-    let opts = SuiteOptions::from_args();
-    let suite = run_suite(&opts);
-    let mut rows = Vec::new();
-    let mut sums = [0.0; 4];
-    for cells in &suite {
-        let mut vals = [0.0; 4];
-        for (i, cell) in cells.iter().enumerate() {
-            vals[i] = cell.mean(|r| r.aborts_per_commit());
-            sums[i] += vals[i];
-        }
-        rows.push((cells[0].name.clone(), vals));
-    }
-    let n = rows.len() as f64;
-    print_table(
-        "Figure 9: Aborts per committed transaction",
-        "lower is better",
-        &rows,
-        ("average", sums.map(|s| s / n)),
-    );
-    println!("\npaper: B 7.9, P 6.6, C 1.6, W 2.3 (average)");
+    clear_bench::experiments::run_to_stdout("fig09", &clear_bench::SuiteOptions::from_args());
 }

@@ -1,35 +1,8 @@
-//! Figure 10 — energy consumption normalized to requester-wins.
+//! Figure 10: energy normalized to requester-wins.
 //!
-//! Paper headline: C −26.4% vs B; W −30.6% (both from shorter runtime and
-//! fewer wasted instructions).
-
-use clear_bench::{geomean, print_table, run_suite, SuiteOptions};
+//! Thin wrapper over the `fig10` experiment in the `clear-harness`
+//! registry; `cargo run -p clear-harness -- run fig10` is equivalent.
 
 fn main() {
-    let opts = SuiteOptions::from_args();
-    let suite = run_suite(&opts);
-    let mut rows = Vec::new();
-    let mut norms = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
-    for cells in &suite {
-        let base = cells[0].energy();
-        let mut vals = [0.0; 4];
-        for (i, cell) in cells.iter().enumerate() {
-            vals[i] = cell.energy() / base;
-            norms[i].push(vals[i]);
-        }
-        rows.push((cells[0].name.clone(), vals));
-    }
-    let agg = [
-        geomean(&norms[0]),
-        geomean(&norms[1]),
-        geomean(&norms[2]),
-        geomean(&norms[3]),
-    ];
-    print_table(
-        "Figure 10: Normalized energy consumption",
-        "lower is better; normalized to B",
-        &rows,
-        ("geomean", agg),
-    );
-    println!("\npaper: C -26.4% vs B, W -30.6% vs B (average)");
+    clear_bench::experiments::run_to_stdout("fig10", &clear_bench::SuiteOptions::from_args());
 }

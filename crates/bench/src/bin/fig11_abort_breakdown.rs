@@ -1,43 +1,8 @@
-//! Figure 11 — abort breakdown per type: memory conflict, explicit
-//! fallback, other fallback, others (capacity/NACK/explicit/etc.).
-
-use clear_bench::{run_suite, SuiteOptions};
-use clear_htm::AbortKind;
-use clear_machine::RunStats;
-
-fn shares(r: &RunStats) -> [f64; 4] {
-    let total = r.aborts.total().max(1) as f64;
-    let mem = r.aborts.get(AbortKind::MemoryConflict) as f64;
-    let efb = r.aborts.get(AbortKind::ExplicitFallback) as f64;
-    let ofb = r.aborts.get(AbortKind::OtherFallback) as f64;
-    let others = total - mem - efb - ofb;
-    [mem / total, efb / total, ofb / total, others / total]
-}
+//! Figure 11: abort breakdown per type.
+//!
+//! Thin wrapper over the `fig11` experiment in the `clear-harness`
+//! registry; `cargo run -p clear-harness -- run fig11` is equivalent.
 
 fn main() {
-    let opts = SuiteOptions::from_args();
-    let suite = run_suite(&opts);
-    println!("=== Figure 11: Abort breakdown per type ===");
-    println!(
-        "{:14} {:>2}  {:>8} {:>10} {:>10} {:>8}  {:>10}",
-        "benchmark", "", "mem-conf", "expl-fb", "other-fb", "others", "aborts/AR"
-    );
-    for cells in &suite {
-        for cell in cells {
-            let s = [0, 1, 2, 3].map(|k| cell.mean(|r| shares(r)[k]));
-            let apc = cell.mean(|r| r.aborts_per_commit());
-            println!(
-                "{:14} {:>2}  {:>8.2} {:>10.2} {:>10.2} {:>8.2}  {:>10.2}",
-                cell.name,
-                cell.preset.letter(),
-                s[0],
-                s[1],
-                s[2],
-                s[3],
-                apc
-            );
-        }
-        println!();
-    }
-    println!("shares are fractions of each configuration's own aborts");
+    clear_bench::experiments::run_to_stdout("fig11", &clear_bench::SuiteOptions::from_args());
 }

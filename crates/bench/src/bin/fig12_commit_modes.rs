@@ -1,45 +1,8 @@
-//! Figure 12 — commit breakdown per execution mode: plain speculative,
-//! S-CL, NS-CL, fallback.
+//! Figure 12: commit breakdown per execution mode.
 //!
-//! Paper observations reproduced: mwobject runs mostly NS-CL; arrayswap
-//! partly NS-CL; bst commits in S-CL despite being statically mutable;
-//! labyrinth cannot convert at all.
-
-use clear_bench::{run_suite, SuiteOptions};
-use clear_machine::RunStats;
-
-fn shares(r: &RunStats) -> [f64; 4] {
-    let m = &r.commits_by_mode;
-    let total = m.total().max(1) as f64;
-    [
-        m.speculative as f64 / total,
-        m.scl as f64 / total,
-        m.nscl as f64 / total,
-        m.fallback as f64 / total,
-    ]
-}
+//! Thin wrapper over the `fig12` experiment in the `clear-harness`
+//! registry; `cargo run -p clear-harness -- run fig12` is equivalent.
 
 fn main() {
-    let opts = SuiteOptions::from_args();
-    let suite = run_suite(&opts);
-    println!("=== Figure 12: Commit breakdown per mode ===");
-    println!(
-        "{:14} {:>2}  {:>11} {:>8} {:>8} {:>9}",
-        "benchmark", "", "speculative", "S-CL", "NS-CL", "fallback"
-    );
-    for cells in &suite {
-        for cell in cells {
-            let s = [0, 1, 2, 3].map(|k| cell.mean(|r| shares(r)[k]));
-            println!(
-                "{:14} {:>2}  {:>11.2} {:>8.2} {:>8.2} {:>9.2}",
-                cell.name,
-                cell.preset.letter(),
-                s[0],
-                s[1],
-                s[2],
-                s[3]
-            );
-        }
-        println!();
-    }
+    clear_bench::experiments::run_to_stdout("fig12", &clear_bench::SuiteOptions::from_args());
 }

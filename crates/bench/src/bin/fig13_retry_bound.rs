@@ -1,61 +1,8 @@
-//! Figure 13 — commit breakdown by number of retries, excluding commits at
-//! zero retries: exactly one retry, more than one ("n-retry"), or the
-//! fallback path.
+//! Figure 13: commit breakdown per number of retries.
 //!
-//! Paper headline: B commits 35.4% of retried ARs on the first retry and
-//! sends 37.2% to fallback; with CLEAR (C) 64.2% / 15.5%; with CLEAR over
-//! PowerTM (W) 64.4% / 15.4%.
-
-use clear_bench::{run_suite, SuiteOptions};
-use clear_machine::RunStats;
-
-fn shares(r: &RunStats) -> [f64; 3] {
-    let one = r.commits_by_retries.get(&1).copied().unwrap_or(0);
-    let many: u64 = r
-        .commits_by_retries
-        .iter()
-        .filter(|(&k, _)| k >= 2)
-        .map(|(_, &v)| v)
-        .sum();
-    let fb = r.commits_by_mode.fallback;
-    let total = (one + many + fb).max(1) as f64;
-    [one as f64 / total, many as f64 / total, fb as f64 / total]
-}
+//! Thin wrapper over the `fig13` experiment in the `clear-harness`
+//! registry; `cargo run -p clear-harness -- run fig13` is equivalent.
 
 fn main() {
-    let opts = SuiteOptions::from_args();
-    let suite = run_suite(&opts);
-    println!("=== Figure 13: Commit breakdown per number of retries (retried ARs only) ===");
-    println!(
-        "{:14} {:>2}  {:>9} {:>9} {:>9}",
-        "benchmark", "", "1-retry", "n-retry", "fallback"
-    );
-    let mut sums = [[0.0; 3]; 4];
-    for cells in &suite {
-        for (i, cell) in cells.iter().enumerate() {
-            let s = [0, 1, 2].map(|k| cell.mean(|r| shares(r)[k]));
-            for k in 0..3 {
-                sums[i][k] += s[k];
-            }
-            println!(
-                "{:14} {:>2}  {:>9.2} {:>9.2} {:>9.2}",
-                cell.name,
-                cell.preset.letter(),
-                s[0],
-                s[1],
-                s[2]
-            );
-        }
-        println!();
-    }
-    let n = suite.len() as f64;
-    for (i, letter) in ['B', 'P', 'C', 'W'].iter().enumerate() {
-        println!(
-            "average {letter}: 1-retry {:.2}  n-retry {:.2}  fallback {:.2}",
-            sums[i][0] / n,
-            sums[i][1] / n,
-            sums[i][2] / n
-        );
-    }
-    println!("\npaper averages: B 35.4%/37.2%, P 46.4%/27.4%, C 64.2%/15.5%, W 64.4%/15.4% (1-retry/fallback)");
+    clear_bench::experiments::run_to_stdout("fig13", &clear_bench::SuiteOptions::from_args());
 }

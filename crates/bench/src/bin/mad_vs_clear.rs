@@ -1,64 +1,11 @@
-//! The paper's §1–§2 motivating comparison, reproduced: **a-priori
-//! cacheline locking** (MCAS \[33\] / MAD atomics \[16\]: lock the footprint
-//! before executing, never speculate) versus **speculation** (B) versus
-//! **CLEAR** (learn the footprint speculatively, lock only on retry).
+//! A-priori cacheline locking vs speculation vs CLEAR.
 //!
-//! The paper's argument: a-priori locking wins under high contention but
-//! "can degrade performance in low-contention scenarios, since (i)
-//! execution cannot start until all cachelines have been locked in order
-//! and (ii) exclusivity is requested also for cachelines that are only
-//! read". CLEAR keeps the speculative fast path *and* the bounded retry.
-//! Only ARs with statically-known footprints are eligible for a-priori
-//! locking (arrayswap, mwobject, the immutable STAMP ARs); the rest run
-//! the baseline under that model.
-
-use clear_bench::SuiteOptions;
-use clear_machine::{Machine, MachineConfig, Preset, RunStats};
-use clear_workloads::by_name;
-
-fn run(name: &str, cfg: MachineConfig, seed: u64, size: clear_workloads::Size) -> RunStats {
-    let w = by_name(name, size, seed).expect("known benchmark");
-    let mut cfg = cfg;
-    cfg.seed = seed;
-    let mut m = Machine::new(cfg, w);
-    let s = m.run();
-    m.workload().validate(m.memory()).expect("invariant");
-    s
-}
+//! Thin wrapper over the `mad-vs-clear` experiment in the `clear-harness`
+//! registry; `cargo run -p clear-harness -- run mad-vs-clear` is equivalent.
 
 fn main() {
-    let opts = SuiteOptions::from_args();
-    // Benchmarks with at least one statically-lockable AR.
-    let eligible = ["arrayswap", "mwobject", "kmeans-h", "kmeans-l", "ssca2", "sorted-list"];
-    println!("=== a-priori locking (MAD/MCAS-style) vs speculation vs CLEAR ===");
-    println!(
-        "{:14} {:>6} | {:>12} {:>12} {:>12} | {:>8} {:>8}",
-        "benchmark", "cores", "B cycles", "MAD cycles", "C cycles", "MAD/B", "C/B"
+    clear_bench::experiments::run_to_stdout(
+        "mad-vs-clear",
+        &clear_bench::SuiteOptions::from_args(),
     );
-    for name in eligible {
-        if !opts.benchmarks.contains(&name) {
-            continue;
-        }
-        for cores in [2usize, 8, 32] {
-            let b = run(name, Preset::B.config(cores, 5), opts.seeds[0], opts.size);
-            let mut mad_cfg = Preset::B.config(cores, 5);
-            mad_cfg.a_priori_locking = true;
-            let mad = run(name, mad_cfg, opts.seeds[0], opts.size);
-            let c = run(name, Preset::C.config(cores, 5), opts.seeds[0], opts.size);
-            println!(
-                "{:14} {:>6} | {:>12} {:>12} {:>12} | {:>8.2} {:>8.2}",
-                name,
-                cores,
-                b.total_cycles,
-                mad.total_cycles,
-                c.total_cycles,
-                mad.total_cycles as f64 / b.total_cycles as f64,
-                c.total_cycles as f64 / b.total_cycles as f64,
-            );
-        }
-    }
-    println!("\nreading the table: MAD excels exactly where its static footprints apply");
-    println!("(write-heavy immutable ARs like arrayswap/mwobject) but cannot touch the");
-    println!("mutable/indirect ARs, so CLEAR matches or beats it on mixed workloads");
-    println!("(kmeans, ssca2, sorted-list) — and needs no new instructions (§1)");
 }

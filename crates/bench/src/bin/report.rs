@@ -1,170 +1,8 @@
-//! One-pass evaluation report: runs the benchmark suite once (with the
-//! per-application retry sweep) and prints Figures 8, 9, 10, 11, 12 and 13
-//! from the same runs — the cheapest way to regenerate EXPERIMENTS.md.
+//! Figures 8-13 in one pass over a single suite run.
 //!
-//! Figure 1 and the tables have their own binaries (`fig01_immutable_ratio`,
-//! `table1_characterization`, `table2_config`) since they use different
-//! configurations.
-
-use clear_bench::{geomean, print_table, run_suite, CellResult, SuiteOptions};
-use clear_htm::AbortKind;
-use clear_machine::RunStats;
-
-fn norm_rows(
-    suite: &[[CellResult; 4]],
-    metric: impl Fn(&CellResult) -> f64,
-) -> (Vec<(String, [f64; 4])>, [f64; 4]) {
-    let mut rows = Vec::new();
-    let mut norms = [const { Vec::new() }; 4];
-    for cells in suite {
-        let base = metric(&cells[0]);
-        let mut vals = [0.0; 4];
-        for (i, cell) in cells.iter().enumerate() {
-            vals[i] = metric(cell) / base;
-            norms[i].push(vals[i]);
-        }
-        rows.push((cells[0].name.clone(), vals));
-    }
-    (rows, [0, 1, 2, 3].map(|i| geomean(&norms[i])))
-}
-
-fn mean_rows(
-    suite: &[[CellResult; 4]],
-    metric: impl Fn(&RunStats) -> f64,
-) -> (Vec<(String, [f64; 4])>, [f64; 4]) {
-    let mut rows = Vec::new();
-    let mut sums = [0.0; 4];
-    for cells in suite {
-        let mut vals = [0.0; 4];
-        for (i, cell) in cells.iter().enumerate() {
-            vals[i] = cell.mean(&metric);
-            sums[i] += vals[i];
-        }
-        rows.push((cells[0].name.clone(), vals));
-    }
-    let n = suite.len() as f64;
-    (rows, sums.map(|s| s / n))
-}
+//! Thin wrapper over the `report` experiment in the `clear-harness`
+//! registry; `cargo run -p clear-harness -- run report` is equivalent.
 
 fn main() {
-    let opts = SuiteOptions::from_args();
-    eprintln!(
-        "suite: {:?} size, {} cores, {} seeds, sweep {:?}",
-        opts.size, opts.cores, opts.seeds.len(), opts.retry_sweep
-    );
-    let suite = run_suite(&opts);
-
-    // Figure 8.
-    let (rows, agg) = norm_rows(&suite, CellResult::cycles);
-    print_table(
-        "Figure 8: Normalized execution time",
-        "normalized to B; lower is better",
-        &rows,
-        ("geomean", agg),
-    );
-
-    // Figure 9.
-    let (rows, agg) = mean_rows(&suite, RunStats::aborts_per_commit);
-    print_table(
-        "Figure 9: Aborts per committed transaction",
-        "lower is better",
-        &rows,
-        ("average", agg),
-    );
-
-    // Figure 10.
-    let (rows, agg) = norm_rows(&suite, CellResult::energy);
-    print_table(
-        "Figure 10: Normalized energy consumption",
-        "normalized to B; lower is better",
-        &rows,
-        ("geomean", agg),
-    );
-
-    // Figure 11: averaged abort-type shares.
-    println!("\n=== Figure 11: Abort breakdown per type (suite average shares) ===");
-    for (i, letter) in ['B', 'P', 'C', 'W'].iter().enumerate() {
-        let share = |kind: AbortKind| {
-            suite
-                .iter()
-                .map(|cells| {
-                    cells[i].mean(|r| r.aborts.get(kind) as f64 / r.aborts.total().max(1) as f64)
-                })
-                .sum::<f64>()
-                / suite.len() as f64
-        };
-        let mem = share(AbortKind::MemoryConflict);
-        let efb = share(AbortKind::ExplicitFallback);
-        let ofb = share(AbortKind::OtherFallback);
-        println!(
-            "{letter}: memory-conflict {:.2}  explicit-fallback {:.2}  other-fallback {:.2}  others {:.2}",
-            mem,
-            efb,
-            ofb,
-            (1.0 - mem - efb - ofb).max(0.0)
-        );
-    }
-
-    // Figure 12: commit mode shares.
-    println!("\n=== Figure 12: Commit breakdown per mode ===");
-    println!(
-        "{:14} {:>2}  {:>11} {:>8} {:>8} {:>9}",
-        "benchmark", "", "speculative", "S-CL", "NS-CL", "fallback"
-    );
-    for cells in &suite {
-        for cell in cells {
-            let s = cell.mean(|r| r.commits_by_mode.speculative as f64 / r.commits() as f64);
-            let scl = cell.mean(|r| r.commits_by_mode.scl as f64 / r.commits() as f64);
-            let nscl = cell.mean(|r| r.commits_by_mode.nscl as f64 / r.commits() as f64);
-            let fb = cell.mean(|r| r.commits_by_mode.fallback as f64 / r.commits() as f64);
-            println!(
-                "{:14} {:>2}  {:>11.2} {:>8.2} {:>8.2} {:>9.2}",
-                cell.name,
-                cell.preset.letter(),
-                s,
-                scl,
-                nscl,
-                fb
-            );
-        }
-    }
-
-    // Figure 13: retried-AR outcome shares.
-    println!("\n=== Figure 13: Commit breakdown per number of retries (retried ARs only) ===");
-    let retry_shares = |r: &RunStats| -> [f64; 3] {
-        let one = r.commits_by_retries.get(&1).copied().unwrap_or(0);
-        let many: u64 = r
-            .commits_by_retries
-            .iter()
-            .filter(|(&k, _)| k >= 2)
-            .map(|(_, &v)| v)
-            .sum();
-        let fb = r.commits_by_mode.fallback;
-        let total = (one + many + fb).max(1) as f64;
-        [one as f64 / total, many as f64 / total, fb as f64 / total]
-    };
-    for (i, letter) in ['B', 'P', 'C', 'W'].iter().enumerate() {
-        let avg = |k: usize| {
-            suite.iter().map(|cells| cells[i].mean(|r| retry_shares(r)[k])).sum::<f64>()
-                / suite.len() as f64
-        };
-        println!(
-            "{letter}: 1-retry {:.2}  n-retry {:.2}  fallback {:.2}",
-            avg(0),
-            avg(1),
-            avg(2)
-        );
-    }
-
-    println!("\nbest retry threshold per cell:");
-    for cells in &suite {
-        println!(
-            "  {:14} B={} P={} C={} W={}",
-            cells[0].name,
-            cells[0].best_retries,
-            cells[1].best_retries,
-            cells[2].best_retries,
-            cells[3].best_retries
-        );
-    }
+    clear_bench::experiments::run_to_stdout("report", &clear_bench::SuiteOptions::from_args());
 }

@@ -1,30 +1,8 @@
-//! Core-count scaling study (our extension): how the four configurations
-//! behave as contention grows from 2 to 32 threads. The paper evaluates a
-//! fixed 32 cores; this harness shows where CLEAR's advantage opens up.
-
-use clear_bench::{run_once, SuiteOptions};
-use clear_machine::Preset;
+//! Execution cycles vs core count.
+//!
+//! Thin wrapper over the `scaling` experiment in the `clear-harness`
+//! registry; `cargo run -p clear-harness -- run scaling` is equivalent.
 
 fn main() {
-    let opts = SuiteOptions::from_args();
-    let cores_axis = [2usize, 4, 8, 16, 32];
-    for name in &opts.benchmarks {
-        println!("\n=== {name}: execution cycles vs cores ===");
-        print!("{:>6}", "cores");
-        for preset in Preset::ALL {
-            print!(" {:>12}", format!("{preset}"));
-        }
-        println!(" {:>8}", "C/B");
-        for &cores in &cores_axis {
-            print!("{cores:>6}");
-            let mut cycles = [0u64; 4];
-            for (i, preset) in Preset::ALL.iter().enumerate() {
-                let s = run_once(name, *preset, cores, 5, opts.size, opts.seeds[0]);
-                cycles[i] = s.total_cycles;
-                print!(" {:>12}", s.total_cycles);
-            }
-            println!(" {:>8.2}", cycles[2] as f64 / cycles[0] as f64);
-        }
-    }
-    println!("\nC/B < 1 means CLEAR beats the requester-wins baseline at that core count");
+    clear_bench::experiments::run_to_stdout("scaling", &clear_bench::SuiteOptions::from_args());
 }

@@ -1,40 +1,8 @@
-//! Extension study (paper §4.1 vs §4.2): CLEAR with **in-core** (SLE-style)
-//! speculation, where the ROB delimits every speculative window, against
-//! CLEAR with **HTM** facilities. ARs that outgrow the 352-entry ROB can
-//! only complete through the fallback path under in-core speculation.
-
-use clear_bench::SuiteOptions;
-use clear_machine::{Machine, Preset, SpeculationKind};
-use clear_workloads::by_name;
+//! CLEAR with in-core (SLE) vs HTM speculation.
+//!
+//! Thin wrapper over the `sle` experiment in the `clear-harness`
+//! registry; `cargo run -p clear-harness -- run sle` is equivalent.
 
 fn main() {
-    let opts = SuiteOptions::from_args();
-    println!("=== CLEAR with in-core (SLE) vs out-of-core (HTM) speculation ===");
-    println!(
-        "{:14} {:>12} {:>12} {:>9} | {:>12} {:>12} {:>9}",
-        "benchmark", "HTM cycles", "HTM fb%", "HTM apc", "SLE cycles", "SLE fb%", "SLE apc"
-    );
-    for name in &opts.benchmarks {
-        let mut cols = Vec::new();
-        for speculation in [SpeculationKind::Htm, SpeculationKind::InCore] {
-            let w = by_name(name, opts.size, opts.seeds[0]).expect("known benchmark");
-            let mut cfg = Preset::C.config(opts.cores, 5);
-            cfg.seed = opts.seeds[0];
-            cfg.speculation = speculation;
-            let mut m = Machine::new(cfg, w);
-            let s = m.run();
-            m.workload().validate(m.memory()).expect("invariant");
-            cols.push((
-                s.total_cycles,
-                100.0 * s.commits_by_mode.fallback as f64 / s.commits() as f64,
-                s.aborts_per_commit(),
-            ));
-        }
-        println!(
-            "{:14} {:>12} {:>12.1} {:>9.2} | {:>12} {:>12.1} {:>9.2}",
-            name, cols[0].0, cols[0].1, cols[0].2, cols[1].0, cols[1].1, cols[1].2
-        );
-    }
-    println!("\nfb% = share of ARs completing on the fallback path; apc = aborts per commit");
-    println!("in-core speculation pushes ROB-exceeding ARs (long traversals) to fallback");
+    clear_bench::experiments::run_to_stdout("sle", &clear_bench::SuiteOptions::from_args());
 }

@@ -1,96 +1,24 @@
-//! Table 1 — static characterisation of the atomic regions of every
-//! benchmark: number of ARs and their footprint-mutability classes.
+//! Table 1: static AR characterization per benchmark; with `--measured`,
+//! the dynamic immutability of discovery decisions per AR instead.
 //!
-//! With `--measured`, additionally runs each benchmark under CLEAR (small
-//! input, 16 cores) and reports, per AR, the share of discovery decisions
-//! that assessed the footprint immutable — a dynamic validation of the
-//! static classes: immutable ARs should measure ~100 %, likely-immutable
-//! and mutable ARs ~0 % (the hardware cannot tell the two apart; the
-//! difference is whether S-CL retries then succeed).
-
-use clear_isa::Mutability;
-use clear_machine::{Machine, Preset, TraceEvent};
-use clear_workloads::{by_name, Size, BENCHMARK_NAMES};
-use std::collections::HashMap;
-
-fn measured_immutability(name: &str) -> HashMap<u32, (u64, u64)> {
-    let w = by_name(name, Size::Small, 5).expect("known benchmark");
-    let mut cfg = Preset::C.config(16, 5);
-    cfg.seed = 5;
-    let mut m = Machine::new(cfg, w);
-    m.enable_tracing();
-    m.run();
-    let mut per_ar: HashMap<u32, (u64, u64)> = HashMap::new();
-    for (_, _, e) in m.trace().events() {
-        if let TraceEvent::Decision { ar, immutable, .. } = e {
-            let slot = per_ar.entry(ar.0).or_default();
-            slot.1 += 1;
-            if *immutable {
-                slot.0 += 1;
-            }
-        }
-    }
-    per_ar
-}
+//! Thin wrapper over the `table1` / `table1-measured` experiments in the
+//! `clear-harness` registry; `cargo run -p clear-harness -- run table1`
+//! is equivalent.
 
 fn main() {
-    let measured = std::env::args().any(|a| a == "--measured");
-    if measured {
-        println!("=== Table 1 (measured): share of discovery decisions assessing immutability ===");
-        println!(
-            "{:14} {:16} {:18} {:>10} {:>10}",
-            "benchmark", "AR", "static class", "decisions", "immut.%"
-        );
-        for name in BENCHMARK_NAMES {
-            let w = by_name(name, Size::Tiny, 1).expect("known benchmark");
-            let meta = w.meta();
-            let dyn_imm = measured_immutability(name);
-            for spec in &meta.ars {
-                let (imm, total) = dyn_imm.get(&spec.id.0).copied().unwrap_or((0, 0));
-                let pct = if total == 0 { f64::NAN } else { 100.0 * imm as f64 / total as f64 };
-                println!(
-                    "{:14} {:16} {:18} {:>10} {:>10.0}",
-                    name,
-                    spec.name,
-                    spec.mutability.to_string(),
-                    total,
-                    pct
-                );
-            }
-        }
-        return;
-    }
-    println!("=== Table 1: Characterization of ARs ===");
-    println!(
-        "{:14} {:>8} {:>10} {:>17} {:>8}",
-        "benchmark", "# of ARs", "immutable", "likely immutable", "mutable"
-    );
-    let mut totals = [0usize; 4];
-    for name in BENCHMARK_NAMES {
-        let w = by_name(name, Size::Tiny, 1).expect("known benchmark");
-        let meta = w.meta();
-        let count =
-            |m: Mutability| meta.ars.iter().filter(|a| a.mutability == m).count();
-        let (i, l, mu) = (
-            count(Mutability::Immutable),
-            count(Mutability::LikelyImmutable),
-            count(Mutability::Mutable),
-        );
-        totals[0] += meta.ars.len();
-        totals[1] += i;
-        totals[2] += l;
-        totals[3] += mu;
-        println!(
-            "{:14} {:>8} {:>10} {:>17} {:>8}",
-            name,
-            meta.ars.len(),
-            i,
-            l,
-            mu
-        );
-    }
-    println!(
-        "{:14} {:>8} {:>10} {:>17} {:>8}",
-        "total", totals[0], totals[1], totals[2], totals[3]
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let measured = args
+        .iter()
+        .position(|a| a == "--measured")
+        .map(|i| args.remove(i))
+        .is_some();
+    let name = if measured {
+        "table1-measured"
+    } else {
+        "table1"
+    };
+    clear_bench::experiments::run_to_stdout(
+        name,
+        &clear_bench::SuiteOptions::from_arg_slice(&args),
     );
 }

@@ -1,39 +1,8 @@
-//! Table 2 — the baseline system configuration actually instantiated by
-//! the simulator (the reproduction's analogue of the gem5 parameters).
-
-use clear_machine::MachineConfig;
+//! Table 2: instantiated baseline system configuration.
+//!
+//! Thin wrapper over the `table2` experiment in the `clear-harness`
+//! registry; `cargo run -p clear-harness -- run table2` is equivalent.
 
 fn main() {
-    let c = MachineConfig::table2(32);
-    println!("=== Table 2: Baseline system configuration ===");
-    println!("Cores            {} in-order-retire cores, one instruction per step", c.cores);
-    println!("Store queue      {} entries (bounds failed-mode discovery)", c.sq_size);
-    println!(
-        "L1 data cache    {} sets x {} ways ({} KiB), {}-cycle access",
-        c.coherence.l1.sets,
-        c.coherence.l1.ways,
-        c.coherence.l1.lines() * 64 / 1024,
-        c.coherence.lat_l1
-    );
-    println!("L2 (shadow)      {}-cycle access", c.coherence.lat_l2);
-    println!("L3 / remote      {}-cycle access", c.coherence.lat_l3);
-    println!("Memory           {}-cycle access", c.coherence.lat_mem);
-    println!(
-        "Directory        {} sets x {} ways (lexicographical lock order)",
-        c.coherence.directory.sets, c.coherence.directory.ways
-    );
-    println!(
-        "Coherence        directory MESI, +{} cycles per invalidation",
-        c.coherence.lat_inval
-    );
-    println!(
-        "HTM              requester-wins / PowerTM; best of 1..10 retries, then fallback lock"
-    );
-    println!(
-        "Timing           xbegin {}, commit {}, abort {}, locked-line retry every {} cycles",
-        c.timing.xbegin_cost, c.timing.commit_cost, c.timing.abort_penalty, c.timing.spin_interval
-    );
-    println!(
-        "CLEAR            ERT 16 fully-assoc, ALT 32, CRT 64 (8-way); < 1 KiB per core"
-    );
+    clear_bench::experiments::run_to_stdout("table2", &clear_bench::SuiteOptions::from_args());
 }

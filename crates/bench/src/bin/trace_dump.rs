@@ -1,43 +1,8 @@
-//! Dump the event timeline of a short run: every AR fetch, attempt,
-//! conflict, failed-mode entry, decision, lock, abort and commit, per
-//! core — the fastest way to *see* CLEAR working.
+//! Event timeline of a short traced run.
 //!
-//! ```text
-//! cargo run --release -p clear-bench --bin trace_dump -- --bench mwobject --cores 4
-//! ```
-
-use clear_bench::SuiteOptions;
-use clear_machine::{Machine, Preset};
-use clear_workloads::{by_name, Size};
+//! Thin wrapper over the `trace` experiment in the `clear-harness`
+//! registry; `cargo run -p clear-harness -- run trace` is equivalent.
 
 fn main() {
-    let opts = SuiteOptions::from_args();
-    let name = opts.benchmarks.first().copied().unwrap_or("mwobject");
-    let cores = opts.cores.min(8);
-    let w = by_name(name, Size::Tiny, opts.seeds[0]).expect("known benchmark");
-    let mut cfg = Preset::C.config(cores, 5);
-    cfg.seed = opts.seeds[0];
-    let mut m = Machine::new(cfg, w);
-    m.enable_tracing();
-    let stats = m.run();
-    m.workload().validate(m.memory()).expect("invariant");
-
-    println!("=== trace of {name} under CLEAR ({cores} cores, tiny input) ===\n");
-    let events = m.trace().events();
-    let shown = events.len().min(400);
-    for (cycle, core, event) in &events[..shown] {
-        println!("{cycle:>8}  core{core:<2}  {event}");
-    }
-    if events.len() > shown {
-        println!("... {} more events", events.len() - shown);
-    }
-    println!(
-        "\n{} commits ({} NS-CL, {} S-CL, {} fallback), {} aborts, {} cycles",
-        stats.commits(),
-        stats.commits_by_mode.nscl,
-        stats.commits_by_mode.scl,
-        stats.commits_by_mode.fallback,
-        stats.aborts.total(),
-        stats.total_cycles
-    );
+    clear_bench::experiments::run_to_stdout("trace", &clear_bench::SuiteOptions::from_args());
 }

@@ -1,54 +1,8 @@
-//! Self-check: run every benchmark under every configuration and verify
-//! its atomicity invariant over final simulated memory. Exits non-zero on
-//! any violation — useful as a quick install check.
+//! Atomicity invariants across the full benchmark grid.
 //!
-//! ```text
-//! cargo run --release -p clear-bench --bin verify_suite -- --size tiny --cores 8
-//! ```
-
-use clear_bench::SuiteOptions;
-use clear_machine::{Machine, Preset};
-use clear_workloads::by_name;
+//! Thin wrapper over the `verify` experiment in the `clear-harness`
+//! registry; `cargo run -p clear-harness -- run verify` is equivalent.
 
 fn main() {
-    let opts = SuiteOptions::from_args();
-    let mut failures = 0;
-    println!(
-        "verifying {} benchmarks x 4 configurations ({:?}, {} cores, seed {})",
-        opts.benchmarks.len(),
-        opts.size,
-        opts.cores,
-        opts.seeds[0]
-    );
-    for name in &opts.benchmarks {
-        print!("{name:14}");
-        for preset in Preset::ALL {
-            let w = by_name(name, opts.size, opts.seeds[0]).expect("known benchmark");
-            let mut cfg = preset.config(opts.cores, 5);
-            cfg.seed = opts.seeds[0];
-            let mut m = Machine::new(cfg, w);
-            let stats = m.run();
-            let verdict = if stats.timed_out {
-                failures += 1;
-                "TIMEOUT"
-            } else {
-                match m.workload().validate(m.memory()) {
-                    Ok(()) => "ok",
-                    Err(e) => {
-                        failures += 1;
-                        eprintln!("\n{name}/{preset}: {e}");
-                        "FAIL"
-                    }
-                }
-            };
-            print!("  {preset}:{verdict:<8}");
-        }
-        println!();
-    }
-    if failures == 0 {
-        println!("\nall invariants hold");
-    } else {
-        eprintln!("\n{failures} failures");
-        std::process::exit(1);
-    }
+    clear_bench::experiments::run_to_stdout("verify", &clear_bench::SuiteOptions::from_args());
 }

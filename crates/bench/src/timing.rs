@@ -1,0 +1,26 @@
+//! Minimal fixed-iteration wall-clock timing harness for the `cargo
+//! bench` targets (replacing the former Criterion dependency).
+//!
+//! Each measurement warms up, then runs a fixed number of timed
+//! iterations and reports the per-iteration mean. This is deliberately
+//! simple: the micro-benchmarks exist to catch order-of-magnitude
+//! regressions on the simulator's hot paths, not to resolve nanosecond
+//! deltas.
+
+pub use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `f` over `iters` iterations (after `iters / 10 + 1` warm-up
+/// calls) and prints one `name ... ns/iter` line.
+pub fn bench_function<T>(name: &str, iters: u64, mut f: impl FnMut() -> T) {
+    for _ in 0..iters / 10 + 1 {
+        black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let elapsed = start.elapsed();
+    let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<40} {per_iter:>14.1} ns/iter  ({iters} iters, {elapsed:.2?} total)");
+}

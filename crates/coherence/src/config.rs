@@ -1,12 +1,11 @@
 //! Coherence system configuration (Table 2 defaults).
 
 use clear_mem::CacheGeometry;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the coherence substrate.
 ///
 /// Defaults follow Table 2 of the paper (Icelake-like, 32 cores).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CoherenceConfig {
     /// Number of cores.
     pub cores: usize,

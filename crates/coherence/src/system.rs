@@ -2,7 +2,6 @@
 
 use crate::{Access, CoherenceConfig, CoreId, LockFail, MesiState, ServedBy, TxTrack};
 use clear_mem::{CacheGeometry, LineAddr, SetAssocCache};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// Per-line metadata in a private cache.
@@ -89,7 +88,7 @@ pub struct ApplyOk {
 }
 
 /// Event counters for the energy model and traffic statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CoherenceStats {
     /// Accesses served by the requester's L1.
     pub l1_hits: u64,
@@ -132,7 +131,10 @@ impl CoherenceSystem {
     /// Panics if the configuration has zero cores or more than 64 (the
     /// sharer bitmask width).
     pub fn new(config: CoherenceConfig) -> Self {
-        assert!(config.cores > 0 && config.cores <= 64, "1..=64 cores supported");
+        assert!(
+            config.cores > 0 && config.cores <= 64,
+            "1..=64 cores supported"
+        );
         CoherenceSystem {
             config,
             caches: (0..config.cores)
@@ -208,19 +210,16 @@ impl CoherenceSystem {
         base + impacts as u64 * self.config.lat_inval
     }
 
-    fn collect_impacts(
-        &self,
-        core: CoreId,
-        line: LineAddr,
-        access: Access,
-    ) -> Vec<RemoteImpact> {
+    fn collect_impacts(&self, core: CoreId, line: LineAddr, access: Access) -> Vec<RemoteImpact> {
         let dir = self.dir(line);
         let mut impacts = Vec::new();
         for c in 0..self.config.cores {
             if c == core.0 || dir.sharers & (1 << c) == 0 {
                 continue;
             }
-            let Some(meta) = self.caches[c].get(line) else { continue };
+            let Some(meta) = self.caches[c].get(line) else {
+                continue;
+            };
             match access {
                 Access::Write => impacts.push(RemoteImpact {
                     core: CoreId(c),
@@ -268,7 +267,12 @@ impl CoherenceSystem {
             self.classify_miss(core, line, &dir)
         };
         let latency = self.latency_of(served_by, remote_impacts.len());
-        ProbeResult { served_by, latency, locked_by_other, remote_impacts }
+        ProbeResult {
+            served_by,
+            latency,
+            locked_by_other,
+            remote_impacts,
+        }
     }
 
     fn record_serve(&mut self, served_by: ServedBy) {
@@ -444,7 +448,11 @@ impl CoherenceSystem {
         let dir = self.dir(line);
         let served_by = self.classify_miss(core, line, &dir);
         let remote_exclusive = (0..self.config.cores).any(|c| {
-            c != core.0 && self.caches[c].get(line).map(|m| m.mesi.is_exclusive()).unwrap_or(false)
+            c != core.0
+                && self.caches[c]
+                    .get(line)
+                    .map(|m| m.mesi.is_exclusive())
+                    .unwrap_or(false)
         });
         if !remote_exclusive && dir.locked_by.is_none() {
             let meta = LineMeta {
@@ -453,8 +461,7 @@ impl CoherenceSystem {
                 tx_read: false,
                 tx_write: false,
             };
-            if let Ok(outcome) =
-                self.caches[core.0].insert_respecting(line, meta, LineMeta::pinned)
+            if let Ok(outcome) = self.caches[core.0].insert_respecting(line, meta, LineMeta::pinned)
             {
                 if let clear_mem::EvictionOutcome::Evicted(victim) = outcome {
                     let e = self.directory.entry(victim).or_default();
@@ -483,11 +490,7 @@ impl CoherenceSystem {
     ///   requester must retry later (the directory entry is *not* left in a
     ///   transient state, per the Fig. 6 fix).
     /// * [`LockFail::Capacity`] — the requester's cache cannot pin the line.
-    pub fn lock_line(
-        &mut self,
-        core: CoreId,
-        line: LineAddr,
-    ) -> Result<ApplyOk, LockFail> {
+    pub fn lock_line(&mut self, core: CoreId, line: LineAddr) -> Result<ApplyOk, LockFail> {
         if let Some(holder) = self.locked_by(line) {
             if holder != core {
                 self.stats.lock_conflicts += 1;
@@ -518,15 +521,13 @@ impl CoherenceSystem {
     ///
     /// Panics if `lines` is empty or the lines span different directory
     /// sets.
-    pub fn lock_group(
-        &mut self,
-        core: CoreId,
-        lines: &[LineAddr],
-    ) -> Result<ApplyOk, LockFail> {
+    pub fn lock_group(&mut self, core: CoreId, lines: &[LineAddr]) -> Result<ApplyOk, LockFail> {
         assert!(!lines.is_empty(), "empty lock group");
         let set = self.config.directory.set_index(lines[0]);
         assert!(
-            lines.iter().all(|&l| self.config.directory.set_index(l) == set),
+            lines
+                .iter()
+                .all(|&l| self.config.directory.set_index(l) == set),
             "lock group spans directory sets"
         );
         // All-or-nothing admission check.
@@ -609,10 +610,7 @@ impl CoherenceSystem {
     /// simultaneously locked) in one private cache — discovery assessment 2
     /// of §4.1.
     pub fn fits_locked(&self, lines: &[LineAddr]) -> bool {
-        SetAssocCache::<LineMeta>::fits_simultaneously(
-            self.config.l1,
-            lines.iter().copied(),
-        )
+        SetAssocCache::<LineMeta>::fits_simultaneously(self.config.l1, lines.iter().copied())
     }
 }
 
@@ -686,7 +684,8 @@ mod tests {
     fn reader_conflicts_only_with_remote_write_set() {
         let mut s = sys(2);
         let l = LineAddr(4);
-        s.apply(CoreId(0), l, Access::Write, TxTrack::Write).unwrap();
+        s.apply(CoreId(0), l, Access::Write, TxTrack::Write)
+            .unwrap();
         let p = s.probe(CoreId(1), l, Access::Read);
         assert!(p.remote_impacts[0].is_tx_conflict(false));
     }
@@ -695,8 +694,10 @@ mod tests {
     fn capacity_error_when_set_full_of_pinned_lines() {
         let mut s = sys(1);
         // Geometry 4 sets x 2 ways; lines 0,4,8 share set 0.
-        s.apply(CoreId(0), LineAddr(0), Access::Read, TxTrack::Read).unwrap();
-        s.apply(CoreId(0), LineAddr(4), Access::Read, TxTrack::Read).unwrap();
+        s.apply(CoreId(0), LineAddr(0), Access::Read, TxTrack::Read)
+            .unwrap();
+        s.apply(CoreId(0), LineAddr(4), Access::Read, TxTrack::Read)
+            .unwrap();
         let e = s.apply(CoreId(0), LineAddr(8), Access::Read, TxTrack::Read);
         assert_eq!(e.unwrap_err(), LockFail::Capacity);
     }
@@ -704,8 +705,10 @@ mod tests {
     #[test]
     fn unpinned_lines_evict_quietly() {
         let mut s = sys(1);
-        s.apply(CoreId(0), LineAddr(0), Access::Read, TxTrack::None).unwrap();
-        s.apply(CoreId(0), LineAddr(4), Access::Read, TxTrack::None).unwrap();
+        s.apply(CoreId(0), LineAddr(0), Access::Read, TxTrack::None)
+            .unwrap();
+        s.apply(CoreId(0), LineAddr(4), Access::Read, TxTrack::None)
+            .unwrap();
         let r = s.apply(CoreId(0), LineAddr(8), Access::Read, TxTrack::None);
         assert!(r.is_ok());
         // Victim went to the L2 shadow: a re-access is served by L2.
@@ -723,7 +726,10 @@ mod tests {
         let l = LineAddr(6);
         s.lock_line(CoreId(0), l).unwrap();
         assert_eq!(s.locked_by(l), Some(CoreId(0)));
-        assert_eq!(s.lock_line(CoreId(1), l).unwrap_err(), LockFail::LockedBy(CoreId(0)));
+        assert_eq!(
+            s.lock_line(CoreId(1), l).unwrap_err(),
+            LockFail::LockedBy(CoreId(0))
+        );
         assert_eq!(s.stats().lock_conflicts, 1);
     }
 
@@ -773,20 +779,25 @@ mod tests {
     #[test]
     fn clear_tx_unpins() {
         let mut s = sys(1);
-        s.apply(CoreId(0), LineAddr(0), Access::Read, TxTrack::Read).unwrap();
-        s.apply(CoreId(0), LineAddr(4), Access::Write, TxTrack::Write).unwrap();
+        s.apply(CoreId(0), LineAddr(0), Access::Read, TxTrack::Read)
+            .unwrap();
+        s.apply(CoreId(0), LineAddr(4), Access::Write, TxTrack::Write)
+            .unwrap();
         assert_eq!(s.tx_lines(CoreId(0)).len(), 2);
         s.clear_tx(CoreId(0));
         assert!(s.tx_lines(CoreId(0)).is_empty());
         // Set 0 no longer pinned: a third line can come in.
-        assert!(s.apply(CoreId(0), LineAddr(8), Access::Read, TxTrack::Read).is_ok());
+        assert!(s
+            .apply(CoreId(0), LineAddr(8), Access::Read, TxTrack::Read)
+            .is_ok());
     }
 
     #[test]
     fn read_untracked_changes_nothing() {
         let mut s = sys(2);
         let l = LineAddr(9);
-        s.apply(CoreId(0), l, Access::Write, TxTrack::Write).unwrap();
+        s.apply(CoreId(0), l, Access::Write, TxTrack::Write)
+            .unwrap();
         let lat = s.read_untracked(CoreId(1), l);
         assert!(lat >= 45);
         assert!(!s.is_cached(CoreId(1), l));
@@ -817,8 +828,10 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let mut s = sys(2);
-        s.apply(CoreId(0), LineAddr(1), Access::Read, TxTrack::None).unwrap();
-        s.apply(CoreId(0), LineAddr(1), Access::Read, TxTrack::None).unwrap();
+        s.apply(CoreId(0), LineAddr(1), Access::Read, TxTrack::None)
+            .unwrap();
+        s.apply(CoreId(0), LineAddr(1), Access::Read, TxTrack::None)
+            .unwrap();
         s.lock_line(CoreId(0), LineAddr(2)).unwrap();
         s.unlock_all(CoreId(0));
         let st = s.stats();

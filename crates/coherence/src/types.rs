@@ -1,12 +1,9 @@
 //! Shared coherence-layer types.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a simulated core.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CoreId(pub usize);
 
 impl fmt::Debug for CoreId {
@@ -22,7 +19,7 @@ impl fmt::Display for CoreId {
 }
 
 /// Kind of memory access at the coherence layer.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Access {
     /// Read permission (Shared is enough).
     Read,
@@ -31,7 +28,7 @@ pub enum Access {
 }
 
 /// MESI stable states of a line in a private cache.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum MesiState {
     /// Exclusive ownership, dirty with respect to memory.
     Modified,
@@ -49,7 +46,7 @@ impl MesiState {
 }
 
 /// How an access should be recorded in the requester's transactional sets.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum TxTrack {
     /// Non-transactional access (outside any AR, or fallback execution).
     None,
@@ -60,7 +57,7 @@ pub enum TxTrack {
 }
 
 /// Which level of the hierarchy served an access (Table 2 latencies).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ServedBy {
     /// Requester's L1 (1 cycle).
     L1,
@@ -112,7 +109,10 @@ mod tests {
 
     #[test]
     fn lock_fail_display() {
-        assert_eq!(LockFail::LockedBy(CoreId(1)).to_string(), "line locked by core1");
+        assert_eq!(
+            LockFail::LockedBy(CoreId(1)).to_string(),
+            "line locked by core1"
+        );
         assert_eq!(LockFail::Capacity.to_string(), "cache capacity exhausted");
     }
 }

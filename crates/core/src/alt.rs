@@ -1,11 +1,10 @@
 //! The Addresses to Lock Table (ALT, Fig. 7 ③).
 
 use clear_mem::{CacheGeometry, LexKey, LineAddr};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One ALT entry: a cacheline learned during discovery.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AltEntry {
     /// The cacheline address.
     pub line: LineAddr,
@@ -70,7 +69,11 @@ impl Alt {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize, dir: CacheGeometry) -> Self {
         assert!(capacity > 0, "ALT capacity must be non-zero");
-        Alt { capacity, dir, entries: Vec::new() }
+        Alt {
+            capacity,
+            dir,
+            entries: Vec::new(),
+        }
     }
 
     fn key(&self, line: LineAddr) -> LexKey {
@@ -95,12 +98,16 @@ impl Alt {
             return Err(AltOverflow);
         }
         let key = self.key(line);
-        let pos = self
-            .entries
-            .partition_point(|e| self.key_of(e) < key);
+        let pos = self.entries.partition_point(|e| self.key_of(e) < key);
         self.entries.insert(
             pos,
-            AltEntry { line, needs_locking: written, locked: false, hit: false, conflict: false },
+            AltEntry {
+                line,
+                needs_locking: written,
+                locked: false,
+                hit: false,
+                conflict: false,
+            },
         );
         self.refresh_conflict_bits();
         Ok(())
@@ -111,10 +118,13 @@ impl Alt {
     }
 
     fn refresh_conflict_bits(&mut self) {
-        let sets: Vec<usize> = self.entries.iter().map(|e| self.key_of(e).dir_set).collect();
+        let sets: Vec<usize> = self
+            .entries
+            .iter()
+            .map(|e| self.key_of(e).dir_set)
+            .collect();
         for i in 0..self.entries.len() {
-            self.entries[i].conflict =
-                i + 1 < self.entries.len() && sets[i + 1] == sets[i];
+            self.entries[i].conflict = i + 1 < self.entries.len() && sets[i + 1] == sets[i];
         }
     }
 
@@ -231,7 +241,10 @@ mod tests {
         }
         let flags: Vec<(u64, bool)> = a.iter().map(|e| (e.line.0, e.conflict)).collect();
         // Group {0,4,8}: first two marked, last clear; singletons clear.
-        assert_eq!(flags, vec![(0, true), (4, true), (8, false), (1, false), (6, false)]);
+        assert_eq!(
+            flags,
+            vec![(0, true), (4, true), (8, false), (1, false), (6, false)]
+        );
     }
 
     #[test]
@@ -272,7 +285,10 @@ mod tests {
         for l in [0u64, 4, 8, 1] {
             a.observe(LineAddr(l), false).unwrap();
         }
-        assert_eq!(a.group_of(LineAddr(4)), vec![LineAddr(0), LineAddr(4), LineAddr(8)]);
+        assert_eq!(
+            a.group_of(LineAddr(4)),
+            vec![LineAddr(0), LineAddr(4), LineAddr(8)]
+        );
         assert_eq!(a.group_of(LineAddr(1)), vec![LineAddr(1)]);
     }
 

@@ -1,9 +1,7 @@
 //! CLEAR hardware configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// Which read lines S-CL locks in addition to the write set.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SclLockPolicy {
     /// Lock the write set plus reads recorded in the CRT (the paper's
     /// choice, §4.4.2: avoids requesting exclusivity for shared reads).
@@ -14,7 +12,7 @@ pub enum SclLockPolicy {
 }
 
 /// Sizes of the CLEAR structures (§5, Fig. 7 defaults; < 1 KiB per core).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ClearConfig {
     /// ERT entries (paper: 16, fully associative).
     pub ert_entries: usize,

@@ -28,7 +28,9 @@ pub struct Crt {
 impl Crt {
     /// Creates a CRT with `sets × ways` entries (paper: 8 × 8).
     pub fn new(sets: usize, ways: usize) -> Self {
-        Crt { table: SetAssocCache::new(CacheGeometry::new(sets, ways)) }
+        Crt {
+            table: SetAssocCache::new(CacheGeometry::new(sets, ways)),
+        }
     }
 
     /// Records a conflicting read of `line` (LRU-replacing within its set).

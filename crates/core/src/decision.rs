@@ -1,12 +1,11 @@
 //! The Fig. 2 decision tree: choosing the re-execution mode after an abort.
 
 use crate::DiscoveryAssessment;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How an aborted AR re-executes (§4.3, in the paper's reverse-hierarchy
 /// numbering).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum RetryMode {
     /// 3 — Non-Speculative Cacheline-Locked execution: the footprint is
     /// immutable and simultaneously lockable; completion is guaranteed.
@@ -70,7 +69,13 @@ mod tests {
     use super::*;
 
     fn assessment(overflowed: bool, lockable: bool, immutable: bool) -> DiscoveryAssessment {
-        DiscoveryAssessment { overflowed, lockable, immutable, footprint: vec![], written: vec![] }
+        DiscoveryAssessment {
+            overflowed,
+            lockable,
+            immutable,
+            footprint: vec![],
+            written: vec![],
+        }
     }
 
     #[test]
@@ -85,13 +90,22 @@ mod tests {
 
     #[test]
     fn unlockable_is_speculative() {
-        assert_eq!(decide(&assessment(false, false, true)), RetryMode::SpeculativeRetry);
-        assert_eq!(decide(&assessment(false, false, false)), RetryMode::SpeculativeRetry);
+        assert_eq!(
+            decide(&assessment(false, false, true)),
+            RetryMode::SpeculativeRetry
+        );
+        assert_eq!(
+            decide(&assessment(false, false, false)),
+            RetryMode::SpeculativeRetry
+        );
     }
 
     #[test]
     fn overflow_is_speculative() {
-        assert_eq!(decide(&assessment(true, false, true)), RetryMode::SpeculativeRetry);
+        assert_eq!(
+            decide(&assessment(true, false, true)),
+            RetryMode::SpeculativeRetry
+        );
     }
 
     #[test]

@@ -201,7 +201,10 @@ mod tests {
 
     #[test]
     fn alt_overflow_marks_overflowed() {
-        let cfg = ClearConfig { alt_entries: 2, ..ClearConfig::default() };
+        let cfg = ClearConfig {
+            alt_entries: 2,
+            ..ClearConfig::default()
+        };
         let mut d = Discovery::new(&cfg, CacheGeometry::new(16, 4));
         for l in 0..3u64 {
             d.on_access(LineAddr(l), false, false);

@@ -1,9 +1,7 @@
 //! The Explored Region Table (ERT, Fig. 7 ②).
 
-use serde::{Deserialize, Serialize};
-
 /// Per-static-AR state stored in the ERT.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ErtEntry {
     /// Cacheline locking can be employed on a retry.
     pub is_convertible: bool,
@@ -19,7 +17,11 @@ impl ErtEntry {
 
     /// The reset state of a fresh entry: convertible, immutable, counter 0.
     pub fn fresh() -> Self {
-        ErtEntry { is_convertible: true, is_immutable: true, sq_full: 0 }
+        ErtEntry {
+            is_convertible: true,
+            is_immutable: true,
+            sq_full: 0,
+        }
     }
 
     /// Current SQ-full counter value (0..=3).
@@ -87,7 +89,11 @@ impl Ert {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "ERT capacity must be non-zero");
-        Ert { capacity, entries: Vec::new(), tick: 0 }
+        Ert {
+            capacity,
+            entries: Vec::new(),
+            tick: 0,
+        }
     }
 
     /// Looks up the entry for AR `key` without allocating or touching LRU.
@@ -105,7 +111,11 @@ impl Ert {
             return &mut self.entries[i].entry;
         }
         if self.entries.len() < self.capacity {
-            self.entries.push(Slot { key, entry: ErtEntry::fresh(), last_use: tick });
+            self.entries.push(Slot {
+                key,
+                entry: ErtEntry::fresh(),
+                last_use: tick,
+            });
             let i = self.entries.len() - 1;
             return &mut self.entries[i].entry;
         }
@@ -116,7 +126,11 @@ impl Ert {
             .min_by_key(|(_, s)| s.last_use)
             .map(|(i, _)| i)
             .expect("capacity > 0");
-        self.entries[lru] = Slot { key, entry: ErtEntry::fresh(), last_use: tick };
+        self.entries[lru] = Slot {
+            key,
+            entry: ErtEntry::fresh(),
+            last_use: tick,
+        };
         &mut self.entries[lru].entry
     }
 

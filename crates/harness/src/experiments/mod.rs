@@ -1,0 +1,341 @@
+//! The experiment registry: one named entry per reproduced figure, table
+//! or study.
+//!
+//! Every experiment is a pure function from [`SuiteOptions`] to an
+//! [`ExperimentOutput`]: the exact text the legacy `clear-bench` binary
+//! printed to stdout (those binaries are now thin wrappers over this
+//! registry) plus a machine-readable JSON document. Gated experiments
+//! additionally declare a [`GoldenSpec`] pinning the options and
+//! tolerances used for regression checks against `goldens/`.
+
+mod figures;
+mod studies;
+mod tables;
+mod verify;
+
+use crate::golden::Tolerances;
+use crate::json::Json;
+use crate::suite::SuiteOptions;
+use clear_workloads::Size;
+
+/// Result of running one experiment.
+#[derive(Clone, Debug)]
+pub struct ExperimentOutput {
+    /// Exact stdout of the legacy binary.
+    pub text: String,
+    /// Machine-readable result document.
+    pub json: Json,
+    /// Failed checks (only `verify` sets this; drives the exit status).
+    pub failures: usize,
+}
+
+impl ExperimentOutput {
+    fn new(text: String, json: Json) -> Self {
+        ExperimentOutput {
+            text,
+            json,
+            failures: 0,
+        }
+    }
+}
+
+/// A registered experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct Experiment {
+    /// Registry name (`cargo run -p clear-harness -- run <name>`).
+    pub name: &'static str,
+    /// Paper artifact it reproduces.
+    pub artifact: &'static str,
+    /// One-line description.
+    pub about: &'static str,
+    /// The runner.
+    pub run: fn(&SuiteOptions) -> ExperimentOutput,
+    /// Golden gating, if this experiment is regression-checked.
+    pub golden: Option<GoldenSpec>,
+}
+
+/// How a gated experiment pins its golden baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct GoldenSpec {
+    /// Options the golden was generated with (fixed, CLI flags ignored).
+    pub opts: fn() -> SuiteOptions,
+    /// Float tolerances for the comparison.
+    pub tolerances: Tolerances,
+}
+
+fn small() -> SuiteOptions {
+    SuiteOptions {
+        size: Size::Small,
+        ..SuiteOptions::default()
+    }
+}
+
+fn medium() -> SuiteOptions {
+    SuiteOptions {
+        size: Size::Medium,
+        ..SuiteOptions::default()
+    }
+}
+
+/// Tolerances for gated experiments: integer metrics (cycles, counts)
+/// must match exactly; derived float metrics (ratios, percentages, means)
+/// absorb only serialization round-off.
+const GATED_TOLERANCES: Tolerances = Tolerances {
+    default_rel: 1e-9,
+    overrides: &[("pct", 1e-6), ("ratio", 1e-6), ("share", 1e-6)],
+};
+
+/// Every registered experiment, in documentation order.
+pub static EXPERIMENTS: &[Experiment] = &[
+    Experiment {
+        name: "fig01",
+        artifact: "Figure 1",
+        about: "share of retried ARs with a small immutable footprint",
+        run: figures::fig01,
+        golden: Some(GoldenSpec {
+            opts: medium,
+            tolerances: GATED_TOLERANCES,
+        }),
+    },
+    Experiment {
+        name: "fig08",
+        artifact: "Figure 8",
+        about: "execution time normalized to requester-wins",
+        run: figures::fig08,
+        golden: None,
+    },
+    Experiment {
+        name: "fig09",
+        artifact: "Figure 9",
+        about: "aborts per committed transaction",
+        run: figures::fig09,
+        golden: None,
+    },
+    Experiment {
+        name: "fig10",
+        artifact: "Figure 10",
+        about: "energy normalized to requester-wins",
+        run: figures::fig10,
+        golden: None,
+    },
+    Experiment {
+        name: "fig11",
+        artifact: "Figure 11",
+        about: "abort breakdown per type",
+        run: figures::fig11,
+        golden: None,
+    },
+    Experiment {
+        name: "fig12",
+        artifact: "Figure 12",
+        about: "commit breakdown per execution mode",
+        run: figures::fig12,
+        golden: None,
+    },
+    Experiment {
+        name: "fig13",
+        artifact: "Figure 13",
+        about: "commit breakdown per number of retries",
+        run: figures::fig13,
+        golden: None,
+    },
+    Experiment {
+        name: "report",
+        artifact: "Figures 8-13",
+        about: "one-pass evaluation report over a single suite run",
+        run: figures::report,
+        golden: Some(GoldenSpec {
+            opts: medium,
+            tolerances: GATED_TOLERANCES,
+        }),
+    },
+    Experiment {
+        name: "table1",
+        artifact: "Table 1",
+        about: "static AR characterization per benchmark",
+        run: tables::table1,
+        golden: None,
+    },
+    Experiment {
+        name: "table1-measured",
+        artifact: "Table 1 (measured)",
+        about: "dynamic immutability of discovery decisions per AR",
+        run: tables::table1_measured,
+        golden: Some(GoldenSpec {
+            opts: SuiteOptions::default,
+            tolerances: GATED_TOLERANCES,
+        }),
+    },
+    Experiment {
+        name: "table2",
+        artifact: "Table 2",
+        about: "instantiated baseline system configuration",
+        run: tables::table2,
+        golden: None,
+    },
+    Experiment {
+        name: "ablation",
+        artifact: "DESIGN.md ablations",
+        about: "CLEAR design-choice ablations (CRT, lock policy, ALT, ERT)",
+        run: studies::ablation,
+        golden: Some(GoldenSpec {
+            opts: small,
+            tolerances: GATED_TOLERANCES,
+        }),
+    },
+    Experiment {
+        name: "ar-breakdown",
+        artifact: "Table 1 follow-up",
+        about: "per-AR dynamic outcome under CLEAR",
+        run: studies::ar_breakdown,
+        golden: None,
+    },
+    Experiment {
+        name: "dse-retries",
+        artifact: "paper §6 methodology",
+        about: "retry-threshold sensitivity curves",
+        run: studies::dse_retries,
+        golden: None,
+    },
+    Experiment {
+        name: "mad-vs-clear",
+        artifact: "paper §1-§2 motivation",
+        about: "a-priori cacheline locking vs speculation vs CLEAR",
+        run: studies::mad_vs_clear,
+        golden: None,
+    },
+    Experiment {
+        name: "scaling",
+        artifact: "extension study",
+        about: "execution cycles vs core count",
+        run: studies::scaling,
+        golden: None,
+    },
+    Experiment {
+        name: "sle",
+        artifact: "extension study (§4.1 vs §4.2)",
+        about: "CLEAR with in-core (SLE) vs HTM speculation",
+        run: studies::sle_vs_htm,
+        golden: Some(GoldenSpec {
+            opts: small,
+            tolerances: GATED_TOLERANCES,
+        }),
+    },
+    Experiment {
+        name: "trace",
+        artifact: "debugging aid",
+        about: "event timeline of a short traced run",
+        run: studies::trace_dump,
+        golden: None,
+    },
+    Experiment {
+        name: "verify",
+        artifact: "install check",
+        about: "atomicity invariants across the full benchmark grid",
+        run: verify::verify,
+        golden: None,
+    },
+];
+
+/// Finds an experiment by registry name.
+pub fn find(name: &str) -> Option<&'static Experiment> {
+    EXPERIMENTS.iter().find(|e| e.name == name)
+}
+
+/// Runs an experiment and streams its legacy text to stdout; the process
+/// exit code reflects `failures`. This is the whole body of every thin
+/// wrapper binary in `clear-bench`.
+pub fn run_to_stdout(name: &str, opts: &SuiteOptions) {
+    let exp = find(name).unwrap_or_else(|| panic!("unknown experiment {name}"));
+    let out = (exp.run)(opts);
+    print!("{}", out.text);
+    if out.failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// `Size` as its CLI spelling.
+pub(crate) fn size_str(size: Size) -> &'static str {
+    match size {
+        Size::Tiny => "tiny",
+        Size::Small => "small",
+        Size::Medium => "medium",
+    }
+}
+
+/// The options block embedded in every result document, so a golden file
+/// is self-describing.
+pub(crate) fn opts_json(opts: &SuiteOptions) -> Json {
+    Json::obj([
+        ("size", Json::from(size_str(opts.size))),
+        ("cores", Json::from(opts.cores)),
+        (
+            "seeds",
+            Json::arr(opts.seeds.iter().map(|&s| Json::from(s))),
+        ),
+        (
+            "retry_sweep",
+            Json::arr(opts.retry_sweep.iter().map(|&r| Json::from(r))),
+        ),
+        (
+            "benchmarks",
+            Json::arr(opts.benchmarks.iter().map(|&b| Json::from(b))),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        for e in EXPERIMENTS {
+            assert_eq!(find(e.name).map(|f| f.name), Some(e.name));
+            assert_eq!(
+                EXPERIMENTS.iter().filter(|o| o.name == e.name).count(),
+                1,
+                "{}",
+                e.name
+            );
+        }
+        assert!(find("no-such-experiment").is_none());
+    }
+
+    #[test]
+    fn gated_experiments_cover_the_five_legacy_snapshots() {
+        let gated: Vec<&str> = EXPERIMENTS
+            .iter()
+            .filter(|e| e.golden.is_some())
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(
+            gated,
+            ["fig01", "report", "table1-measured", "ablation", "sle"]
+        );
+    }
+
+    #[test]
+    fn quick_experiments_produce_text_and_json() {
+        let opts = SuiteOptions {
+            size: Size::Tiny,
+            cores: 4,
+            seeds: vec![1],
+            retry_sweep: vec![5],
+            benchmarks: vec!["mwobject"],
+            workers: 4,
+        };
+        for name in ["fig01", "table1", "table2", "sle", "verify", "trace"] {
+            let exp = find(name).expect(name);
+            let out = (exp.run)(&opts);
+            assert!(!out.text.is_empty(), "{name} produced no text");
+            assert!(
+                matches!(out.json, Json::Obj(_)),
+                "{name} produced no object"
+            );
+            if name != "verify" {
+                assert_eq!(out.failures, 0, "{name}");
+            }
+        }
+    }
+}

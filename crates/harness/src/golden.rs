@@ -1,0 +1,268 @@
+//! Golden-baseline storage and drift comparison.
+//!
+//! Each gated experiment stores its JSON result under `goldens/<name>.json`
+//! at the repository root. A check re-runs the experiment with the pinned
+//! options and walks both trees: integers must match exactly, floats must
+//! agree within a relative tolerance (a default plus per-metric overrides
+//! keyed on path fragments), and any structural difference — missing key,
+//! extra row, type change — is a drift. The CLI exits nonzero if any drift
+//! survives, which is what CI gates on.
+
+use crate::json::Json;
+use std::path::PathBuf;
+
+/// Where golden files live: `goldens/` at the repository root.
+pub fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../goldens")
+}
+
+/// Path of one golden file.
+pub fn golden_path(name: &str) -> PathBuf {
+    goldens_dir().join(format!("{name}.json"))
+}
+
+/// Loads a golden baseline.
+///
+/// # Errors
+///
+/// Returns a message if the file is missing or malformed.
+pub fn load(name: &str) -> Result<Json, String> {
+    let path = golden_path(name);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Writes a golden baseline (pretty-printed, trailing newline).
+///
+/// # Errors
+///
+/// Returns a message on I/O failure.
+pub fn store(name: &str, value: &Json) -> Result<PathBuf, String> {
+    let dir = goldens_dir();
+    std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    let path = golden_path(name);
+    std::fs::write(&path, value.to_pretty())
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// One detected difference between golden and actual.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Drift {
+    /// Slash-separated path into the JSON tree (`rows/3/cycles`).
+    pub path: String,
+    /// Human-readable description of the difference.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Drift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.path, self.detail)
+    }
+}
+
+/// Float comparison tolerances: a default relative bound plus overrides
+/// that apply to any path containing the given fragment.
+#[derive(Clone, Copy, Debug)]
+pub struct Tolerances {
+    /// Relative tolerance for floats with no matching override.
+    pub default_rel: f64,
+    /// `(path fragment, relative tolerance)` overrides; the first matching
+    /// fragment wins.
+    pub overrides: &'static [(&'static str, f64)],
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        // The simulation is deterministic, so goldens should reproduce to
+        // the last bit; the nonzero default only absorbs float-formatting
+        // round-trips.
+        Tolerances {
+            default_rel: 1e-9,
+            overrides: &[],
+        }
+    }
+}
+
+impl Tolerances {
+    fn rel_for(&self, path: &str) -> f64 {
+        for (fragment, rel) in self.overrides {
+            if path.contains(fragment) {
+                return *rel;
+            }
+        }
+        self.default_rel
+    }
+}
+
+/// Compares an actual result against the golden baseline.
+///
+/// Returns every drift found (empty = pass).
+pub fn compare(golden: &Json, actual: &Json, tol: &Tolerances) -> Vec<Drift> {
+    let mut drifts = Vec::new();
+    walk(golden, actual, "", tol, &mut drifts);
+    drifts
+}
+
+fn walk(golden: &Json, actual: &Json, path: &str, tol: &Tolerances, out: &mut Vec<Drift>) {
+    let here = |p: &str| {
+        if p.is_empty() {
+            "<root>".to_string()
+        } else {
+            p.to_string()
+        }
+    };
+    match (golden, actual) {
+        (Json::Null, Json::Null) => {}
+        (Json::Bool(g), Json::Bool(a)) => {
+            if g != a {
+                out.push(Drift {
+                    path: here(path),
+                    detail: format!("expected {g}, got {a}"),
+                });
+            }
+        }
+        (Json::Int(g), Json::Int(a)) => {
+            if g != a {
+                out.push(Drift {
+                    path: here(path),
+                    detail: format!("expected {g}, got {a} (exact integer match required)"),
+                });
+            }
+        }
+        (Json::Float(g), Json::Float(a)) => {
+            let rel = tol.rel_for(path);
+            let scale = g.abs().max(a.abs()).max(1e-300);
+            if (g - a).abs() > rel * scale {
+                out.push(Drift {
+                    path: here(path),
+                    detail: format!(
+                        "expected {g}, got {a} (relative error {:.3e} > tolerance {rel:.1e})",
+                        (g - a).abs() / scale
+                    ),
+                });
+            }
+        }
+        // Integer/float mixes compare numerically (a metric may cross the
+        // serialization boundary when a mean lands on a whole number).
+        (Json::Int(g), Json::Float(a)) | (Json::Float(a), Json::Int(g)) => {
+            walk(&Json::Float(*g as f64), &Json::Float(*a), path, tol, out);
+        }
+        (Json::Str(g), Json::Str(a)) => {
+            if g != a {
+                out.push(Drift {
+                    path: here(path),
+                    detail: format!("expected {g:?}, got {a:?}"),
+                });
+            }
+        }
+        (Json::Arr(g), Json::Arr(a)) => {
+            if g.len() != a.len() {
+                out.push(Drift {
+                    path: here(path),
+                    detail: format!("array length {} != {}", g.len(), a.len()),
+                });
+            }
+            for (i, (gv, av)) in g.iter().zip(a.iter()).enumerate() {
+                walk(gv, av, &format!("{path}/{i}"), tol, out);
+            }
+        }
+        (Json::Obj(g), Json::Obj(a)) => {
+            for (k, gv) in g {
+                let child = format!("{path}/{k}");
+                match a.iter().find(|(ak, _)| ak == k) {
+                    Some((_, av)) => walk(gv, av, &child, tol, out),
+                    None => out.push(Drift {
+                        path: child,
+                        detail: "missing in actual result".to_string(),
+                    }),
+                }
+            }
+            for (k, _) in a {
+                if !g.iter().any(|(gk, _)| gk == k) {
+                    out.push(Drift {
+                        path: format!("{path}/{k}"),
+                        detail: "unexpected key (absent from golden)".to_string(),
+                    });
+                }
+            }
+        }
+        (g, a) => {
+            out.push(Drift {
+                path: here(path),
+                detail: format!("type mismatch: golden {g:?} vs actual {a:?}"),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(cycles: i64, ratio: f64) -> Json {
+        Json::obj([(
+            "rows",
+            Json::arr([Json::obj([
+                ("benchmark", Json::from("bst")),
+                ("cycles", Json::Int(cycles)),
+                ("ratio", Json::Float(ratio)),
+            ])]),
+        )])
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let t = Tolerances::default();
+        assert!(compare(&doc(100, 0.5), &doc(100, 0.5), &t).is_empty());
+    }
+
+    #[test]
+    fn integer_drift_is_exact() {
+        let t = Tolerances::default();
+        let drifts = compare(&doc(100, 0.5), &doc(101, 0.5), &t);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].path, "/rows/0/cycles");
+    }
+
+    #[test]
+    fn float_within_tolerance_passes_beyond_fails() {
+        let t = Tolerances {
+            default_rel: 1e-6,
+            overrides: &[],
+        };
+        assert!(compare(&doc(1, 0.5), &doc(1, 0.5 * (1.0 + 1e-8)), &t).is_empty());
+        let drifts = compare(&doc(1, 0.5), &doc(1, 0.5 * (1.0 + 1e-3)), &t);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].path, "/rows/0/ratio");
+    }
+
+    #[test]
+    fn per_metric_override_applies_by_fragment() {
+        let t = Tolerances {
+            default_rel: 1e-9,
+            overrides: &[("ratio", 0.5)],
+        };
+        assert!(compare(&doc(1, 0.5), &doc(1, 0.6), &t).is_empty());
+    }
+
+    #[test]
+    fn structural_differences_are_drifts() {
+        let t = Tolerances::default();
+        let golden = Json::obj([("a", Json::Int(1)), ("b", Json::Int(2))]);
+        let actual = Json::obj([("a", Json::Int(1)), ("c", Json::Int(3))]);
+        let drifts = compare(&golden, &actual, &t);
+        assert_eq!(drifts.len(), 2, "{drifts:?}");
+        let golden = Json::arr([Json::Int(1)]);
+        let actual = Json::arr([Json::Int(1), Json::Int(2)]);
+        assert_eq!(compare(&golden, &actual, &t).len(), 1);
+    }
+
+    #[test]
+    fn int_float_mix_compares_numerically() {
+        let t = Tolerances::default();
+        assert!(compare(&Json::Int(3), &Json::Float(3.0), &t).is_empty());
+        assert_eq!(compare(&Json::Int(3), &Json::Float(3.1), &t).len(), 1);
+    }
+}

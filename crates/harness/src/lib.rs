@@ -1,0 +1,34 @@
+//! `clear-harness`: the experiment runner for the CLEAR reproduction.
+//!
+//! The harness owns everything between "a simulator exists" and "the
+//! paper's figures are reproduced and regression-checked":
+//!
+//! - [`experiments`]: a registry of named experiments, one per reproduced
+//!   figure/table/study. The legacy `clear-bench` binaries are thin
+//!   wrappers over [`experiments::run_to_stdout`].
+//! - [`suite`]: the (benchmark × preset × retry × seed) grid engine with
+//!   the paper's best-of retry sweep and trimmed-mean aggregation.
+//! - [`pool`]: a scoped worker pool that spreads the grid over threads
+//!   while keeping results bit-identical to a sequential run.
+//! - [`json`]: a small hand-rolled JSON document model (emit + parse), so
+//!   the harness needs no external crates.
+//! - [`golden`]: versioned golden baselines under `goldens/` with
+//!   per-metric drift tolerances; the CLI's `check` exits nonzero on any
+//!   drift, which is what CI gates on.
+//!
+//! ```text
+//! cargo run --release -p clear-harness -- list
+//! cargo run --release -p clear-harness -- run fig08 --size small
+//! cargo run --release -p clear-harness -- check
+//! ```
+
+pub mod experiments;
+pub mod golden;
+pub mod json;
+pub mod pool;
+pub mod suite;
+
+pub use suite::{
+    bar, format_table, geomean, print_table, run_cell, run_once, run_suite, trimmed_mean,
+    CellResult, SuiteOptions,
+};

@@ -1,0 +1,158 @@
+//! The `clear-harness` CLI: list experiments, run them, and manage the
+//! golden regression baselines.
+//!
+//! ```text
+//! clear-harness list
+//! clear-harness run <name>|all [suite options] [--json]
+//! clear-harness golden update [names...]
+//! clear-harness check [names...]
+//! ```
+
+use clear_harness::experiments::{find, Experiment, EXPERIMENTS};
+use clear_harness::{golden, SuiteOptions};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  clear-harness list\n  clear-harness run <name>|all \
+         [--size tiny|small|medium] [--cores N] [--seeds N]\n      \
+         [--sweep full|quick|none] [--bench NAME] [--workers N] [--json]\n  \
+         clear-harness golden update [names...]\n  clear-harness check [names...]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => list(),
+        Some("run") => run(&args[1..]),
+        Some("golden") if args.get(1).map(String::as_str) == Some("update") => update(&args[2..]),
+        Some("check") => check(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn list() {
+    println!("{:16} {:20} {:>7}  about", "name", "artifact", "golden");
+    for e in EXPERIMENTS {
+        let gated = if e.golden.is_some() { "yes" } else { "-" };
+        println!("{:16} {:20} {:>7}  {}", e.name, e.artifact, gated, e.about);
+    }
+}
+
+fn run(args: &[String]) {
+    let Some(name) = args.first() else { usage() };
+    let mut rest: Vec<String> = args[1..].to_vec();
+    let as_json = rest
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| rest.remove(i))
+        .is_some();
+    let opts = SuiteOptions::from_arg_slice(&rest);
+    let selected: Vec<&Experiment> = if name == "all" {
+        EXPERIMENTS.iter().collect()
+    } else {
+        vec![find(name).unwrap_or_else(|| {
+            eprintln!("unknown experiment {name} (try `clear-harness list`)");
+            std::process::exit(2);
+        })]
+    };
+    let mut failures = 0;
+    for e in selected {
+        let out = (e.run)(&opts);
+        if as_json {
+            println!("{}", out.json.to_pretty());
+        } else {
+            print!("{}", out.text);
+        }
+        failures += out.failures;
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Resolves the gated experiments named on the command line (all of them
+/// when the list is empty).
+fn gated(names: &[String]) -> Vec<&'static Experiment> {
+    let all: Vec<&Experiment> = EXPERIMENTS.iter().filter(|e| e.golden.is_some()).collect();
+    if names.is_empty() {
+        return all;
+    }
+    names
+        .iter()
+        .map(|n| {
+            *all.iter().find(|e| e.name == *n).unwrap_or_else(|| {
+                eprintln!(
+                    "{n} is not a gated experiment (gated: {})",
+                    gated_names(&all)
+                );
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+fn gated_names(all: &[&Experiment]) -> String {
+    all.iter().map(|e| e.name).collect::<Vec<_>>().join(", ")
+}
+
+fn update(names: &[String]) {
+    for e in gated(names) {
+        let spec = e.golden.expect("gated");
+        let opts = (spec.opts)();
+        eprintln!("regenerating golden for {} ({})...", e.name, e.artifact);
+        let out = (e.run)(&opts);
+        match golden::store(e.name, &out.json) {
+            Ok(path) => eprintln!("  wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("  {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn check(names: &[String]) {
+    let mut drifted = 0usize;
+    for e in gated(names) {
+        let spec = e.golden.expect("gated");
+        let baseline = match golden::load(e.name) {
+            Ok(b) => b,
+            Err(msg) => {
+                eprintln!("{}: {msg}", e.name);
+                eprintln!(
+                    "  (run `clear-harness golden update {}` to create it)",
+                    e.name
+                );
+                drifted += 1;
+                continue;
+            }
+        };
+        let opts = (spec.opts)();
+        eprintln!(
+            "checking {} against {}...",
+            e.name,
+            golden::golden_path(e.name).display()
+        );
+        let out = (e.run)(&opts);
+        let drifts = golden::compare(&baseline, &out.json, &spec.tolerances);
+        if drifts.is_empty() {
+            eprintln!("  ok");
+        } else {
+            drifted += 1;
+            eprintln!("  {} drift(s):", drifts.len());
+            for d in drifts.iter().take(25) {
+                eprintln!("    {d}");
+            }
+            if drifts.len() > 25 {
+                eprintln!("    ... {} more", drifts.len() - 25);
+            }
+        }
+    }
+    if drifted > 0 {
+        eprintln!("\ngolden check FAILED for {drifted} experiment(s)");
+        std::process::exit(1);
+    }
+    eprintln!("\nall golden checks passed");
+}

@@ -1,0 +1,85 @@
+//! A minimal scoped worker pool for embarrassingly parallel grids.
+//!
+//! The experiment grids (benchmark × configuration × retry threshold ×
+//! seed) are pure functions of their index, so the pool is nothing more
+//! than an atomic work-stealing counter over `std::thread::scope`: no
+//! channels, no dependencies, deterministic results (every job writes only
+//! its own slot, so the output order is independent of scheduling).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The default worker count: every available core, but at least 4 so the
+/// grid is genuinely exercised concurrently even on small machines.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(4)
+}
+
+/// Runs `f(0..n)` across `workers` scoped threads and returns the results
+/// in index order.
+///
+/// Jobs are claimed from a shared atomic counter, so long and short jobs
+/// interleave without static partitioning. If a job panics, the panic is
+/// propagated to the caller once the remaining workers drain.
+///
+/// # Panics
+///
+/// Propagates the first panic raised by any job.
+pub fn run_indexed<T, F>(n: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                *slots[i].lock().expect("job slot poisoned") = Some(value);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("job slot poisoned")
+                .expect("every job index was claimed and completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let out = run_indexed(100, 7, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_and_more_workers_than_jobs() {
+        assert_eq!(run_indexed(3, 1, |i| i), vec![0, 1, 2]);
+        assert_eq!(run_indexed(3, 64, |i| i), vec![0, 1, 2]);
+        assert_eq!(run_indexed::<usize, _>(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn default_workers_is_at_least_four() {
+        assert!(default_workers() >= 4);
+    }
+}

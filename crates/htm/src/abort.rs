@@ -1,11 +1,10 @@
 //! Abort taxonomy (Fig. 11 of the paper).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Why an atomic region aborted, ordered roughly from cheap to expensive
 /// (the grouping of Fig. 11).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AbortKind {
     /// A transactional memory conflict (remote access hit the read/write
     /// set, or this AR lost requester-wins arbitration).

@@ -43,7 +43,11 @@ pub struct FallbackLock {
 impl FallbackLock {
     /// Creates the lock living on cacheline `line`.
     pub fn new(line: LineAddr) -> Self {
-        FallbackLock { line, writer: None, readers: 0 }
+        FallbackLock {
+            line,
+            writer: None,
+            readers: 0,
+        }
     }
 
     /// The cacheline speculative ARs subscribe to.

@@ -1,10 +1,9 @@
 //! Conflict resolution and retry policies.
 
 use clear_coherence::CoreId;
-use serde::{Deserialize, Serialize};
 
 /// Which baseline HTM flavour is simulated (the B/P axes of the figures).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum HtmFlavor {
     /// Intel-TSX-like requester-wins: the core *receiving* a conflicting
     /// coherence request aborts; the requester proceeds.
@@ -44,11 +43,7 @@ pub enum Resolution {
 /// abort *each other*: a power requester hitting an S-CL victim is NACKed
 /// too. A plain requester hitting an S-CL victim still aborts the victim
 /// (which then records the line in its CRT and locks it on the next retry).
-pub fn resolve_conflict(
-    flavor: HtmFlavor,
-    requester: TxInfo,
-    victims: &[TxInfo],
-) -> Resolution {
+pub fn resolve_conflict(flavor: HtmFlavor, requester: TxInfo, victims: &[TxInfo]) -> Resolution {
     let protected = |v: &TxInfo| match flavor {
         HtmFlavor::RequesterWins => false,
         HtmFlavor::PowerTm => v.power || (v.scl && requester.power),
@@ -64,7 +59,7 @@ pub fn resolve_conflict(
 ///
 /// The paper performs a per-application design-space exploration over 1..10
 /// maximum retries and reports the best; harnesses sweep this value.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Counted aborts after which the AR takes the fallback path.
     pub max_retries: u32,
@@ -100,7 +95,11 @@ mod tests {
     use super::*;
 
     fn plain(core: usize) -> TxInfo {
-        TxInfo { core: CoreId(core), power: false, scl: false }
+        TxInfo {
+            core: CoreId(core),
+            power: false,
+            scl: false,
+        }
     }
 
     #[test]
@@ -131,7 +130,10 @@ mod tests {
         let mut v = plain(1);
         v.scl = true;
         for f in [HtmFlavor::RequesterWins, HtmFlavor::PowerTm] {
-            assert_eq!(resolve_conflict(f, plain(0), &[v]), Resolution::AbortVictims);
+            assert_eq!(
+                resolve_conflict(f, plain(0), &[v]),
+                Resolution::AbortVictims
+            );
         }
     }
 

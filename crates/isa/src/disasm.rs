@@ -82,7 +82,12 @@ impl Program {
         for pc in 0..self.len() {
             let instr = self.fetch(pc);
             let rendered = match instr {
-                Instr::Branch { cond, rs1, rs2, target } => {
+                Instr::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    target,
+                } => {
                     format!("b{cond} {rs1}, {rs2} -> @{}", self.resolve(*target))
                 }
                 Instr::Jmp { target } => format!("jmp -> @{}", self.resolve(*target)),
@@ -102,21 +107,61 @@ mod tests {
     #[test]
     fn instruction_rendering() {
         assert_eq!(Instr::Li { rd: Reg(1), imm: 7 }.to_string(), "li r1, 7");
-        assert_eq!(Instr::Mv { rd: Reg(2), rs: Reg(3) }.to_string(), "mv r2, r3");
         assert_eq!(
-            Instr::Alu { op: AluOp::Xor, rd: Reg(1), rs1: Reg(2), rs2: Reg(3) }.to_string(),
+            Instr::Mv {
+                rd: Reg(2),
+                rs: Reg(3)
+            }
+            .to_string(),
+            "mv r2, r3"
+        );
+        assert_eq!(
+            Instr::Alu {
+                op: AluOp::Xor,
+                rd: Reg(1),
+                rs1: Reg(2),
+                rs2: Reg(3)
+            }
+            .to_string(),
             "xor r1, r2, r3"
         );
         assert_eq!(
-            Instr::AluImm { op: AluOp::Add, rd: Reg(1), rs: Reg(1), imm: 8 }.to_string(),
+            Instr::AluImm {
+                op: AluOp::Add,
+                rd: Reg(1),
+                rs: Reg(1),
+                imm: 8
+            }
+            .to_string(),
             "add r1, r1, 8"
         );
-        assert_eq!(Instr::Ld { rd: Reg(4), base: Reg(0), offset: 16 }.to_string(), "ld r4, [r0+16]");
         assert_eq!(
-            Instr::Ld { rd: Reg(4), base: Reg(0), offset: -8 }.to_string(),
+            Instr::Ld {
+                rd: Reg(4),
+                base: Reg(0),
+                offset: 16
+            }
+            .to_string(),
+            "ld r4, [r0+16]"
+        );
+        assert_eq!(
+            Instr::Ld {
+                rd: Reg(4),
+                base: Reg(0),
+                offset: -8
+            }
+            .to_string(),
             "ld r4, [r0-8]"
         );
-        assert_eq!(Instr::St { base: Reg(0), offset: 0, src: Reg(5) }.to_string(), "st [r0+0], r5");
+        assert_eq!(
+            Instr::St {
+                base: Reg(0),
+                offset: 0,
+                src: Reg(5)
+            }
+            .to_string(),
+            "st [r0+0], r5"
+        );
         assert_eq!(Instr::Nop { cycles: 3 }.to_string(), "compute 3");
         assert_eq!(Instr::XEnd.to_string(), "xend");
         assert_eq!(Instr::XAbort { code: 2 }.to_string(), "xabort 2");
@@ -126,7 +171,10 @@ mod tests {
     fn program_disassembly_resolves_targets() {
         let mut b = ProgramBuilder::new();
         let done = b.label();
-        b.branch(Cond::Eq, Reg(1), Reg(2), done).li(Reg(3), 1).bind(done).xend();
+        b.branch(Cond::Eq, Reg(1), Reg(2), done)
+            .li(Reg(3), 1)
+            .bind(done)
+            .xend();
         let text = b.build().disassemble();
         assert!(text.contains("beq r1, r2 -> @2"), "{text}");
         assert!(text.lines().count() == 3);

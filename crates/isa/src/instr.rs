@@ -1,6 +1,5 @@
 //! Instruction set definition.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Number of general-purpose registers.
@@ -9,7 +8,7 @@ pub const NUM_REGS: usize = 32;
 /// A general-purpose register identifier (`r0` .. `r31`).
 ///
 /// All registers are general purpose; there is no hardwired zero register.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg(pub u8);
 
 impl Reg {
@@ -35,7 +34,7 @@ impl fmt::Display for Reg {
 }
 
 /// ALU operations. All operate on 64-bit values with wrapping semantics.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AluOp {
     /// Wrapping addition.
     Add,
@@ -82,7 +81,7 @@ impl AluOp {
 }
 
 /// Branch conditions comparing two registers (unsigned).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Cond {
     /// Equal.
     Eq,
@@ -108,7 +107,7 @@ impl Cond {
 }
 
 /// A branch target label, resolved by [`ProgramBuilder`](crate::ProgramBuilder).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Label(pub(crate) u32);
 
 /// One mini-ISA instruction.
@@ -117,7 +116,7 @@ pub struct Label(pub(crate) u32);
 /// base register's indirection bit determines whether the access is an
 /// *indirection* in the paper's sense (the address depends on a value loaded
 /// inside the AR).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Instr {
     /// `rd <- imm`. Clears `rd`'s indirection bit.
     Li {

@@ -1,7 +1,6 @@
 //! Programs and the label-resolving program builder.
 
 use crate::{AluOp, Cond, Instr, Label, Reg};
-use serde::{Deserialize, Serialize};
 
 /// An immutable, label-resolved atomic-region program.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// indices. A program always terminates in [`Instr::XEnd`] or
 /// [`Instr::XAbort`] on every path (enforced dynamically by the VM: running
 /// off the end is a builder bug and panics).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Program {
     instrs: Vec<Instr>,
     targets: Vec<usize>,
@@ -114,17 +113,32 @@ impl ProgramBuilder {
 
     /// `rd <- rs1 + rs2`.
     pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
-        self.push(Instr::Alu { op: AluOp::Add, rd, rs1, rs2 })
+        self.push(Instr::Alu {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `rd <- rs + imm`.
     pub fn addi(&mut self, rd: Reg, rs: Reg, imm: u64) -> &mut Self {
-        self.push(Instr::AluImm { op: AluOp::Add, rd, rs, imm })
+        self.push(Instr::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs,
+            imm,
+        })
     }
 
     /// `rd <- rs - imm`.
     pub fn subi(&mut self, rd: Reg, rs: Reg, imm: u64) -> &mut Self {
-        self.push(Instr::AluImm { op: AluOp::Sub, rd, rs, imm })
+        self.push(Instr::AluImm {
+            op: AluOp::Sub,
+            rd,
+            rs,
+            imm,
+        })
     }
 
     /// `rd <- op(rs1, rs2)`.
@@ -149,7 +163,12 @@ impl ProgramBuilder {
 
     /// Conditional branch.
     pub fn branch(&mut self, cond: Cond, rs1: Reg, rs2: Reg, target: Label) -> &mut Self {
-        self.push(Instr::Branch { cond, rs1, rs2, target })
+        self.push(Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+        })
     }
 
     /// Unconditional jump.
@@ -186,7 +205,10 @@ impl ProgramBuilder {
             .enumerate()
             .map(|(i, t)| t.unwrap_or_else(|| panic!("label {i} never bound")))
             .collect();
-        Program { instrs: self.instrs, targets }
+        Program {
+            instrs: self.instrs,
+            targets,
+        }
     }
 }
 
@@ -243,7 +265,13 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.li(Reg(7), 42).xend();
         let p = b.build();
-        assert_eq!(*p.fetch(0), Instr::Li { rd: Reg(7), imm: 42 });
+        assert_eq!(
+            *p.fetch(0),
+            Instr::Li {
+                rd: Reg(7),
+                imm: 42
+            }
+        );
         assert_eq!(*p.fetch(1), Instr::XEnd);
         assert_eq!(p.len(), 2);
         assert!(!p.is_empty());

@@ -177,8 +177,7 @@ impl Vm {
                 Effect::Compute { cycles: 1 }
             }
             Instr::Alu { op, rd, rs1, rs2 } => {
-                self.regs[rd.index()] =
-                    op.apply(self.regs[rs1.index()], self.regs[rs2.index()]);
+                self.regs[rd.index()] = op.apply(self.regs[rs1.index()], self.regs[rs2.index()]);
                 self.indirect[rd.index()] =
                     self.indirect[rs1.index()] || self.indirect[rs2.index()];
                 Effect::Compute { cycles: 1 }
@@ -196,7 +195,11 @@ impl Vm {
                 let addr_indirect = self.indirect[base.index()];
                 self.state = VmState::AwaitLoad(rd);
                 self.loads_retired += 1;
-                Effect::Load { addr, dst: rd, addr_indirect }
+                Effect::Load {
+                    addr,
+                    dst: rd,
+                    addr_indirect,
+                }
             }
             Instr::St { base, offset, src } => {
                 let addr = self.effective_addr(base, offset);
@@ -207,14 +210,21 @@ impl Vm {
                     addr_indirect: self.indirect[base.index()],
                 }
             }
-            Instr::Branch { cond, rs1, rs2, target } => {
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => {
                 let taken = cond.eval(self.regs[rs1.index()], self.regs[rs2.index()]);
-                let cond_indirect =
-                    self.indirect[rs1.index()] || self.indirect[rs2.index()];
+                let cond_indirect = self.indirect[rs1.index()] || self.indirect[rs2.index()];
                 if taken {
                     self.pc = self.program.resolve(target);
                 }
-                Effect::Branch { taken, cond_indirect }
+                Effect::Branch {
+                    taken,
+                    cond_indirect,
+                }
             }
             Instr::Jmp { target } => {
                 self.pc = self.program.resolve(target);
@@ -282,7 +292,10 @@ mod tests {
     #[test]
     fn straight_line_arithmetic() {
         let mut b = ProgramBuilder::new();
-        b.li(Reg(0), 6).li(Reg(1), 7).alu(crate::AluOp::Mul, Reg(2), Reg(0), Reg(1)).xend();
+        b.li(Reg(0), 6)
+            .li(Reg(1), 7)
+            .alu(crate::AluOp::Mul, Reg(2), Reg(0), Reg(1))
+            .xend();
         let mut vm = Vm::new(Arc::new(b.build()));
         let mut mem = clear_mem::Memory::new();
         assert_eq!(run_to_end(&mut vm, &mut mem), Effect::Commit);
@@ -305,7 +318,11 @@ mod tests {
 
         // First load: base r0 is a direct entry register.
         match vm.step() {
-            Effect::Load { addr_indirect, addr, .. } => {
+            Effect::Load {
+                addr_indirect,
+                addr,
+                ..
+            } => {
                 assert!(!addr_indirect);
                 vm.finish_load(mem.load_word(addr));
             }
@@ -325,7 +342,10 @@ mod tests {
     #[test]
     fn li_clears_indirection() {
         let mut b = ProgramBuilder::new();
-        b.ld(Reg(1), Reg(0), 0).li(Reg(1), 5).st(Reg(1), 0, Reg(1)).xend();
+        b.ld(Reg(1), Reg(0), 0)
+            .li(Reg(1), 5)
+            .st(Reg(1), 0, Reg(1))
+            .xend();
         let mut vm = Vm::new(Arc::new(b.build()));
         let mut mem = clear_mem::Memory::new();
         let a = mem.alloc_words(1);
@@ -358,7 +378,10 @@ mod tests {
             e => panic!("unexpected {e:?}"),
         }
         match vm.step() {
-            Effect::Branch { cond_indirect, taken } => {
+            Effect::Branch {
+                cond_indirect,
+                taken,
+            } => {
                 assert!(cond_indirect);
                 assert!(taken); // 0 == 0
             }

@@ -2,7 +2,6 @@
 
 use crate::{Program, Reg};
 use clear_mem::Memory;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
@@ -11,9 +10,7 @@ use std::sync::Arc;
 /// Plays the role of the *Program Counter* field of the paper's Explored
 /// Region Table: two invocations of the same source-level AR share the id,
 /// so what discovery learned about one execution can steer the next.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ArId(pub u32);
 
 impl fmt::Display for ArId {
@@ -23,7 +20,7 @@ impl fmt::Display for ArId {
 }
 
 /// Static footprint-mutability class of an AR (Table 1 of the paper).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Mutability {
     /// The AR always accesses the same cachelines on a retry: addresses are
     /// computed outside the AR, no indirections inside (Listing 1).
@@ -48,7 +45,7 @@ impl fmt::Display for Mutability {
 }
 
 /// Static description of one AR of a workload, used by the Table 1 harness.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ArSpec {
     /// Identity shared by all invocations of this AR.
     pub id: ArId,
@@ -59,7 +56,7 @@ pub struct ArSpec {
 }
 
 /// Static description of a workload.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WorkloadMeta {
     /// Benchmark name as it appears in the paper's figures.
     pub name: String,
@@ -149,7 +146,10 @@ mod tests {
         struct W;
         impl Workload for W {
             fn meta(&self) -> WorkloadMeta {
-                WorkloadMeta { name: "w".into(), ars: vec![] }
+                WorkloadMeta {
+                    name: "w".into(),
+                    ars: vec![],
+                }
             }
             fn setup(&mut self, _: &mut Memory, _: usize) {}
             fn next_ar(&mut self, _: usize, _: &Memory) -> Option<ArInvocation> {

@@ -3,12 +3,11 @@
 use clear_coherence::CoherenceConfig;
 use clear_core::ClearConfig;
 use clear_htm::{HtmFlavor, RetryPolicy};
-use serde::{Deserialize, Serialize};
 
 use crate::EnergyConfig;
 
 /// How far speculation can extend (§4.1 vs §4.2 of the paper).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SpeculationKind {
     /// Out-of-core speculation backed by HTM facilities: speculative state
     /// is tracked at the private cache, instructions retire inside the AR,
@@ -23,7 +22,7 @@ pub enum SpeculationKind {
 }
 
 /// Fixed micro-architectural costs charged by the timing model (cycles).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TimingConfig {
     /// Starting a speculative attempt (`XBegin`: checkpoint + RAS save).
     pub xbegin_cost: u64,
@@ -52,7 +51,7 @@ impl Default for TimingConfig {
 }
 
 /// Full configuration of a simulated machine run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MachineConfig {
     /// Number of cores/threads (the paper evaluates 32).
     pub cores: usize,
@@ -124,7 +123,7 @@ impl Default for MachineConfig {
 }
 
 /// The four configurations of the paper's figures.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Preset {
     /// **B** — requester-wins baseline.
     B,

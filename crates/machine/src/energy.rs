@@ -7,10 +7,9 @@
 //! explicitly.
 
 use clear_coherence::CoherenceStats;
-use serde::{Deserialize, Serialize};
 
 /// Energy coefficients, in arbitrary consistent units ("nJ").
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EnergyConfig {
     /// Static energy per core per cycle.
     pub static_per_core_cycle: f64,
@@ -49,7 +48,7 @@ impl Default for EnergyConfig {
 }
 
 /// Energy totals of a run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// Static component (leakage + clock over runtime).
     pub static_energy: f64,
@@ -83,7 +82,10 @@ pub fn compute_energy(
         + cfg.per_invalidation * coherence.invalidations as f64
         + cfg.per_lock_op * lock_ops as f64
         + cfg.per_abort * aborts as f64;
-    EnergyBreakdown { static_energy, dynamic_energy }
+    EnergyBreakdown {
+        static_energy,
+        dynamic_energy,
+    }
 }
 
 #[cfg(test)]
@@ -111,7 +113,10 @@ mod tests {
 
     #[test]
     fn breakdown_total_is_sum() {
-        let e = EnergyBreakdown { static_energy: 1.5, dynamic_energy: 2.5 };
+        let e = EnergyBreakdown {
+            static_energy: 1.5,
+            dynamic_energy: 2.5,
+        };
         assert_eq!(e.total(), 4.0);
     }
 }

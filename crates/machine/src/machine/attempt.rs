@@ -18,7 +18,9 @@ impl Machine {
                     self.trace.record(
                         self.cores[c].clock,
                         c,
-                        TraceEvent::AttemptStart { mode: RetryMode::Fallback },
+                        TraceEvent::AttemptStart {
+                            mode: RetryMode::Fallback,
+                        },
                     );
                     self.cores[c].phase = Phase::Running;
                     self.cores[c].clock += self.config.timing.xbegin_cost;
@@ -59,7 +61,11 @@ impl Machine {
                     self.cores[c].clock,
                     c,
                     TraceEvent::AttemptStart {
-                        mode: if mode == ExecMode::NsCl { RetryMode::NsCl } else { RetryMode::SCl },
+                        mode: if mode == ExecMode::NsCl {
+                            RetryMode::NsCl
+                        } else {
+                            RetryMode::SCl
+                        },
                     },
                 );
                 let core = &mut self.cores[c];
@@ -89,7 +95,9 @@ impl Machine {
                 self.trace.record(
                     self.cores[c].clock,
                     c,
-                    TraceEvent::AttemptStart { mode: RetryMode::SpeculativeRetry },
+                    TraceEvent::AttemptStart {
+                        mode: RetryMode::SpeculativeRetry,
+                    },
                 );
                 // Subscribe to the fallback lock line (read set).
                 let line = self.fallback.line();
@@ -118,12 +126,12 @@ impl Machine {
         }
     }
 
-    /// Applies an access that the policy layer has already cleared,
-    /// returning the remote impacts. Capacity failures are impossible here
-    /// (`TxTrack::None` accesses evict quietly; callers with transactional
-
+    /// Aborts core `c`'s current attempt: records statistics, rolls back
+    /// all speculative and lock state, and applies the S-CL
+    /// non-discoverability rule (§4.4.2).
     pub(super) fn perform_abort(&mut self, c: usize, kind: AbortKind) {
-        self.trace.record(self.cores[c].clock, c, TraceEvent::Abort { kind });
+        self.trace
+            .record(self.cores[c].clock, c, TraceEvent::Abort { kind });
         self.stats.aborts.record(kind);
         if let Some(inv) = self.cores[c].inv.as_ref() {
             self.stats.ar_stats.entry(inv.ar.0).or_default().aborts += 1;
@@ -152,7 +160,10 @@ impl Machine {
         // S-CL aborts for non-conflict reasons mark the AR non-discoverable
         // (§4.4.2).
         if was_scl
-            && matches!(kind, AbortKind::Capacity | AbortKind::Explicit | AbortKind::Other)
+            && matches!(
+                kind,
+                AbortKind::Capacity | AbortKind::Explicit | AbortKind::Other
+            )
         {
             if let Some(inv) = self.cores[c].inv.as_ref() {
                 let ar = inv.ar.0;
@@ -175,7 +186,11 @@ impl Machine {
             self.cores[c].power = true;
         }
 
-        if self.config.retry.must_fall_back(self.cores[c].retries_counted) {
+        if self
+            .config
+            .retry
+            .must_fall_back(self.cores[c].retries_counted)
+        {
             self.cores[c].planned = RetryMode::Fallback;
         }
 
@@ -208,7 +223,10 @@ impl Machine {
     /// Failed-mode discovery reached the end of the AR: assess, decide the
     /// retry mode (Fig. 2), then complete the held abort.
     pub(super) fn decision_abort(&mut self, c: usize) {
-        let kind = self.cores[c].held_abort.take().unwrap_or(AbortKind::MemoryConflict);
+        let kind = self.cores[c]
+            .held_abort
+            .take()
+            .unwrap_or(AbortKind::MemoryConflict);
         let discovery = self.cores[c].discovery.take();
         if let Some(d) = discovery {
             let assessment = d.assess(|fp| self.coherence.fits_locked(fp));
@@ -264,7 +282,10 @@ impl Machine {
         self.trace.record(
             self.cores[c].clock,
             c,
-            TraceEvent::Commit { mode: mode.commit_bucket(), retries: self.cores[c].retries_total },
+            TraceEvent::Commit {
+                mode: mode.commit_bucket(),
+                retries: self.cores[c].retries_total,
+            },
         );
         // Publish buffered stores.
         let sq: Vec<(u64, u64)> = self.cores[c].sq.drain().collect();
@@ -321,7 +342,10 @@ impl Machine {
         self.cores[c].ert.entry(ar).is_convertible = false;
         let failed = self.in_failed_mode(c);
         if failed {
-            let kind = self.cores[c].held_abort.take().unwrap_or(AbortKind::Capacity);
+            let kind = self.cores[c]
+                .held_abort
+                .take()
+                .unwrap_or(AbortKind::Capacity);
             self.perform_abort(c, kind);
         } else {
             self.cores[c].discovery = None;

@@ -96,7 +96,8 @@ impl Machine {
                 self.perform_abort(v, kind);
             }
             ExecMode::SCl if core.phase == Phase::Running => {
-                self.trace.record(core.clock, v, TraceEvent::ConflictReceived);
+                self.trace
+                    .record(core.clock, v, TraceEvent::ConflictReceived);
                 self.perform_abort(v, kind);
             }
             // NS-CL and fallback hold no transactional lines; lock-phase
@@ -104,5 +105,4 @@ impl Machine {
             _ => {}
         }
     }
-
 }

@@ -43,8 +43,7 @@ impl Machine {
         }
         if !victims.is_empty() {
             let me = self.tx_info(c);
-            if resolve_conflict(self.config.flavor, me, &victims) == Resolution::NackRequester
-            {
+            if resolve_conflict(self.config.flavor, me, &victims) == Resolution::NackRequester {
                 self.perform_abort(c, AbortKind::Nacked);
                 return;
             }
@@ -69,13 +68,16 @@ impl Machine {
                     if let Some(alt) = self.cores[c].alt.as_mut() {
                         alt.mark_locked(line);
                     }
-                    self.trace.record(self.cores[c].clock, c, TraceEvent::LockAcquired { line });
+                    self.trace
+                        .record(self.cores[c].clock, c, TraceEvent::LockAcquired { line });
                 }
                 // The impacts list of a group lock spans lines; CRT
                 // attribution uses the first group line, which is exact for
                 // single-line groups and conservative otherwise.
                 self.abort_victims_tagged(c, group[0], &impacts, AbortKind::MemoryConflict, true);
-                self.cores[c].phase = Phase::LockAcquire { idx: idx + group.len() };
+                self.cores[c].phase = Phase::LockAcquire {
+                    idx: idx + group.len(),
+                };
             }
             Err(LockFail::LockedBy(_)) => {
                 self.cores[c].clock += self.config.timing.spin_interval;

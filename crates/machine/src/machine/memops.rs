@@ -18,9 +18,11 @@ impl Machine {
         if let Some(p) = self.cores[c].pending.take() {
             match p {
                 PendingOp::Load { addr, indirect } => self.do_load(c, addr, indirect),
-                PendingOp::Store { addr, value, indirect } => {
-                    self.do_store(c, addr, value, indirect)
-                }
+                PendingOp::Store {
+                    addr,
+                    value,
+                    indirect,
+                } => self.do_store(c, addr, value, indirect),
             }
         } else {
             // Safety caps.
@@ -42,16 +44,17 @@ impl Machine {
                 && matches!(self.cores[c].mode, ExecMode::Speculative | ExecMode::SCl)
             {
                 let vm = self.cores[c].vm.as_ref().expect("vm armed");
-                if vm.retired() > self.config.rob_size
-                    || vm.stores_retired() > self.config.sq_size
+                if vm.retired() > self.config.rob_size || vm.stores_retired() > self.config.sq_size
                 {
                     let ar = self.cores[c].inv.as_ref().unwrap().ar.0;
                     self.cores[c].ert.entry(ar).is_convertible = false;
                     self.cores[c].discovery = None;
                     self.cores[c].planned = RetryMode::SpeculativeRetry;
                     self.cores[c].alt = None;
-                    let kind =
-                        self.cores[c].held_abort.take().unwrap_or(AbortKind::Capacity);
+                    let kind = self.cores[c]
+                        .held_abort
+                        .take()
+                        .unwrap_or(AbortKind::Capacity);
                     self.perform_abort(c, kind);
                     return;
                 }
@@ -67,10 +70,18 @@ impl Machine {
                         d.on_branch(cond_indirect);
                     }
                 }
-                Effect::Load { addr, addr_indirect, .. } => {
+                Effect::Load {
+                    addr,
+                    addr_indirect,
+                    ..
+                } => {
                     self.do_load(c, addr, addr_indirect);
                 }
-                Effect::Store { addr, value, addr_indirect } => {
+                Effect::Store {
+                    addr,
+                    value,
+                    addr_indirect,
+                } => {
                     self.do_store(c, addr, value, addr_indirect);
                 }
                 Effect::Commit => {
@@ -84,8 +95,10 @@ impl Machine {
                 }
                 Effect::Abort { .. } => {
                     self.cores[c].clock += 1;
-                    let kind =
-                        self.cores[c].held_abort.take().unwrap_or(AbortKind::Explicit);
+                    let kind = self.cores[c]
+                        .held_abort
+                        .take()
+                        .unwrap_or(AbortKind::Explicit);
                     self.perform_abort(c, kind);
                     return;
                 }
@@ -171,8 +184,7 @@ impl Machine {
                         self.perform_abort(c, AbortKind::Nacked);
                     } else {
                         // Retried request (Fig. 6): requester re-sends.
-                        self.cores[c].pending =
-                            Some(PendingOp::Load { addr, indirect });
+                        self.cores[c].pending = Some(PendingOp::Load { addr, indirect });
                         self.cores[c].clock += self.config.timing.spin_interval;
                         self.stats.pending_stall_cycles += self.config.timing.spin_interval;
                     }
@@ -198,7 +210,11 @@ impl Machine {
                         }
                     }
                 }
-                let tx = if mode == ExecMode::Fallback { TxTrack::None } else { TxTrack::Read };
+                let tx = if mode == ExecMode::Fallback {
+                    TxTrack::None
+                } else {
+                    TxTrack::Read
+                };
                 match self.coherence.apply(CoreId(c), line, Access::Read, tx) {
                     Ok(ok) => {
                         self.cores[c].clock += ok.latency;
@@ -242,7 +258,10 @@ impl Machine {
                 d.on_sq_overflow();
                 let ar = self.cores[c].inv.as_ref().unwrap().ar.0;
                 self.cores[c].ert.entry(ar).bump_sq_full();
-                let kind = self.cores[c].held_abort.take().unwrap_or(AbortKind::Capacity);
+                let kind = self.cores[c]
+                    .held_abort
+                    .take()
+                    .unwrap_or(AbortKind::Capacity);
                 self.perform_abort(c, kind);
                 return;
             }
@@ -258,7 +277,11 @@ impl Machine {
             ExecMode::Fallback => {
                 let probe = self.coherence.probe(CoreId(c), line, Access::Write);
                 if probe.locked_by_other.is_some() {
-                    self.cores[c].pending = Some(PendingOp::Store { addr, value, indirect });
+                    self.cores[c].pending = Some(PendingOp::Store {
+                        addr,
+                        value,
+                        indirect,
+                    });
                     self.cores[c].clock += self.config.timing.spin_interval;
                     self.stats.pending_stall_cycles += self.config.timing.spin_interval;
                     return;
@@ -297,8 +320,11 @@ impl Machine {
                     if mode == ExecMode::SCl {
                         self.perform_abort(c, AbortKind::Nacked);
                     } else {
-                        self.cores[c].pending =
-                            Some(PendingOp::Store { addr, value, indirect });
+                        self.cores[c].pending = Some(PendingOp::Store {
+                            addr,
+                            value,
+                            indirect,
+                        });
                         self.cores[c].clock += self.config.timing.spin_interval;
                         self.stats.pending_stall_cycles += self.config.timing.spin_interval;
                     }
@@ -320,7 +346,10 @@ impl Machine {
                         return;
                     }
                 }
-                match self.coherence.apply(CoreId(c), line, Access::Write, TxTrack::Write) {
+                match self
+                    .coherence
+                    .apply(CoreId(c), line, Access::Write, TxTrack::Write)
+                {
                     Ok(ok) => {
                         self.cores[c].clock += ok.latency;
                         let impacts = ok.remote_impacts;
@@ -339,5 +368,4 @@ impl Machine {
             }
         }
     }
-
 }

@@ -25,9 +25,8 @@ use clear_coherence::{Access, CoherenceSystem, CoreId, LockFail, RemoteImpact, T
 use clear_core::{decide, Alt, Crt, Discovery, Ert, RetryMode};
 use clear_htm::{resolve_conflict, AbortKind, FallbackLock, PowerToken, Resolution, TxInfo};
 use clear_isa::{ArInvocation, Effect, Vm, Workload};
+use clear_mem::rng::Xoshiro256PlusPlus;
 use clear_mem::{Addr, LineAddr, Memory};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -69,8 +68,15 @@ enum Phase {
 
 #[derive(Clone, Copy, Debug)]
 enum PendingOp {
-    Load { addr: Addr, indirect: bool },
-    Store { addr: Addr, value: u64, indirect: bool },
+    Load {
+        addr: Addr,
+        indirect: bool,
+    },
+    Store {
+        addr: Addr,
+        value: u64,
+        indirect: bool,
+    },
 }
 
 struct Core {
@@ -145,7 +151,7 @@ pub struct Machine {
     memory: Memory,
     workload: Box<dyn Workload>,
     stats: RunStats,
-    rng: SmallRng,
+    rng: Xoshiro256PlusPlus,
     trace: Trace,
 }
 
@@ -165,8 +171,10 @@ impl Machine {
         let mut memory = Memory::new();
         let fallback_line = memory.alloc_line().line();
         workload.setup(&mut memory, config.cores);
-        let cores = (0..config.cores).map(|_| Core::new(&config.clear)).collect();
-        let rng = SmallRng::seed_from_u64(config.seed);
+        let cores = (0..config.cores)
+            .map(|_| Core::new(&config.clear))
+            .collect();
+        let rng = Xoshiro256PlusPlus::seed_from_u64(config.seed);
         Machine {
             coherence: CoherenceSystem::new(config.coherence),
             fallback: FallbackLock::new(fallback_line),
@@ -224,11 +232,9 @@ impl Machine {
     }
 
     fn finalize_stats(&mut self) {
-        self.stats.total_cycles =
-            self.cores.iter().map(|c| c.clock).max().unwrap_or(0);
+        self.stats.total_cycles = self.cores.iter().map(|c| c.clock).max().unwrap_or(0);
         self.stats.coherence = self.coherence.stats();
-        self.stats.lock_ops =
-            self.stats.coherence.locks + self.stats.coherence.unlocks;
+        self.stats.lock_ops = self.stats.coherence.locks + self.stats.coherence.unlocks;
         self.stats.energy = compute_energy(
             &self.config.energy,
             self.config.cores,
@@ -257,7 +263,10 @@ impl Machine {
             core: CoreId(c),
             power: self.cores[c].power,
             scl: self.cores[c].mode == ExecMode::SCl
-                && matches!(self.cores[c].phase, Phase::Running | Phase::LockAcquire { .. }),
+                && matches!(
+                    self.cores[c].phase,
+                    Phase::Running | Phase::LockAcquire { .. }
+                ),
         }
     }
 
@@ -279,7 +288,8 @@ impl Machine {
         match self.workload.next_ar(c, &self.memory) {
             None => self.cores[c].phase = Phase::Finished,
             Some(inv) => {
-                self.trace.record(self.cores[c].clock, c, TraceEvent::ArFetched { ar: inv.ar });
+                self.trace
+                    .record(self.cores[c].clock, c, TraceEvent::ArFetched { ar: inv.ar });
                 let until = self.cores[c].clock + inv.think_cycles;
                 // A-priori locking (§2.2 comparator): eligible ARs start in
                 // NS-CL with their statically-known footprint, bypassing

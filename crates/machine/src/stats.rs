@@ -4,11 +4,10 @@ use crate::EnergyBreakdown;
 use clear_coherence::CoherenceStats;
 use clear_core::RetryMode;
 use clear_htm::AbortKind;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Commit counters broken down by execution mode (Fig. 12).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ModeCommits {
     /// Committed in plain speculative execution.
     pub speculative: u64,
@@ -38,7 +37,7 @@ impl ModeCommits {
 }
 
 /// Abort counters by kind (Fig. 11).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct AbortCounts {
     counts: BTreeMap<String, u64>,
 }
@@ -62,7 +61,7 @@ impl AbortCounts {
 
 /// Per-static-AR counters: connects Table 1's static classification to the
 /// dynamic outcome of each atomic region.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ArStatsEntry {
     /// Commits of this AR.
     pub commits: u64,
@@ -73,7 +72,7 @@ pub struct ArStatsEntry {
 }
 
 /// Everything measured during one run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct RunStats {
     /// Simulated execution time of the region of interest: the maximum core
     /// clock when the last thread finishes.

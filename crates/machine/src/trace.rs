@@ -67,8 +67,16 @@ impl fmt::Display for TraceEvent {
             TraceEvent::AttemptStart { mode } => write!(f, "start {mode}"),
             TraceEvent::ConflictReceived => write!(f, "conflict"),
             TraceEvent::EnterFailedMode => write!(f, "enter-failed-mode"),
-            TraceEvent::Decision { ar, mode, footprint, immutable } => {
-                write!(f, "decide {ar} -> {mode} (fp={footprint}, immutable={immutable})")
+            TraceEvent::Decision {
+                ar,
+                mode,
+                footprint,
+                immutable,
+            } => {
+                write!(
+                    f,
+                    "decide {ar} -> {mode} (fp={footprint}, immutable={immutable})"
+                )
             }
             TraceEvent::LockAcquired { line } => write!(f, "lock {line}"),
             TraceEvent::Abort { kind } => write!(f, "abort {kind}"),
@@ -116,7 +124,10 @@ impl Trace {
 
     /// Events of one core, in order.
     pub fn core_events(&self, core: usize) -> impl Iterator<Item = &TraceEvent> {
-        self.events.iter().filter(move |(_, c, _)| *c == core).map(|(_, _, e)| e)
+        self.events
+            .iter()
+            .filter(move |(_, c, _)| *c == core)
+            .map(|(_, _, e)| e)
     }
 }
 
@@ -153,6 +164,9 @@ mod tests {
             immutable: true,
         };
         assert_eq!(e.to_string(), "decide AR2 -> NS-CL (fp=3, immutable=true)");
-        assert_eq!(TraceEvent::LockAcquired { line: LineAddr(2) }.to_string(), "lock L0x2");
+        assert_eq!(
+            TraceEvent::LockAcquired { line: LineAddr(2) }.to_string(),
+            "lock L0x2"
+        );
     }
 }

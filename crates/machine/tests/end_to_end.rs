@@ -2,8 +2,7 @@
 //! preset, checking atomicity and the expected mode behaviour.
 
 use clear_isa::{
-    ArId, ArInvocation, ArSpec, Mutability, Program, ProgramBuilder, Reg, Workload,
-    WorkloadMeta,
+    ArId, ArInvocation, ArSpec, Mutability, Program, ProgramBuilder, Reg, Workload, WorkloadMeta,
 };
 use clear_machine::{Machine, Preset};
 use clear_mem::{Addr, Memory};
@@ -12,7 +11,10 @@ use std::sync::Arc;
 /// Builds the canonical increment program: `mem[r0] += 1`.
 fn inc_program() -> Arc<Program> {
     let mut p = ProgramBuilder::new();
-    p.ld(Reg(1), Reg(0), 0).addi(Reg(1), Reg(1), 1).st(Reg(0), 0, Reg(1)).xend();
+    p.ld(Reg(1), Reg(0), 0)
+        .addi(Reg(1), Reg(1), 1)
+        .st(Reg(0), 0, Reg(1))
+        .xend();
     Arc::new(p.build())
 }
 
@@ -27,7 +29,12 @@ struct SharedCounter {
 
 impl SharedCounter {
     fn new(ops: u32) -> Self {
-        SharedCounter { addr: Addr::NULL, remaining: vec![], ops, program: inc_program() }
+        SharedCounter {
+            addr: Addr::NULL,
+            remaining: vec![],
+            ops,
+            program: inc_program(),
+        }
     }
 }
 
@@ -83,7 +90,12 @@ struct PrivateCounters {
 
 impl PrivateCounters {
     fn new(ops: u32) -> Self {
-        PrivateCounters { addrs: vec![], remaining: vec![], ops, program: inc_program() }
+        PrivateCounters {
+            addrs: vec![],
+            remaining: vec![],
+            ops,
+            program: inc_program(),
+        }
     }
 }
 
@@ -251,7 +263,11 @@ impl BigAr {
             .addi(Reg(1), Reg(1), 1)
             .st(Reg(0), 0, Reg(1))
             .xend();
-        BigAr { addr: Addr::NULL, remaining: vec![], program: Arc::new(p.build()) }
+        BigAr {
+            addr: Addr::NULL,
+            remaining: vec![],
+            program: Arc::new(p.build()),
+        }
     }
 }
 
@@ -286,7 +302,9 @@ impl Workload for BigAr {
     fn validate(&self, mem: &Memory) -> Result<(), String> {
         let v = mem.load_word(self.addr);
         let want = 8 * self.remaining.len() as u64;
-        (v == want).then_some(()).ok_or_else(|| format!("counter {v} != {want}"))
+        (v == want)
+            .then_some(())
+            .ok_or_else(|| format!("counter {v} != {want}"))
     }
 }
 
@@ -304,8 +322,12 @@ fn in_core_speculation_bounds_ar_size_to_the_rob() {
     assert_eq!(s.commits(), 32);
     m.workload().validate(m.memory()).unwrap();
     // Every AR overflows the window: no speculative or CL commits at all.
-    assert_eq!(s.commits_by_mode.speculative + s.commits_by_mode.nscl + s.commits_by_mode.scl, 0,
-        "oversized ARs cannot commit inside an in-core window: {:?}", s.commits_by_mode);
+    assert_eq!(
+        s.commits_by_mode.speculative + s.commits_by_mode.nscl + s.commits_by_mode.scl,
+        0,
+        "oversized ARs cannot commit inside an in-core window: {:?}",
+        s.commits_by_mode
+    );
     assert_eq!(s.commits_by_mode.fallback, 32);
 }
 
@@ -352,12 +374,19 @@ fn trace_records_the_clear_protocol_sequence() {
     assert!(has(&|e| matches!(e, TraceEvent::EnterFailedMode)));
     assert!(has(&|e| matches!(
         e,
-        TraceEvent::Decision { mode: clear_core::RetryMode::NsCl, immutable: true, .. }
+        TraceEvent::Decision {
+            mode: clear_core::RetryMode::NsCl,
+            immutable: true,
+            ..
+        }
     )));
     assert!(has(&|e| matches!(e, TraceEvent::LockAcquired { .. })));
     assert!(has(&|e| matches!(
         e,
-        TraceEvent::Commit { mode: clear_core::RetryMode::NsCl, retries: 1 }
+        TraceEvent::Commit {
+            mode: clear_core::RetryMode::NsCl,
+            retries: 1
+        }
     )));
 
     // Per-core ordering: a Decision for NS-CL is followed (eventually) by
@@ -365,11 +394,17 @@ fn trace_records_the_clear_protocol_sequence() {
     for core in 0..4 {
         let evs: Vec<_> = m.trace().core_events(core).collect();
         for (i, e) in evs.iter().enumerate() {
-            if let TraceEvent::Decision { mode: clear_core::RetryMode::NsCl, .. } = e {
+            if let TraceEvent::Decision {
+                mode: clear_core::RetryMode::NsCl,
+                ..
+            } = e
+            {
                 assert!(
                     evs[i..].iter().any(|e2| matches!(
                         e2,
-                        TraceEvent::AttemptStart { mode: clear_core::RetryMode::NsCl }
+                        TraceEvent::AttemptStart {
+                            mode: clear_core::RetryMode::NsCl
+                        }
                     )),
                     "NS-CL decision without NS-CL attempt on core {core}"
                 );
@@ -389,6 +424,9 @@ fn tracing_disabled_by_default_and_does_not_change_results() {
     let mut b = Machine::new(cfg, Box::new(SharedCounter::new(40)));
     b.enable_tracing();
     let sb = b.run();
-    assert_eq!(sa.total_cycles, sb.total_cycles, "tracing must not perturb timing");
+    assert_eq!(
+        sa.total_cycles, sb.total_cycles,
+        "tracing must not perturb timing"
+    );
     assert_eq!(sa.aborts.total(), sb.aborts.total());
 }

@@ -3,8 +3,7 @@
 //! and traces.
 
 use clear_isa::{
-    ArId, ArInvocation, ArSpec, Mutability, Program, ProgramBuilder, Reg, Workload,
-    WorkloadMeta,
+    ArId, ArInvocation, ArSpec, Mutability, Program, ProgramBuilder, Reg, Workload, WorkloadMeta,
 };
 use clear_machine::{Machine, Preset, TraceEvent};
 use clear_mem::{Addr, Memory};
@@ -12,7 +11,10 @@ use std::sync::Arc;
 
 fn inc_program() -> Arc<Program> {
     let mut p = ProgramBuilder::new();
-    p.ld(Reg(1), Reg(0), 0).addi(Reg(1), Reg(1), 1).st(Reg(0), 0, Reg(1)).xend();
+    p.ld(Reg(1), Reg(0), 0)
+        .addi(Reg(1), Reg(1), 1)
+        .st(Reg(0), 0, Reg(1))
+        .xend();
     Arc::new(p.build())
 }
 
@@ -77,7 +79,9 @@ impl Workload for IndirectCounter {
     fn validate(&self, mem: &Memory) -> Result<(), String> {
         let v = mem.load_word(self.counter);
         let want = self.ops as u64 * self.remaining.len() as u64;
-        (v == want).then_some(()).ok_or_else(|| format!("{v} != {want}"))
+        (v == want)
+            .then_some(())
+            .ok_or_else(|| format!("{v} != {want}"))
     }
 }
 
@@ -91,7 +95,12 @@ struct SharedCounter {
 
 impl SharedCounter {
     fn new(ops: u32) -> Self {
-        SharedCounter { addr: Addr::NULL, remaining: vec![], ops, program: inc_program() }
+        SharedCounter {
+            addr: Addr::NULL,
+            remaining: vec![],
+            ops,
+            program: inc_program(),
+        }
     }
 }
 
@@ -126,7 +135,9 @@ impl Workload for SharedCounter {
     fn validate(&self, mem: &Memory) -> Result<(), String> {
         let v = mem.load_word(self.addr);
         let want = self.ops as u64 * self.remaining.len() as u64;
-        (v == want).then_some(()).ok_or_else(|| format!("{v} != {want}"))
+        (v == want)
+            .then_some(())
+            .ok_or_else(|| format!("{v} != {want}"))
     }
 }
 
@@ -139,11 +150,17 @@ fn indirect_footprint_converts_to_scl_never_nscl() {
     let s = m.run();
     m.workload().validate(m.memory()).unwrap();
     assert_eq!(s.commits_by_mode.nscl, 0, "indirections forbid NS-CL");
-    assert!(s.commits_by_mode.scl > 0, "contended likely-immutable AR should use S-CL");
+    assert!(
+        s.commits_by_mode.scl > 0,
+        "contended likely-immutable AR should use S-CL"
+    );
     // Every decision must classify the AR as not immutable.
     for (_, _, e) in m.trace().events() {
         if let TraceEvent::Decision { immutable, .. } = e {
-            assert!(!immutable, "indirection must clear the immutable assessment");
+            assert!(
+                !immutable,
+                "indirection must clear the immutable assessment"
+            );
         }
     }
 }
@@ -178,7 +195,10 @@ fn powertm_reduces_aborts_vs_requester_wins() {
     // effect; the win is in execution time and fallback pressure. Power
     // NACKs must appear, and the power transaction's priority should keep
     // performance in the baseline's neighbourhood.
-    assert!(p.aborts.get(clear_htm::AbortKind::Nacked) > 0, "power NACKs must appear");
+    assert!(
+        p.aborts.get(clear_htm::AbortKind::Nacked) > 0,
+        "power NACKs must appear"
+    );
     assert!(
         p.total_cycles as f64 <= b.total_cycles as f64 * 1.3,
         "PowerTM should not collapse: B={} P={}",
@@ -198,9 +218,17 @@ fn clear_decisions_match_ar_immutability() {
     let s = m.run();
     m.workload().validate(m.memory()).unwrap();
     assert!(s.commits_by_mode.nscl > 0);
-    assert_eq!(s.commits_by_mode.scl, 0, "a direct-address AR never needs S-CL");
+    assert_eq!(
+        s.commits_by_mode.scl, 0,
+        "a direct-address AR never needs S-CL"
+    );
     for (_, _, e) in m.trace().events() {
-        if let TraceEvent::Decision { immutable, footprint, .. } = e {
+        if let TraceEvent::Decision {
+            immutable,
+            footprint,
+            ..
+        } = e
+        {
             assert!(immutable);
             // Counter line + fallback-lock subscription is not part of the
             // AR body; footprint is exactly one line.
@@ -229,7 +257,10 @@ fn abort_penalty_shows_up_in_wasted_instructions() {
     let mut m = Machine::new(cfg, Box::new(SharedCounter::new(30)));
     let s = m.run();
     assert!(s.instructions_wasted > 0, "contended runs waste work");
-    assert!(s.instructions_retired >= s.commits() * 4, "4 instructions per committed inc");
+    assert!(
+        s.instructions_retired >= s.commits() * 4,
+        "4 instructions per committed inc"
+    );
 }
 
 #[test]
@@ -272,11 +303,17 @@ fn a_priori_locking_runs_eligible_ars_in_nscl_from_the_start() {
         fn validate(&self, mem: &Memory) -> Result<(), String> {
             let v = mem.load_word(self.addr);
             let want = 25 * self.remaining.len() as u64;
-            (v == want).then_some(()).ok_or_else(|| format!("{v} != {want}"))
+            (v == want)
+                .then_some(())
+                .ok_or_else(|| format!("{v} != {want}"))
         }
     }
 
-    let w = StaticInc { addr: Addr::NULL, remaining: vec![], program: inc_program() };
+    let w = StaticInc {
+        addr: Addr::NULL,
+        remaining: vec![],
+        program: inc_program(),
+    };
     let mut cfg = Preset::B.config(4, 5);
     cfg.seed = 13;
     cfg.a_priori_locking = true;
@@ -285,12 +322,15 @@ fn a_priori_locking_runs_eligible_ars_in_nscl_from_the_start() {
     m.workload().validate(m.memory()).unwrap();
     assert_eq!(s.commits(), 100);
     assert_eq!(
-        s.commits_by_mode.nscl,
-        100,
+        s.commits_by_mode.nscl, 100,
         "every eligible AR must run NS-CL from its first attempt: {:?}",
         s.commits_by_mode
     );
-    assert_eq!(s.aborts.total(), 0, "non-speculative execution cannot abort");
+    assert_eq!(
+        s.aborts.total(),
+        0,
+        "non-speculative execution cannot abort"
+    );
 }
 
 #[test]
@@ -301,7 +341,10 @@ fn a_priori_locking_ignores_footprint_free_ars() {
     let mut m = Machine::new(cfg, Box::new(SharedCounter::new(25)));
     let s = m.run();
     m.workload().validate(m.memory()).unwrap();
-    assert_eq!(s.commits_by_mode.nscl, 0, "no static footprint, no a-priori NS-CL");
+    assert_eq!(
+        s.commits_by_mode.nscl, 0,
+        "no static footprint, no a-priori NS-CL"
+    );
 }
 
 #[test]
@@ -321,8 +364,16 @@ fn explicit_abort_retries_until_data_allows_commit() {
             WorkloadMeta {
                 name: "flag-wait".into(),
                 ars: vec![
-                    ArSpec { id: ArId(0), name: "wait".into(), mutability: Mutability::Mutable },
-                    ArSpec { id: ArId(1), name: "set".into(), mutability: Mutability::Immutable },
+                    ArSpec {
+                        id: ArId(0),
+                        name: "wait".into(),
+                        mutability: Mutability::Mutable,
+                    },
+                    ArSpec {
+                        id: ArId(1),
+                        name: "set".into(),
+                        mutability: Mutability::Immutable,
+                    },
                 ],
             }
         }
@@ -387,7 +438,10 @@ fn explicit_abort_retries_until_data_allows_commit() {
     cfg.seed = 37;
     let mut m = Machine::new(cfg, Box::new(w));
     let s = m.run();
-    assert!(!s.timed_out, "fallback XAbort must not deadlock the machine");
+    assert!(
+        !s.timed_out,
+        "fallback XAbort must not deadlock the machine"
+    );
     m.workload().validate(m.memory()).unwrap();
     assert!(
         s.aborts.get(clear_htm::AbortKind::Explicit) > 0,

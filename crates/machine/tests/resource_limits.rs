@@ -2,8 +2,7 @@
 //! overflow during failed-mode discovery, and simulated faults.
 
 use clear_isa::{
-    ArId, ArInvocation, ArSpec, Mutability, Program, ProgramBuilder, Reg, Workload,
-    WorkloadMeta,
+    ArId, ArInvocation, ArSpec, Mutability, Program, ProgramBuilder, Reg, Workload, WorkloadMeta,
 };
 use clear_machine::{Machine, Preset, TraceEvent};
 use clear_mem::{Addr, Memory, LINE_BYTES};
@@ -25,7 +24,10 @@ impl WideAr {
         for i in 0..lines as i64 {
             p.ld(Reg(2), Reg(0), i * LINE_BYTES as i64);
         }
-        p.ld(Reg(3), Reg(1), 0).addi(Reg(3), Reg(3), 1).st(Reg(1), 0, Reg(3)).xend();
+        p.ld(Reg(3), Reg(1), 0)
+            .addi(Reg(3), Reg(3), 1)
+            .st(Reg(1), 0, Reg(3))
+            .xend();
         WideAr {
             lines,
             region: Addr::NULL,
@@ -68,7 +70,9 @@ impl Workload for WideAr {
     fn validate(&self, mem: &Memory) -> Result<(), String> {
         let v = mem.load_word(self.counter);
         let want = 20 * self.remaining.len() as u64;
-        (v == want).then_some(()).ok_or_else(|| format!("{v} != {want}"))
+        (v == want)
+            .then_some(())
+            .ok_or_else(|| format!("{v} != {want}"))
     }
 }
 
@@ -88,7 +92,9 @@ impl StoreHeavyAr {
         // line to another core) lands while the long store tail is still
         // running — i.e. inside failed-mode discovery.
         let mut p = ProgramBuilder::new();
-        p.ld(Reg(3), Reg(1), 0).addi(Reg(3), Reg(3), 1).st(Reg(1), 0, Reg(3));
+        p.ld(Reg(3), Reg(1), 0)
+            .addi(Reg(3), Reg(3), 1)
+            .st(Reg(1), 0, Reg(3));
         p.li(Reg(2), 7);
         for i in 0..stores as i64 {
             p.st(Reg(0), (i % 8) * 8, Reg(2));
@@ -137,7 +143,9 @@ impl Workload for StoreHeavyAr {
     fn validate(&self, mem: &Memory) -> Result<(), String> {
         let v = mem.load_word(self.counter);
         let want = 15 * self.remaining.len() as u64;
-        (v == want).then_some(()).ok_or_else(|| format!("{v} != {want}"))
+        (v == want)
+            .then_some(())
+            .ok_or_else(|| format!("{v} != {want}"))
     }
 }
 
@@ -256,7 +264,10 @@ impl Workload for FaultyAr {
 fn persistent_fault_panics_on_the_fallback_path() {
     let mut p = ProgramBuilder::new();
     p.ld(Reg(1), Reg(0), 0).xend();
-    let w = FaultyAr { remaining: 5, program: Arc::new(p.build()) };
+    let w = FaultyAr {
+        remaining: 5,
+        program: Arc::new(p.build()),
+    };
     let mut cfg = Preset::B.config(1, 2);
     cfg.seed = 1;
     // Speculative attempts abort with kind Other; after the retry budget

@@ -1,6 +1,5 @@
 //! Byte- and cacheline-granular address newtypes.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Size of a cacheline in bytes (matches the Icelake-like configuration of
@@ -26,9 +25,7 @@ pub const WORD_BYTES: u64 = 8;
 /// assert_eq!(Addr(0x1008).line(), a.line());
 /// assert_eq!(Addr(0x1000 + LINE_BYTES).line(), a.line().next());
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Addr(pub u64);
 
 impl Addr {
@@ -89,9 +86,7 @@ impl From<u64> for Addr {
 ///
 /// All conflict detection, locking and coherence operate at this granularity,
 /// as in the paper.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LineAddr(pub u64);
 
 impl LineAddr {

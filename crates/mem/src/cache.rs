@@ -66,7 +66,11 @@ impl<T> SetAssocCache<T> {
     pub fn new(geometry: CacheGeometry) -> Self {
         let mut ways = Vec::new();
         ways.resize_with(geometry.lines(), || None);
-        SetAssocCache { geometry, ways, tick: 0 }
+        SetAssocCache {
+            geometry,
+            ways,
+            tick: 0,
+        }
     }
 
     /// The geometry this cache was created with.
@@ -144,7 +148,11 @@ impl<T> SetAssocCache<T> {
 
         // Free way?
         if let Some(slot) = self.ways[range.clone()].iter_mut().find(|w| w.is_none()) {
-            *slot = Some(Entry { line, last_use: tick, payload });
+            *slot = Some(Entry {
+                line,
+                last_use: tick,
+                payload,
+            });
             return EvictionOutcome::Inserted;
         }
 
@@ -154,7 +162,11 @@ impl<T> SetAssocCache<T> {
             .min_by_key(|&i| self.ways[i].as_ref().map(|e| e.last_use).unwrap_or(0))
             .expect("non-empty set");
         let victim = self.ways[victim_idx]
-            .replace(Entry { line, last_use: tick, payload })
+            .replace(Entry {
+                line,
+                last_use: tick,
+                payload,
+            })
             .expect("victim way occupied");
         EvictionOutcome::Evicted(victim.line)
     }
@@ -194,7 +206,11 @@ impl<T> SetAssocCache<T> {
         }
 
         if let Some(slot) = self.ways[range.clone()].iter_mut().find(|w| w.is_none()) {
-            *slot = Some(Entry { line, last_use: tick, payload });
+            *slot = Some(Entry {
+                line,
+                last_use: tick,
+                payload,
+            });
             return Ok(EvictionOutcome::Inserted);
         }
 
@@ -211,7 +227,11 @@ impl<T> SetAssocCache<T> {
         match victim_idx {
             Some(i) => {
                 let victim = self.ways[i]
-                    .replace(Entry { line, last_use: tick, payload })
+                    .replace(Entry {
+                        line,
+                        last_use: tick,
+                        payload,
+                    })
                     .expect("victim way occupied");
                 Ok(EvictionOutcome::Evicted(victim.line))
             }
@@ -223,7 +243,11 @@ impl<T> SetAssocCache<T> {
     pub fn remove(&mut self, line: LineAddr) -> Option<T> {
         let range = self.set_range(line);
         for i in range {
-            if self.ways[i].as_ref().map(|e| e.line == line).unwrap_or(false) {
+            if self.ways[i]
+                .as_ref()
+                .map(|e| e.line == line)
+                .unwrap_or(false)
+            {
                 return self.ways[i].take().map(|e| e.payload);
             }
         }
@@ -237,7 +261,10 @@ impl<T> SetAssocCache<T> {
 
     /// Iterates mutably over all resident `(line, payload)` pairs.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (LineAddr, &mut T)> {
-        self.ways.iter_mut().flatten().map(|e| (e.line, &mut e.payload))
+        self.ways
+            .iter_mut()
+            .flatten()
+            .map(|e| (e.line, &mut e.payload))
     }
 
     /// Number of resident lines.
@@ -316,7 +343,10 @@ mod tests {
         c.insert(LineAddr(0), 0);
         c.insert(LineAddr(2), 2);
         c.touch(LineAddr(0)); // 2 becomes LRU
-        assert_eq!(c.insert(LineAddr(4), 4), EvictionOutcome::Evicted(LineAddr(2)));
+        assert_eq!(
+            c.insert(LineAddr(4), 4),
+            EvictionOutcome::Evicted(LineAddr(2))
+        );
         assert!(c.contains(LineAddr(0)));
         assert!(c.contains(LineAddr(4)));
     }

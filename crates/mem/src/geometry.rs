@@ -1,7 +1,6 @@
 //! Cache geometry descriptions (size, associativity, set indexing).
 
 use crate::LineAddr;
-use serde::{Deserialize, Serialize};
 
 /// The geometry of a set-associative cache-like structure.
 ///
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(l1d.sets, 64);
 /// assert_eq!(l1d.ways, 12);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CacheGeometry {
     /// Number of sets. Must be a power of two.
     pub sets: usize,
@@ -34,7 +33,10 @@ impl CacheGeometry {
     ///
     /// Panics if `sets` is zero or not a power of two, or if `ways` is zero.
     pub fn new(sets: usize, ways: usize) -> Self {
-        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a power of two"
+        );
         assert!(ways > 0, "ways must be non-zero");
         CacheGeometry { sets, ways }
     }

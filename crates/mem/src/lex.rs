@@ -1,7 +1,6 @@
 //! The deadlock-free lexicographical lock-ordering key.
 
 use crate::{CacheGeometry, LineAddr};
-use serde::{Deserialize, Serialize};
 
 /// Lock-ordering key for cacheline locking.
 ///
@@ -23,9 +22,7 @@ use serde::{Deserialize, Serialize};
 /// // Same directory set => same group.
 /// assert!(LexKey::new(dir, LineAddr(2)).same_group(LexKey::new(dir, LineAddr(6))));
 /// ```
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LexKey {
     /// Directory set index (primary order).
     pub dir_set: usize,
@@ -36,7 +33,10 @@ pub struct LexKey {
 impl LexKey {
     /// Builds the key of `line` under directory geometry `dir`.
     pub fn new(dir: CacheGeometry, line: LineAddr) -> Self {
-        LexKey { dir_set: dir.set_index(line), line }
+        LexKey {
+            dir_set: dir.set_index(line),
+            line,
+        }
     }
 
     /// `true` if both lines fall into the same directory set (a
@@ -55,8 +55,7 @@ pub fn lock_order(dir: CacheGeometry, lines: &[LineAddr]) -> Vec<(LineAddr, bool
     keys.dedup();
     let mut out = Vec::with_capacity(keys.len());
     for (i, k) in keys.iter().enumerate() {
-        let last_of_group =
-            i + 1 == keys.len() || keys[i + 1].dir_set != k.dir_set;
+        let last_of_group = i + 1 == keys.len() || keys[i + 1].dir_set != k.dir_set;
         out.push((k.line, last_of_group));
     }
     out
@@ -70,8 +69,7 @@ mod tests {
     fn order_is_by_dir_set_then_line() {
         let dir = CacheGeometry::new(4, 2);
         // line 5 -> set 1; line 2 -> set 2; line 9 -> set 1.
-        let mut v = [LineAddr(2), LineAddr(5), LineAddr(9)]
-            .map(|l| LexKey::new(dir, l));
+        let mut v = [LineAddr(2), LineAddr(5), LineAddr(9)].map(|l| LexKey::new(dir, l));
         v.sort();
         assert_eq!(v[0].line, LineAddr(5));
         assert_eq!(v[1].line, LineAddr(9));

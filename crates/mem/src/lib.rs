@@ -32,6 +32,7 @@ mod cache;
 mod geometry;
 mod lex;
 mod memory;
+pub mod rng;
 
 pub use addr::{Addr, LineAddr, LINE_BYTES, WORD_BYTES};
 pub use cache::{EvictionOutcome, PinnedSetFull, SetAssocCache};

@@ -29,7 +29,10 @@ pub struct Memory {
 impl Memory {
     /// Creates an empty memory. Storage grows on demand.
     pub fn new() -> Self {
-        Memory { words: Vec::new(), next_free: LINE_BYTES }
+        Memory {
+            words: Vec::new(),
+            next_free: LINE_BYTES,
+        }
     }
 
     /// Allocates `words` 64-bit words, line-aligned, zero-initialised.

@@ -3,11 +3,9 @@
 
 use crate::common::{Size, ThreadRngs};
 use clear_isa::{
-    ArId, ArInvocation, ArSpec, Mutability, Program, ProgramBuilder, Reg, Workload,
-    WorkloadMeta,
+    ArId, ArInvocation, ArSpec, Mutability, Program, ProgramBuilder, Reg, Workload, WorkloadMeta,
 };
 use clear_mem::{Addr, Memory, LINE_BYTES, WORD_BYTES};
-use rand::Rng;
 use std::sync::Arc;
 
 const AR_SWAP: ArId = ArId(0);
@@ -82,8 +80,16 @@ impl Workload for ArraySwap {
         WorkloadMeta {
             name: "arrayswap".into(),
             ars: vec![
-                ArSpec { id: AR_SWAP, name: "swap".into(), mutability: Mutability::Immutable },
-                ArSpec { id: AR_SUM, name: "sum".into(), mutability: Mutability::Immutable },
+                ArSpec {
+                    id: AR_SWAP,
+                    name: "swap".into(),
+                    mutability: Mutability::Immutable,
+                },
+                ArSpec {
+                    id: AR_SUM,
+                    name: "sum".into(),
+                    mutability: Mutability::Immutable,
+                },
             ],
         }
     }
@@ -131,7 +137,9 @@ impl Workload for ArraySwap {
         if got == want {
             Ok(())
         } else {
-            Err(format!("arrayswap sum {got} != initial sum {want}: swaps were torn"))
+            Err(format!(
+                "arrayswap sum {got} != initial sum {want}: swaps were torn"
+            ))
         }
     }
 }

@@ -5,11 +5,9 @@
 
 use crate::common::{Size, ThreadRngs};
 use clear_isa::{
-    ArId, ArInvocation, ArSpec, Mutability, Program, ProgramBuilder, Reg, Workload,
-    WorkloadMeta,
+    ArId, ArInvocation, ArSpec, Mutability, Program, ProgramBuilder, Reg, Workload, WorkloadMeta,
 };
 use clear_mem::{Addr, Memory, LINE_BYTES, WORD_BYTES};
-use rand::Rng;
 use std::sync::Arc;
 
 const AR_TRANSFER: ArId = ArId(0);
@@ -81,7 +79,10 @@ impl Workload for Bitcoin {
         let table = mem.alloc_words(self.wallets as u64 * (LINE_BYTES / WORD_BYTES));
         mem.store_word(self.users_slot, table.0);
         for i in 0..self.wallets {
-            mem.store_word(Addr(table.0 + (i as u64) * LINE_BYTES), self.initial_balance);
+            mem.store_word(
+                Addr(table.0 + (i as u64) * LINE_BYTES),
+                self.initial_balance,
+            );
         }
         self.remaining = vec![self.size.ops_per_thread(); threads];
         self.rngs.init(threads);

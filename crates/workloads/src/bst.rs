@@ -9,7 +9,6 @@ use clear_isa::{
     WorkloadMeta,
 };
 use clear_mem::{Addr, Memory};
-use rand::Rng;
 use std::sync::Arc;
 
 const AR_INSERT: ArId = ArId(0);
@@ -92,7 +91,9 @@ fn search_program(bump_value: bool) -> Program {
             .addi(Reg(7), Reg(7), 1)
             .st(Reg(4), VAL_OFF, Reg(7));
     } else {
-        p.ld(Reg(7), Reg(2), 0).addi(Reg(7), Reg(7), 1).st(Reg(2), 0, Reg(7));
+        p.ld(Reg(7), Reg(2), 0)
+            .addi(Reg(7), Reg(7), 1)
+            .st(Reg(2), 0, Reg(7));
     }
     p.bind(done).xend();
     p.build()
@@ -165,8 +166,22 @@ impl Bst {
             return Err(format!("BST property violated at key {key}"));
         }
         *values += mem.load_word(Addr(node + VAL_OFF as u64));
-        self.check_subtree(mem, mem.load_word(Addr(node + LEFT_OFF as u64)), lo, key, count, values)?;
-        self.check_subtree(mem, mem.load_word(Addr(node + RIGHT_OFF as u64)), key + 1, hi, count, values)
+        self.check_subtree(
+            mem,
+            mem.load_word(Addr(node + LEFT_OFF as u64)),
+            lo,
+            key,
+            count,
+            values,
+        )?;
+        self.check_subtree(
+            mem,
+            mem.load_word(Addr(node + RIGHT_OFF as u64)),
+            key + 1,
+            hi,
+            count,
+            values,
+        )
     }
 }
 
@@ -175,13 +190,21 @@ impl Workload for Bst {
         WorkloadMeta {
             name: "bst".into(),
             ars: vec![
-                ArSpec { id: AR_INSERT, name: "insert".into(), mutability: Mutability::Mutable },
+                ArSpec {
+                    id: AR_INSERT,
+                    name: "insert".into(),
+                    mutability: Mutability::Mutable,
+                },
                 ArSpec {
                     id: AR_CONTAINS,
                     name: "contains".into(),
                     mutability: Mutability::Mutable,
                 },
-                ArSpec { id: AR_UPDATE, name: "update".into(), mutability: Mutability::Mutable },
+                ArSpec {
+                    id: AR_UPDATE,
+                    name: "update".into(),
+                    mutability: Mutability::Mutable,
+                },
             ],
         }
     }
@@ -203,7 +226,7 @@ impl Workload for Bst {
         self.remaining[tid] -= 1;
         let have_keys = !self.inserted_keys[tid].is_empty();
         let rng = self.rngs.get(tid);
-        let dice: f64 = rng.gen();
+        let dice = rng.gen_f64();
         let think = rng.gen_range(5..20);
         if dice < 0.2 || !have_keys {
             let n = self.inserted_keys[tid].len();
@@ -251,13 +274,23 @@ impl Workload for Bst {
     fn validate(&self, mem: &Memory) -> Result<(), String> {
         let mut count = 0usize;
         let mut values = 0u64;
-        self.check_subtree(mem, mem.load_word(self.root), 0, u64::MAX, &mut count, &mut values)?;
+        self.check_subtree(
+            mem,
+            mem.load_word(self.root),
+            0,
+            u64::MAX,
+            &mut count,
+            &mut values,
+        )?;
         let want: usize = self.inserted_keys.iter().map(Vec::len).sum();
         if count != want {
             return Err(format!("{count} nodes in tree, expected {want}"));
         }
         if values != self.updates {
-            return Err(format!("Σvalues {values} != committed updates {}", self.updates));
+            return Err(format!(
+                "Σvalues {values} != committed updates {}",
+                self.updates
+            ));
         }
         let acc: u64 = self.accs.iter().map(|&a| mem.load_word(a)).sum();
         if acc != self.lookups {

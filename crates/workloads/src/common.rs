@@ -1,12 +1,10 @@
 //! Shared workload plumbing: sizes, per-thread RNG streams.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use clear_mem::rng::Xoshiro256PlusPlus;
 
 /// Input-size presets (the paper uses STAMP's "medium" inputs; simulation
 /// here is software, so sizes are scaled to keep runs tractable).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Size {
     /// Unit-test scale: seconds of wall-clock for the whole suite.
     Tiny,
@@ -41,23 +39,29 @@ impl Size {
 /// interleave.
 #[derive(Debug)]
 pub(crate) struct ThreadRngs {
-    streams: Vec<SmallRng>,
+    streams: Vec<Xoshiro256PlusPlus>,
     seed: u64,
 }
 
 impl ThreadRngs {
     pub(crate) fn new(seed: u64) -> Self {
-        ThreadRngs { streams: Vec::new(), seed }
+        ThreadRngs {
+            streams: Vec::new(),
+            seed,
+        }
     }
 
     pub(crate) fn init(&mut self, threads: usize) {
         self.streams = (0..threads)
-            .map(|t| SmallRng::seed_from_u64(self.seed ^ (0x9e37_79b9_7f4a_7c15u64
-                .wrapping_mul(t as u64 + 1))))
+            .map(|t| {
+                Xoshiro256PlusPlus::seed_from_u64(
+                    self.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1)),
+                )
+            })
             .collect();
     }
 
-    pub(crate) fn get(&mut self, tid: usize) -> &mut SmallRng {
+    pub(crate) fn get(&mut self, tid: usize) -> &mut Xoshiro256PlusPlus {
         &mut self.streams[tid]
     }
 }
@@ -65,7 +69,6 @@ impl ThreadRngs {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn sizes_are_monotonic() {
@@ -80,10 +83,10 @@ mod tests {
         a.init(2);
         let mut b = ThreadRngs::new(7);
         b.init(2);
-        let x: u64 = a.get(0).gen();
-        let y: u64 = b.get(0).gen();
+        let x = a.get(0).gen_u64();
+        let y = b.get(0).gen_u64();
         assert_eq!(x, y);
-        let z: u64 = b.get(1).gen();
+        let z = b.get(1).gen_u64();
         assert_ne!(x, z, "streams should differ across threads");
     }
 }

@@ -4,11 +4,8 @@
 
 use crate::common::{Size, ThreadRngs};
 use crate::queue::{dequeue_program, enqueue_program};
-use clear_isa::{
-    ArId, ArInvocation, ArSpec, Mutability, Program, Reg, Workload, WorkloadMeta,
-};
+use clear_isa::{ArId, ArInvocation, ArSpec, Mutability, Program, Reg, Workload, WorkloadMeta};
 use clear_mem::{Addr, Memory};
-use rand::Rng;
 use std::sync::Arc;
 
 const AR_PUSH: ArId = ArId(0);

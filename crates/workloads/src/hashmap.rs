@@ -8,7 +8,6 @@ use clear_isa::{
     WorkloadMeta,
 };
 use clear_mem::{Addr, Memory};
-use rand::Rng;
 use std::sync::Arc;
 
 const AR_INSERT: ArId = ArId(0);
@@ -156,9 +155,21 @@ impl Workload for HashMapBench {
         WorkloadMeta {
             name: "hashmap".into(),
             ars: vec![
-                ArSpec { id: AR_INSERT, name: "insert".into(), mutability: Mutability::Mutable },
-                ArSpec { id: AR_LOOKUP, name: "lookup".into(), mutability: Mutability::Mutable },
-                ArSpec { id: AR_UPDATE, name: "update".into(), mutability: Mutability::Mutable },
+                ArSpec {
+                    id: AR_INSERT,
+                    name: "insert".into(),
+                    mutability: Mutability::Mutable,
+                },
+                ArSpec {
+                    id: AR_LOOKUP,
+                    name: "lookup".into(),
+                    mutability: Mutability::Mutable,
+                },
+                ArSpec {
+                    id: AR_UPDATE,
+                    name: "update".into(),
+                    mutability: Mutability::Mutable,
+                },
             ],
         }
     }
@@ -180,7 +191,7 @@ impl Workload for HashMapBench {
         self.remaining[tid] -= 1;
         let have_keys = !self.inserted_keys[tid].is_empty();
         let rng = self.rngs.get(tid);
-        let dice: f64 = rng.gen();
+        let dice = rng.gen_f64();
         let think = rng.gen_range(15..50);
         if dice < 0.4 || !have_keys {
             let n = self.inserted_keys[tid].len();
@@ -259,11 +270,17 @@ impl Workload for HashMapBench {
             return Err(format!("{nodes} nodes reachable, expected {want_nodes}"));
         }
         if value_sum != self.updates {
-            return Err(format!("Σvalues {value_sum} != committed updates {}", self.updates));
+            return Err(format!(
+                "Σvalues {value_sum} != committed updates {}",
+                self.updates
+            ));
         }
         let acc_sum: u64 = self.accs.iter().map(|&a| mem.load_word(a)).sum();
         if acc_sum != self.lookups {
-            return Err(format!("Σaccs {acc_sum} != committed lookups {}", self.lookups));
+            return Err(format!(
+                "Σaccs {acc_sum} != committed lookups {}",
+                self.lookups
+            ));
         }
         Ok(())
     }

@@ -4,11 +4,9 @@
 
 use crate::common::{Size, ThreadRngs};
 use clear_isa::{
-    ArId, ArInvocation, ArSpec, Mutability, Program, ProgramBuilder, Reg, Workload,
-    WorkloadMeta,
+    ArId, ArInvocation, ArSpec, Mutability, Program, ProgramBuilder, Reg, Workload, WorkloadMeta,
 };
 use clear_mem::{Addr, Memory};
-use rand::Rng;
 use std::sync::Arc;
 
 const AR_UPDATE: ArId = ArId(0);

@@ -9,7 +9,6 @@ use clear_isa::{
     WorkloadMeta,
 };
 use clear_mem::{Addr, Memory};
-use rand::Rng;
 use std::sync::Arc;
 
 const AR_ENQ: ArId = ArId(0);
@@ -102,14 +101,17 @@ impl Workload for Queue {
                     name: "enqueue".into(),
                     mutability: Mutability::LikelyImmutable,
                 },
-                ArSpec { id: AR_DEQ, name: "dequeue".into(), mutability: Mutability::Mutable },
+                ArSpec {
+                    id: AR_DEQ,
+                    name: "dequeue".into(),
+                    mutability: Mutability::Mutable,
+                },
             ],
         }
     }
 
     fn setup(&mut self, mem: &mut Memory, threads: usize) {
-        let capacity =
-            self.initial_elems + threads as u64 * self.size.ops_per_thread() as u64 + 1;
+        let capacity = self.initial_elems + threads as u64 * self.size.ops_per_thread() as u64 + 1;
         self.head = mem.alloc_words(1);
         self.tail = mem.alloc_words(1);
         self.slots = mem.alloc_words(capacity);

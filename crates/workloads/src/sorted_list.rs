@@ -10,7 +10,6 @@ use clear_isa::{
     WorkloadMeta,
 };
 use clear_mem::{Addr, Memory};
-use rand::Rng;
 use std::sync::Arc;
 
 const AR_INSERT: ArId = ArId(0);
@@ -75,7 +74,10 @@ fn count_program() -> Program {
 /// `r0 = &counter`.
 fn bump_program() -> Program {
     let mut p = ProgramBuilder::new();
-    p.ld(Reg(1), Reg(0), 0).addi(Reg(1), Reg(1), 1).st(Reg(0), 0, Reg(1)).xend();
+    p.ld(Reg(1), Reg(0), 0)
+        .addi(Reg(1), Reg(1), 1)
+        .st(Reg(0), 0, Reg(1))
+        .xend();
     p.build()
 }
 
@@ -134,9 +136,21 @@ impl Workload for SortedList {
         WorkloadMeta {
             name: "sorted-list".into(),
             ars: vec![
-                ArSpec { id: AR_INSERT, name: "insert".into(), mutability: Mutability::Mutable },
-                ArSpec { id: AR_COUNT, name: "count".into(), mutability: Mutability::Mutable },
-                ArSpec { id: AR_BUMP, name: "bump".into(), mutability: Mutability::Immutable },
+                ArSpec {
+                    id: AR_INSERT,
+                    name: "insert".into(),
+                    mutability: Mutability::Mutable,
+                },
+                ArSpec {
+                    id: AR_COUNT,
+                    name: "count".into(),
+                    mutability: Mutability::Mutable,
+                },
+                ArSpec {
+                    id: AR_BUMP,
+                    name: "bump".into(),
+                    mutability: Mutability::Immutable,
+                },
             ],
         }
     }
@@ -170,7 +184,7 @@ impl Workload for SortedList {
         }
         self.remaining[tid] -= 1;
         let rng = self.rngs.get(tid);
-        let dice: f64 = rng.gen();
+        let dice = rng.gen_f64();
         let value = rng.gen_range(1..1_000u64);
         let think = rng.gen_range(15..50);
         if dice < 0.15 {

@@ -8,7 +8,6 @@ use clear_isa::{
     WorkloadMeta,
 };
 use clear_mem::{Addr, Memory};
-use rand::Rng;
 use std::sync::Arc;
 
 const AR_PUSH: ArId = ArId(0);
@@ -94,14 +93,17 @@ impl Workload for Stack {
                     name: "push".into(),
                     mutability: Mutability::LikelyImmutable,
                 },
-                ArSpec { id: AR_POP, name: "pop".into(), mutability: Mutability::Mutable },
+                ArSpec {
+                    id: AR_POP,
+                    name: "pop".into(),
+                    mutability: Mutability::Mutable,
+                },
             ],
         }
     }
 
     fn setup(&mut self, mem: &mut Memory, threads: usize) {
-        let capacity =
-            self.initial_elems + threads as u64 * self.size.ops_per_thread() as u64 + 1;
+        let capacity = self.initial_elems + threads as u64 * self.size.ops_per_thread() as u64 + 1;
         self.top = mem.alloc_words(1);
         self.slots = mem.alloc_words(capacity);
         self.accs = (0..threads).map(|_| mem.alloc_words(1)).collect();
@@ -128,7 +130,11 @@ impl Workload for Stack {
             Some(ArInvocation {
                 ar: AR_PUSH,
                 program: Arc::clone(&self.push),
-                args: vec![(Reg(0), self.top.0), (Reg(1), self.slots.0), (Reg(2), value)],
+                args: vec![
+                    (Reg(0), self.top.0),
+                    (Reg(1), self.slots.0),
+                    (Reg(2), value),
+                ],
                 think_cycles: think,
                 static_footprint: None,
             })

@@ -28,7 +28,6 @@ use clear_isa::{
     WorkloadMeta,
 };
 use clear_mem::{Addr, Memory, LINE_BYTES, WORD_BYTES};
-use rand::Rng;
 use std::sync::Arc;
 
 /// Shape of one modelled atomic region.
@@ -94,7 +93,12 @@ pub struct StampParams {
 }
 
 fn block_ar(name: &'static str, lines: u32, writes: u32, weight: u32) -> ArModel {
-    ArModel { name, mutability: Mutability::Immutable, weight, kind: ArKind::Block { lines, writes } }
+    ArModel {
+        name,
+        mutability: Mutability::Immutable,
+        weight,
+        kind: ArKind::Block { lines, writes },
+    }
 }
 
 fn indirect_ar(name: &'static str, lines: u32, writes: u32, weight: u32) -> ArModel {
@@ -107,11 +111,21 @@ fn indirect_ar(name: &'static str, lines: u32, writes: u32, weight: u32) -> ArMo
 }
 
 fn chase_ar(name: &'static str, steps: u32, weight: u32) -> ArModel {
-    ArModel { name, mutability: Mutability::Mutable, weight, kind: ArKind::Chase { steps } }
+    ArModel {
+        name,
+        mutability: Mutability::Mutable,
+        weight,
+        kind: ArKind::Chase { steps },
+    }
 }
 
 fn chase_read_ar(name: &'static str, steps: u32, weight: u32) -> ArModel {
-    ArModel { name, mutability: Mutability::Mutable, weight, kind: ArKind::ChaseRead { steps } }
+    ArModel {
+        name,
+        mutability: Mutability::Mutable,
+        weight,
+        kind: ArKind::ChaseRead { steps },
+    }
 }
 
 impl StampParams {
@@ -563,8 +577,16 @@ mod tests {
     #[test]
     fn all_stamp_names_resolve() {
         for n in [
-            "bayes", "genome", "intruder", "kmeans-h", "kmeans-l", "labyrinth", "ssca2",
-            "vacation-h", "vacation-l", "yada",
+            "bayes",
+            "genome",
+            "intruder",
+            "kmeans-h",
+            "kmeans-l",
+            "labyrinth",
+            "ssca2",
+            "vacation-h",
+            "vacation-l",
+            "yada",
         ] {
             assert!(StampModel::by_name(n, Size::Tiny, 1).is_some(), "{n}");
         }
@@ -631,6 +653,10 @@ mod tests {
                 seen.insert(inv.ar);
             }
         }
-        assert!(seen.len() >= 10, "most of bayes' 14 ARs should appear, saw {}", seen.len());
+        assert!(
+            seen.len() >= 10,
+            "most of bayes' 14 ARs should appear, saw {}",
+            seen.len()
+        );
     }
 }

@@ -128,8 +128,16 @@ fn single_core_runs_validate_program_semantics() {
         cfg.seed = 77;
         let mut m = Machine::new(cfg, w);
         let stats = m.run();
-        assert_eq!(stats.aborts.total(), 0, "{name}: single core cannot conflict");
-        assert_eq!(stats.commits(), Size::Tiny.ops_per_thread() as u64, "{name}");
+        assert_eq!(
+            stats.aborts.total(),
+            0,
+            "{name}: single core cannot conflict"
+        );
+        assert_eq!(
+            stats.commits(),
+            Size::Tiny.ops_per_thread() as u64,
+            "{name}"
+        );
         m.workload()
             .validate(m.memory())
             .unwrap_or_else(|e| panic!("{name}: program semantics broken: {e}"));

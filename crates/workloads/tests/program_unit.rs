@@ -79,7 +79,11 @@ fn queue_enqueue_then_dequeue_moves_one_value() {
     execute(&enq, &mut mem);
     assert_eq!(mem.load_word(tail_slot), tail_before + 1, "tail advanced");
     let slots = Addr(enq.args[1].1);
-    assert_eq!(mem.load_word(slots.add_words(tail_before)), value, "value written");
+    assert_eq!(
+        mem.load_word(slots.add_words(tail_before)),
+        value,
+        "value written"
+    );
 
     let head_slot = Addr(deq.args[0].1);
     let acc = Addr(deq.args[3].1);
@@ -88,7 +92,11 @@ fn queue_enqueue_then_dequeue_moves_one_value() {
     let acc_before = mem.load_word(acc);
     execute(&deq, &mut mem);
     assert_eq!(mem.load_word(head_slot), head_before + 1, "head advanced");
-    assert_eq!(mem.load_word(acc), acc_before + front_value, "value consumed");
+    assert_eq!(
+        mem.load_word(acc),
+        acc_before + front_value,
+        "value consumed"
+    );
 }
 
 #[test]
@@ -108,7 +116,11 @@ fn dequeue_on_empty_queue_is_a_noop() {
     let tail = mem.load_word(tail_slot);
     mem.store_word(head_slot, tail); // empty
     execute(&inv, &mut mem);
-    assert_eq!(mem.load_word(head_slot), tail, "empty dequeue must not move head");
+    assert_eq!(
+        mem.load_word(head_slot),
+        tail,
+        "empty dequeue must not move head"
+    );
 }
 
 #[test]
@@ -137,7 +149,11 @@ fn stack_pop_reverses_push() {
     let acc_before = mem.load_word(acc);
     execute(&pop, &mut mem);
     assert_eq!(mem.load_word(top_slot), top_before, "pop undoes push");
-    assert_eq!(mem.load_word(acc), acc_before + value, "popped the pushed value");
+    assert_eq!(
+        mem.load_word(acc),
+        acc_before + value,
+        "popped the pushed value"
+    );
 }
 
 #[test]
@@ -190,7 +206,8 @@ fn stamp_chase_preserves_permutation_per_op() {
     for _ in 0..6 {
         if let Some(inv) = w.next_ar(0, &mem) {
             execute(&inv, &mut mem);
-            w.validate(&mem).unwrap_or_else(|e| panic!("after one chase: {e}"));
+            w.validate(&mem)
+                .unwrap_or_else(|e| panic!("after one chase: {e}"));
         }
     }
 }

@@ -10,7 +10,9 @@ use clear_machine::{Machine, Preset};
 use clear_workloads::{by_name, Size};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "mwobject".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "mwobject".to_string());
     println!("benchmark: {name} (small input)\n");
     println!(
         "{:>6} | {:>12} {:>10} {:>9} | {:>12} {:>10} {:>9}",
@@ -24,7 +26,10 @@ fn main() {
             config.seed = 99;
             let mut machine = Machine::new(config, workload);
             let stats = machine.run();
-            machine.workload().validate(machine.memory()).expect("invariant");
+            machine
+                .workload()
+                .validate(machine.memory())
+                .expect("invariant");
             row.push((
                 stats.total_cycles,
                 stats.aborts_per_commit(),

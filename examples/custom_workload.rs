@@ -10,20 +10,18 @@
 //! ```
 
 use clear_isa::{
-    ArId, ArInvocation, ArSpec, Mutability, Program, ProgramBuilder, Reg, Workload,
-    WorkloadMeta,
+    ArId, ArInvocation, ArSpec, Mutability, Program, ProgramBuilder, Reg, Workload, WorkloadMeta,
 };
 use clear_machine::{Machine, Preset};
+use clear_mem::rng::Xoshiro256PlusPlus;
 use clear_mem::{Addr, Memory, LINE_BYTES, WORD_BYTES};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 struct Bank {
     accounts: usize,
     base: Addr,
     remaining: Vec<u32>,
-    rngs: Vec<SmallRng>,
+    rngs: Vec<Xoshiro256PlusPlus>,
     program: Arc<Program>,
 }
 
@@ -71,7 +69,7 @@ impl Workload for Bank {
         }
         self.remaining = vec![150; threads];
         self.rngs = (0..threads)
-            .map(|t| SmallRng::seed_from_u64(0xBA2C + t as u64))
+            .map(|t| Xoshiro256PlusPlus::seed_from_u64(0xBA2C + t as u64))
             .collect();
     }
 
@@ -101,7 +99,9 @@ impl Workload for Bank {
     }
 
     fn validate(&self, mem: &Memory) -> Result<(), String> {
-        let total: u64 = (0..self.accounts).map(|i| mem.load_word(self.account(i))).sum();
+        let total: u64 = (0..self.accounts)
+            .map(|i| mem.load_word(self.account(i)))
+            .sum();
         let want = 10_000 * self.accounts as u64;
         (total == want)
             .then_some(())
@@ -115,7 +115,10 @@ fn main() {
         config.seed = 7;
         let mut machine = Machine::new(config, Box::new(Bank::new(12)));
         let stats = machine.run();
-        machine.workload().validate(machine.memory()).expect("conservation");
+        machine
+            .workload()
+            .validate(machine.memory())
+            .expect("conservation");
         println!(
             "{}: {:>9} cycles, {:>6} commits ({} NS-CL, {} S-CL, {} fallback), {:.2} aborts/commit",
             preset.letter(),

@@ -17,7 +17,10 @@ fn assess(label: &str, feed: impl FnOnce(&mut Discovery)) {
     let mode = decide(&a);
     println!("{label}:");
     println!("  footprint = {:?}", a.footprint);
-    println!("  overflowed={} lockable={} immutable={}", a.overflowed, a.lockable, a.immutable);
+    println!(
+        "  overflowed={} lockable={} immutable={}",
+        a.overflowed, a.lockable, a.immutable
+    );
     println!("  decision  = {mode}");
     if mode == RetryMode::NsCl || mode == RetryMode::SCl {
         let order = lock_order(dir, &a.footprint);

@@ -7,6 +7,7 @@
 
 pub use clear_coherence as coherence;
 pub use clear_core as core;
+pub use clear_harness as harness;
 pub use clear_htm as htm;
 pub use clear_isa as isa;
 pub use clear_machine as machine;

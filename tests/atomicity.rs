@@ -11,7 +11,10 @@ fn check(name: &str, preset: Preset, cores: usize, seed: u64) {
     cfg.seed = seed;
     let mut m = Machine::new(cfg, w);
     let stats = m.run();
-    assert!(!stats.timed_out, "{name}/{preset}/{cores}c/s{seed} timed out");
+    assert!(
+        !stats.timed_out,
+        "{name}/{preset}/{cores}c/s{seed} timed out"
+    );
     m.workload()
         .validate(m.memory())
         .unwrap_or_else(|e| panic!("{name}/{preset}/{cores}c/s{seed}: {e}"));
@@ -72,7 +75,11 @@ fn stats_are_internally_consistent() {
     let by_retries: u64 = s.commits_by_retries.values().sum();
     assert_eq!(by_retries + s.commits_by_mode.fallback, s.commits());
     // Shares are probabilities.
-    for v in [s.first_retry_share(), s.fallback_share(), s.immutable_retry_ratio()] {
+    for v in [
+        s.first_retry_share(),
+        s.fallback_share(),
+        s.immutable_retry_ratio(),
+    ] {
         assert!((0.0..=1.0).contains(&v), "share out of range: {v}");
     }
     // Energy is positive and consistent.

@@ -67,7 +67,10 @@ fn discovery_feeds_decision_feeds_lock_list() {
     assert_eq!(list.len(), 3);
     // Lock list is in lexicographical (directory-set) order.
     let dir = sys.dir_geometry();
-    let keys: Vec<_> = list.iter().map(|&l| clear_mem::LexKey::new(dir, l)).collect();
+    let keys: Vec<_> = list
+        .iter()
+        .map(|&l| clear_mem::LexKey::new(dir, l))
+        .collect();
     assert!(keys.windows(2).all(|w| w[0] < w[1]));
 }
 
@@ -119,5 +122,8 @@ fn nack_breaks_the_fig5_cycle() {
     // The policy layer NACKs these loads; the aborting core releases its
     // locks, letting the other proceed.
     sys.unlock_all(CoreId(0));
-    assert!(sys.probe(CoreId(1), b, clear_coherence::Access::Read).locked_by_other.is_none());
+    assert!(sys
+        .probe(CoreId(1), b, clear_coherence::Access::Read)
+        .locked_by_other
+        .is_none());
 }

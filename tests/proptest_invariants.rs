@@ -1,33 +1,53 @@
 //! Property-based tests over the core data structures and the end-to-end
 //! machine.
+//!
+//! The generators are driven by the in-tree [`SplitMix64`] PRNG instead of
+//! an external property-testing crate: each test derives one sub-generator
+//! per case from a fixed test seed, so every run explores the same input
+//! space deterministically and a failing case is reproducible from its
+//! index alone.
 
 use clear_core::{Alt, Crt, Ert};
 use clear_isa::{AluOp, ProgramBuilder, Reg, Vm};
+use clear_mem::rng::SplitMix64;
 use clear_mem::{lock_order, CacheGeometry, LexKey, LineAddr, SetAssocCache};
-use proptest::prelude::*;
 use std::collections::HashSet;
 use std::sync::Arc;
 
-proptest! {
-    /// lock_order: sorted by (directory set, line), duplicate-free, with
-    /// exactly one group-terminator per directory set.
-    #[test]
-    fn lock_order_is_sorted_deduped_grouped(
-        lines in prop::collection::vec(0u64..512, 0..40),
-        sets_log in 1u32..6,
-    ) {
+/// Number of generated cases per property.
+const CASES: u64 = 96;
+
+/// One independent generator per (test, case) pair.
+fn case_rng(test_seed: u64, case: u64) -> SplitMix64 {
+    SplitMix64::new(test_seed ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+fn vec_of(rng: &mut SplitMix64, min: usize, max: usize, bound: u64) -> Vec<u64> {
+    let len = min + rng.index(max - min);
+    (0..len).map(|_| rng.below(bound)).collect()
+}
+
+/// lock_order: sorted by (directory set, line), duplicate-free, with
+/// exactly one group-terminator per directory set.
+#[test]
+fn lock_order_is_sorted_deduped_grouped() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x10c0, case);
+        let lines = vec_of(&mut rng, 0, 40, 512);
+        let sets_log = 1 + rng.below(5) as u32;
+
         let dir = CacheGeometry::new(1 << sets_log, 4);
         let lines: Vec<LineAddr> = lines.into_iter().map(LineAddr).collect();
         let order = lock_order(dir, &lines);
 
         // Sorted & unique.
         let keys: Vec<LexKey> = order.iter().map(|(l, _)| LexKey::new(dir, *l)).collect();
-        prop_assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "case {case}");
 
         // Same line set as the (deduped) input.
         let in_set: HashSet<u64> = lines.iter().map(|l| l.0).collect();
         let out_set: HashSet<u64> = order.iter().map(|(l, _)| l.0).collect();
-        prop_assert_eq!(in_set, out_set);
+        assert_eq!(in_set, out_set, "case {case}");
 
         // One terminator per contiguous group.
         let mut terminators_per_set = std::collections::HashMap::new();
@@ -36,37 +56,50 @@ proptest! {
                 *terminators_per_set.entry(dir.set_index(*l)).or_insert(0) += 1;
             }
         }
-        let distinct_sets: HashSet<usize> =
-            order.iter().map(|(l, _)| dir.set_index(*l)).collect();
-        prop_assert_eq!(terminators_per_set.len(), distinct_sets.len());
-        prop_assert!(terminators_per_set.values().all(|&c| c == 1));
+        let distinct_sets: HashSet<usize> = order.iter().map(|(l, _)| dir.set_index(*l)).collect();
+        assert_eq!(
+            terminators_per_set.len(),
+            distinct_sets.len(),
+            "case {case}"
+        );
+        assert!(terminators_per_set.values().all(|&c| c == 1), "case {case}");
     }
+}
 
-    /// SetAssocCache never exceeds per-set capacity and always finds what
-    /// it inserted most recently within a set's capacity window.
-    #[test]
-    fn cache_respects_capacity(
-        ops in prop::collection::vec(0u64..64, 1..200),
-        ways in 1usize..4,
-    ) {
+/// SetAssocCache never exceeds per-set capacity and always finds what
+/// it inserted most recently within a set's capacity window.
+#[test]
+fn cache_respects_capacity() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xcac4e, case);
+        let ops = vec_of(&mut rng, 1, 200, 64);
+        let ways = 1 + rng.index(3);
+
         let geom = CacheGeometry::new(8, ways);
         let mut cache: SetAssocCache<u64> = SetAssocCache::new(geom);
         for (i, &line) in ops.iter().enumerate() {
             cache.insert(LineAddr(line), i as u64);
-            prop_assert!(cache.len() <= geom.lines());
+            assert!(cache.len() <= geom.lines(), "case {case}");
             // Just-inserted line is always resident with its payload.
-            prop_assert_eq!(cache.get(LineAddr(line)), Some(&(i as u64)));
+            assert_eq!(cache.get(LineAddr(line)), Some(&(i as u64)), "case {case}");
         }
     }
+}
 
-    /// fits_simultaneously agrees with actually inserting pinned lines.
-    #[test]
-    fn fits_matches_pinned_insertion(
-        lines in prop::collection::hash_set(0u64..64, 1..20),
-        ways in 1usize..4,
-    ) {
+/// fits_simultaneously agrees with actually inserting pinned lines.
+#[test]
+fn fits_matches_pinned_insertion() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xf175, case);
+        let want = 1 + rng.index(19);
+        let mut set = HashSet::new();
+        while set.len() < want {
+            set.insert(rng.below(64));
+        }
+        let ways = 1 + rng.index(3);
+
         let geom = CacheGeometry::new(4, ways);
-        let lines: Vec<LineAddr> = lines.into_iter().map(LineAddr).collect();
+        let lines: Vec<LineAddr> = set.into_iter().map(LineAddr).collect();
         let fits = SetAssocCache::<()>::fits_simultaneously(geom, lines.iter().copied());
         let mut cache: SetAssocCache<()> = SetAssocCache::new(geom);
         let mut all_ok = true;
@@ -76,15 +109,19 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(fits, all_ok);
+        assert_eq!(fits, all_ok, "case {case}");
     }
+}
 
-    /// ALT keeps entries in lexicographical order with sticky write bits
-    /// and bounded size, for any observation sequence.
-    #[test]
-    fn alt_order_and_stickiness(
-        obs in prop::collection::vec((0u64..128, any::<bool>()), 1..64),
-    ) {
+/// ALT keeps entries in lexicographical order with sticky write bits
+/// and bounded size, for any observation sequence.
+#[test]
+fn alt_order_and_stickiness() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xa17, case);
+        let len = 1 + rng.index(63);
+        let obs: Vec<(u64, bool)> = (0..len).map(|_| (rng.below(128), rng.flip())).collect();
+
         let dir = CacheGeometry::new(16, 4);
         let mut alt = Alt::new(32, dir);
         let mut written_lines = HashSet::new();
@@ -93,21 +130,31 @@ proptest! {
                 written_lines.insert(*line);
             }
         }
-        prop_assert!(alt.len() <= 32);
-        let keys: Vec<LexKey> =
-            alt.iter().map(|e| LexKey::new(dir, e.line)).collect();
-        prop_assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert!(alt.len() <= 32, "case {case}");
+        let keys: Vec<LexKey> = alt.iter().map(|e| LexKey::new(dir, e.line)).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "case {case}");
         for e in alt.iter() {
-            prop_assert_eq!(e.needs_locking, written_lines.contains(&e.line.0));
+            assert_eq!(
+                e.needs_locking,
+                written_lines.contains(&e.line.0),
+                "case {case}"
+            );
         }
     }
+}
 
-    /// ERT is bounded and sq-full counters saturate within [0, 3].
-    #[test]
-    fn ert_bounded_and_saturating(
-        keys in prop::collection::vec(0u32..64, 1..100),
-        bumps in prop::collection::vec(any::<bool>(), 1..100),
-    ) {
+/// ERT is bounded and sq-full counters saturate within [0, 3].
+#[test]
+fn ert_bounded_and_saturating() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xe47, case);
+        let keys: Vec<u32> = vec_of(&mut rng, 1, 100, 64)
+            .into_iter()
+            .map(|k| k as u32)
+            .collect();
+        let nbumps = 1 + rng.index(99);
+        let bumps: Vec<bool> = (0..nbumps).map(|_| rng.flip()).collect();
+
         let mut ert = Ert::new(16);
         for (k, b) in keys.iter().zip(bumps.iter().cycle()) {
             let e = ert.entry(*k);
@@ -116,35 +163,51 @@ proptest! {
             } else {
                 e.decay_sq_full();
             }
-            prop_assert!(e.sq_full() <= 3);
+            assert!(e.sq_full() <= 3, "case {case}");
         }
-        prop_assert!(ert.len() <= 16);
+        assert!(ert.len() <= 16, "case {case}");
     }
+}
 
-    /// CRT: record-then-take round-trips; take empties.
-    #[test]
-    fn crt_record_take_roundtrip(lines in prop::collection::vec(0u64..256, 1..64)) {
+/// CRT: record-then-take round-trips; take empties.
+#[test]
+fn crt_record_take_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xc47, case);
+        let lines = vec_of(&mut rng, 1, 64, 256);
+
         let mut crt = Crt::new(8, 8);
         for &l in &lines {
             crt.record(LineAddr(l));
-            prop_assert!(crt.contains(LineAddr(l)));
-            prop_assert!(crt.take(LineAddr(l)));
-            prop_assert!(!crt.contains(LineAddr(l)));
-            prop_assert!(!crt.take(LineAddr(l)));
+            assert!(crt.contains(LineAddr(l)), "case {case}");
+            assert!(crt.take(LineAddr(l)), "case {case}");
+            assert!(!crt.contains(LineAddr(l)), "case {case}");
+            assert!(!crt.take(LineAddr(l)), "case {case}");
         }
-        prop_assert!(crt.is_empty());
+        assert!(crt.is_empty(), "case {case}");
     }
+}
 
-    /// The VM computes ALU chains exactly like the host.
-    #[test]
-    fn vm_matches_host_arithmetic(
-        a in any::<u64>(),
-        b in any::<u64>(),
-        ops in prop::collection::vec(0u8..9, 1..20),
-    ) {
+/// The VM computes ALU chains exactly like the host.
+#[test]
+fn vm_matches_host_arithmetic() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xa1b, case);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        let nops = 1 + rng.index(19);
+        let ops: Vec<u8> = (0..nops).map(|_| rng.below(9) as u8).collect();
+
         let all = [
-            AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::And, AluOp::Or,
-            AluOp::Xor, AluOp::Shl, AluOp::Shr, AluOp::Rem,
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Mul,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Shl,
+            AluOp::Shr,
+            AluOp::Rem,
         ];
         let mut builder = ProgramBuilder::new();
         let mut expect = a;
@@ -160,15 +223,21 @@ proptest! {
         for _ in 0..ops.len() {
             vm.step();
         }
-        prop_assert_eq!(vm.reg(Reg(0)), expect);
+        assert_eq!(vm.reg(Reg(0)), expect, "case {case}");
     }
+}
 
-    /// Indirection bits propagate through any ALU dag: a register is
-    /// indirect iff a load feeds it transitively.
-    #[test]
-    fn indirection_propagation_is_transitive(
-        edges in prop::collection::vec((0u8..8, 0u8..8, 0u8..8), 1..24),
-    ) {
+/// Indirection bits propagate through any ALU dag: a register is
+/// indirect iff a load feeds it transitively.
+#[test]
+fn indirection_propagation_is_transitive() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0x1d1, case);
+        let nedges = 1 + rng.index(23);
+        let edges: Vec<(u8, u8, u8)> = (0..nedges)
+            .map(|_| (rng.below(8) as u8, rng.below(8) as u8, rng.below(8) as u8))
+            .collect();
+
         let mut builder = ProgramBuilder::new();
         // r7 becomes indirect via a load; r0..r6 start direct.
         builder.ld(Reg(7), Reg(6), 0);
@@ -191,7 +260,11 @@ proptest! {
             vm.step();
         }
         for r in 0..8u8 {
-            prop_assert_eq!(vm.reg_indirect(Reg(r)), indirect[r as usize], "r{}", r);
+            assert_eq!(
+                vm.reg_indirect(Reg(r)),
+                indirect[r as usize],
+                "case {case} r{r}"
+            );
         }
     }
 }
@@ -235,7 +308,11 @@ mod machine_props {
             if shared {
                 self.shared_ops += 1;
             }
-            let target = if shared { self.shared } else { self.private[tid] };
+            let target = if shared {
+                self.shared
+            } else {
+                self.private[tid]
+            };
             Some(ArInvocation {
                 ar: ArId(0),
                 program: Arc::clone(&self.program),
@@ -262,23 +339,32 @@ mod machine_props {
 
     fn inc_program() -> Arc<Program> {
         let mut p = ProgramBuilder::new();
-        p.ld(Reg(1), Reg(0), 0).addi(Reg(1), Reg(1), 1).st(Reg(0), 0, Reg(1)).xend();
+        p.ld(Reg(1), Reg(0), 0)
+            .addi(Reg(1), Reg(1), 1)
+            .st(Reg(0), 0, Reg(1))
+            .xend();
         Arc::new(p.build())
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(16))]
+    /// Any random plan of shared/private increments is conserved under
+    /// every preset — the fundamental atomicity property, fuzzed.
+    ///
+    /// The whole-machine property keeps the former `proptest` case count
+    /// (16), which is why it loops less than the data-structure tests.
+    #[test]
+    fn random_plans_conserve_counters() {
+        for case in 0..16 {
+            let mut rng = case_rng(0x3ac41e, case);
+            let threads = 2 + rng.index(3);
+            let plan: Vec<Vec<bool>> = (0..threads)
+                .map(|_| {
+                    let len = 1 + rng.index(19);
+                    (0..len).map(|_| rng.flip()).collect()
+                })
+                .collect();
+            let preset = Preset::ALL[rng.index(4)];
+            let seed = rng.below(1000);
 
-        /// Any random plan of shared/private increments is conserved under
-        /// every preset — the fundamental atomicity property, fuzzed.
-        #[test]
-        fn random_plans_conserve_counters(
-            plan in prop::collection::vec(
-                prop::collection::vec(any::<bool>(), 1..20), 2..5),
-            preset_idx in 0usize..4,
-            seed in 0u64..1000,
-        ) {
-            let threads = plan.len();
             let w = MixedCounters {
                 shared: Addr::NULL,
                 private: vec![],
@@ -287,15 +373,14 @@ mod machine_props {
                 program: inc_program(),
                 shared_ops: 0,
             };
-            let preset = Preset::ALL[preset_idx];
             let mut cfg = preset.config(threads, 3);
             cfg.seed = seed;
             let mut m = Machine::new(cfg, Box::new(w));
             let stats = m.run();
-            prop_assert!(!stats.timed_out);
-            m.workload().validate(m.memory()).map_err(|e| {
-                TestCaseError::fail(format!("{preset}: {e}"))
-            })?;
+            assert!(!stats.timed_out, "case {case} {preset}");
+            m.workload()
+                .validate(m.memory())
+                .unwrap_or_else(|e| panic!("case {case} {preset}: {e}"));
         }
     }
 }
