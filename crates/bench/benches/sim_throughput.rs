@@ -1,20 +1,29 @@
 //! End-to-end simulator throughput: how fast the machine retires simulated
-//! ARs, with and without CLEAR.
+//! ARs, with and without CLEAR. Besides the wall-clock ns/iter line, each
+//! cell reports the kernel's own perf counters as steps per second, the
+//! same metric the `sim-throughput` harness experiment tracks.
 
 use clear_bench::run_once;
 use clear_bench::timing::bench_function;
 use clear_machine::Preset;
 use clear_workloads::Size;
 
+fn cell(name: &'static str, preset: Preset) {
+    bench_function(&format!("sim_throughput/{name}_8core_{preset}"), 20, || {
+        run_once(name, preset, 8, 5, Size::Tiny, 1)
+    });
+    let perf = run_once(name, preset, 8, 5, Size::Tiny, 1).perf;
+    println!(
+        "    {} steps, {} coherence requests, {:.2} Msteps/s",
+        perf.steps,
+        perf.coherence_requests,
+        perf.steps_per_sec() / 1e6
+    );
+}
+
 fn main() {
     for preset in [Preset::B, Preset::C] {
-        bench_function(
-            &format!("sim_throughput/arrayswap_8core_{preset}"),
-            20,
-            || run_once("arrayswap", preset, 8, 5, Size::Tiny, 1),
-        );
-        bench_function(&format!("sim_throughput/bst_8core_{preset}"), 20, || {
-            run_once("bst", preset, 8, 5, Size::Tiny, 1)
-        });
+        cell("arrayswap", preset);
+        cell("bst", preset);
     }
 }

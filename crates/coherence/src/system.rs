@@ -1,8 +1,7 @@
 //! The central coherence system: private caches + directory.
 
 use crate::{Access, CoherenceConfig, CoreId, LockFail, MesiState, ServedBy, TxTrack};
-use clear_mem::{CacheGeometry, LineAddr, SetAssocCache};
-use std::collections::{HashMap, HashSet};
+use clear_mem::{CacheGeometry, LineAddr, LineBitSet, SetAssocCache};
 
 /// Per-line metadata in a private cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -72,6 +71,10 @@ pub struct ProbeResult {
     pub locked_by_other: Option<CoreId>,
     /// Remote copies this access would invalidate or downgrade.
     pub remote_impacts: Vec<RemoteImpact>,
+    /// Way index of the requester's own copy, so a fused probe/apply pair
+    /// skips the second set scan. Only valid while the requester's cache
+    /// is unmutated, which the probe/apply contract already guarantees.
+    pub(crate) own_way: Option<usize>,
 }
 
 /// Result of a successfully applied access.
@@ -108,6 +111,14 @@ pub struct CoherenceStats {
     pub lock_conflicts: u64,
 }
 
+impl CoherenceStats {
+    /// Total coherence requests served, at any level (the simulator's
+    /// perf-counter notion of "coherence traffic volume").
+    pub fn requests(&self) -> u64 {
+        self.l1_hits + self.l2_hits + self.l3_serves + self.mem_serves
+    }
+}
+
 /// The coherence substrate: one private cache per core plus a directory.
 ///
 /// See the [crate docs](crate) for the probe/apply protocol.
@@ -115,11 +126,23 @@ pub struct CoherenceStats {
 pub struct CoherenceSystem {
     config: CoherenceConfig,
     caches: Vec<SetAssocCache<LineMeta>>,
-    directory: HashMap<LineAddr, DirEntry>,
+    /// Directory entries indexed by line number. [`clear_mem::Memory`]
+    /// bump-allocates, so live lines are a dense prefix and a flat vector
+    /// (grown on demand) beats any hash map on the per-access hot path.
+    directory: Vec<DirEntry>,
     /// Lines present in the (infinite) shared LLC model.
-    llc: HashSet<LineAddr>,
+    llc: LineBitSet,
     /// Per-core L2 shadow: lines evicted from L1 still "near" the core.
-    l2_shadow: Vec<HashSet<LineAddr>>,
+    l2_shadow: Vec<LineBitSet>,
+    /// Per-core list of lines whose transactional bits were set since the
+    /// last [`CoherenceSystem::clear_tx`]: lets commit/abort clear exactly
+    /// those lines instead of sweeping every cache way. May hold stale
+    /// entries for lines since invalidated — clearing skips them.
+    tx_touched: Vec<Vec<LineAddr>>,
+    /// Per-core list of lines locked since the last
+    /// [`CoherenceSystem::unlock_all`] (same idea; unlocking a stale or
+    /// already-released entry is a no-op).
+    locks_held: Vec<Vec<LineAddr>>,
     stats: CoherenceStats,
 }
 
@@ -140,9 +163,11 @@ impl CoherenceSystem {
             caches: (0..config.cores)
                 .map(|_| SetAssocCache::new(config.l1))
                 .collect(),
-            directory: HashMap::new(),
-            llc: HashSet::new(),
-            l2_shadow: (0..config.cores).map(|_| HashSet::new()).collect(),
+            directory: Vec::new(),
+            llc: LineBitSet::new(),
+            l2_shadow: (0..config.cores).map(|_| LineBitSet::new()).collect(),
+            tx_touched: (0..config.cores).map(|_| Vec::new()).collect(),
+            locks_held: (0..config.cores).map(|_| Vec::new()).collect(),
             stats: CoherenceStats::default(),
         }
     }
@@ -163,7 +188,18 @@ impl CoherenceSystem {
     }
 
     fn dir(&self, line: LineAddr) -> DirEntry {
-        self.directory.get(&line).copied().unwrap_or_default()
+        self.directory
+            .get(line.0 as usize)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    fn dir_mut(&mut self, line: LineAddr) -> &mut DirEntry {
+        let i = line.0 as usize;
+        if i >= self.directory.len() {
+            self.directory.resize(i + 1, DirEntry::default());
+        }
+        &mut self.directory[i]
     }
 
     /// Which core holds `line` locked, if any.
@@ -191,9 +227,9 @@ impl CoherenceSystem {
     }
 
     fn classify_miss(&self, core: CoreId, line: LineAddr, dir: &DirEntry) -> ServedBy {
-        if self.l2_shadow[core.0].contains(&line) {
+        if self.l2_shadow[core.0].contains(line) {
             ServedBy::L2
-        } else if dir.sharers != 0 || self.llc.contains(&line) {
+        } else if dir.sharers != 0 || self.llc.contains(line) {
             ServedBy::L3
         } else {
             ServedBy::Memory
@@ -213,10 +249,12 @@ impl CoherenceSystem {
     fn collect_impacts(&self, core: CoreId, line: LineAddr, access: Access) -> Vec<RemoteImpact> {
         let dir = self.dir(line);
         let mut impacts = Vec::new();
-        for c in 0..self.config.cores {
-            if c == core.0 || dir.sharers & (1 << c) == 0 {
-                continue;
-            }
+        // Walk only the set sharer bits (ascending core id, same order as
+        // the equivalent 0..cores scan) instead of every core.
+        let mut sharers = dir.sharers & !(1 << core.0);
+        while sharers != 0 {
+            let c = sharers.trailing_zeros() as usize;
+            sharers &= sharers - 1;
             let Some(meta) = self.caches[c].get(line) else {
                 continue;
             };
@@ -246,7 +284,8 @@ impl CoherenceSystem {
     pub fn probe(&self, core: CoreId, line: LineAddr, access: Access) -> ProbeResult {
         let dir = self.dir(line);
         let locked_by_other = dir.locked_by.filter(|&c| c != core);
-        let own = self.caches[core.0].get(line);
+        let own_way = self.caches[core.0].find_way(line);
+        let own = own_way.map(|w| self.caches[core.0].payload_at(w));
         let hit = match (own, access) {
             (Some(_), Access::Read) => true,
             (Some(m), Access::Write) => m.mesi.is_exclusive(),
@@ -272,6 +311,7 @@ impl CoherenceSystem {
             latency,
             locked_by_other,
             remote_impacts,
+            own_way,
         }
     }
 
@@ -286,8 +326,8 @@ impl CoherenceSystem {
 
     fn invalidate_remote(&mut self, victim: CoreId, line: LineAddr) {
         self.caches[victim.0].remove(line);
-        self.l2_shadow[victim.0].remove(&line);
-        let e = self.directory.entry(line).or_default();
+        self.l2_shadow[victim.0].remove(line);
+        let e = self.dir_mut(line);
         e.sharers &= !(1 << victim.0);
         if e.owner == Some(victim) {
             e.owner = None;
@@ -298,7 +338,7 @@ impl CoherenceSystem {
         if let Some(m) = self.caches[victim.0].get_mut(line) {
             m.mesi = MesiState::Shared;
         }
-        let e = self.directory.entry(line).or_default();
+        let e = self.dir_mut(line);
         if e.owner == Some(victim) {
             e.owner = None;
         }
@@ -331,6 +371,32 @@ impl CoherenceSystem {
         self.apply_inner(core, line, access, tx, false)
     }
 
+    /// Like [`CoherenceSystem::apply`], but consumes a [`ProbeResult`]
+    /// already obtained from [`CoherenceSystem::probe`] for the same
+    /// `(core, line, access)` instead of re-probing — the hot-path fusion
+    /// used by the simulation kernel. The caller must not have mutated
+    /// coherence state between the probe and this call, or the cached
+    /// verdict (lock status, impacts, latency) is stale.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(LockFail::Capacity)` exactly as [`CoherenceSystem::apply`]
+    /// does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probe saw the line locked by another core.
+    pub fn apply_probed(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        access: Access,
+        tx: TxTrack,
+        probe: ProbeResult,
+    ) -> Result<ApplyOk, LockFail> {
+        self.finish_apply(core, line, access, tx, false, probe)
+    }
+
     fn apply_inner(
         &mut self,
         core: CoreId,
@@ -340,11 +406,29 @@ impl CoherenceSystem {
         lock: bool,
     ) -> Result<ApplyOk, LockFail> {
         let probe = self.probe(core, line, access);
+        self.finish_apply(core, line, access, tx, lock, probe)
+    }
+
+    fn finish_apply(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        access: Access,
+        tx: TxTrack,
+        lock: bool,
+        probe: ProbeResult,
+    ) -> Result<ApplyOk, LockFail> {
         assert!(
             probe.locked_by_other.is_none(),
             "apply() on a line locked by another core"
         );
-        let impacts = probe.remote_impacts.clone();
+        let ProbeResult {
+            served_by,
+            latency,
+            remote_impacts: impacts,
+            own_way,
+            ..
+        } = probe;
 
         // Update remote copies.
         for imp in &impacts {
@@ -371,12 +455,19 @@ impl CoherenceSystem {
                 }
             }
         };
-        if let Some(meta) = self.caches[core.0].touch(line) {
+        if let Some(w) = own_way {
+            let meta = self.caches[core.0].touch_at(w);
             meta.mesi = match access {
                 Access::Write => MesiState::Modified,
                 Access::Read => meta.mesi, // keep stronger state on read hit
             };
-            meta.locked |= lock;
+            if lock && !meta.locked {
+                meta.locked = true;
+                self.locks_held[core.0].push(line);
+            }
+            if tx != TxTrack::None && !meta.tx_read && !meta.tx_write {
+                self.tx_touched[core.0].push(line);
+            }
             match tx {
                 TxTrack::None => {}
                 TxTrack::Read => meta.tx_read = true,
@@ -393,12 +484,18 @@ impl CoherenceSystem {
                 Ok(outcome) => {
                     if let clear_mem::EvictionOutcome::Evicted(victim) = outcome {
                         // Victim drops to the L2 shadow; directory forgets it.
-                        let e = self.directory.entry(victim).or_default();
+                        let e = self.dir_mut(victim);
                         e.sharers &= !(1 << core.0);
                         if e.owner == Some(core) {
                             e.owner = None;
                         }
                         self.l2_shadow[core.0].insert(victim);
+                    }
+                    if lock {
+                        self.locks_held[core.0].push(line);
+                    }
+                    if tx != TxTrack::None {
+                        self.tx_touched[core.0].push(line);
                     }
                 }
                 Err(clear_mem::PinnedSetFull) => return Err(LockFail::Capacity),
@@ -406,7 +503,7 @@ impl CoherenceSystem {
         }
 
         // Update the directory for the accessed line.
-        let e = self.directory.entry(line).or_default();
+        let e = self.dir_mut(line);
         e.sharers |= 1 << core.0;
         match access {
             Access::Write => {
@@ -424,11 +521,11 @@ impl CoherenceSystem {
         }
 
         self.llc.insert(line);
-        self.l2_shadow[core.0].remove(&line);
-        self.record_serve(probe.served_by);
+        self.l2_shadow[core.0].remove(line);
+        self.record_serve(served_by);
         Ok(ApplyOk {
-            served_by: probe.served_by,
-            latency: probe.latency,
+            served_by,
+            latency,
             remote_impacts: impacts,
         })
     }
@@ -464,17 +561,17 @@ impl CoherenceSystem {
             if let Ok(outcome) = self.caches[core.0].insert_respecting(line, meta, LineMeta::pinned)
             {
                 if let clear_mem::EvictionOutcome::Evicted(victim) = outcome {
-                    let e = self.directory.entry(victim).or_default();
+                    let e = self.dir_mut(victim);
                     e.sharers &= !(1 << core.0);
                     if e.owner == Some(core) {
                         e.owner = None;
                     }
                     self.l2_shadow[core.0].insert(victim);
                 }
-                let e = self.directory.entry(line).or_default();
+                let e = self.dir_mut(line);
                 e.sharers |= 1 << core.0;
                 self.llc.insert(line);
-                self.l2_shadow[core.0].remove(&line);
+                self.l2_shadow[core.0].remove(line);
             }
         }
         self.record_serve(served_by);
@@ -569,7 +666,7 @@ impl CoherenceSystem {
                 self.stats.unlocks += 1;
             }
         }
-        if let Some(e) = self.directory.get_mut(&line) {
+        if let Some(e) = self.directory.get_mut(line.0 as usize) {
             if e.locked_by == Some(core) {
                 e.locked_by = None;
             }
@@ -578,23 +675,28 @@ impl CoherenceSystem {
 
     /// Bulk-releases every lock `core` holds (the XEnd bulk unlock of §5.1).
     pub fn unlock_all(&mut self, core: CoreId) {
-        let locked: Vec<LineAddr> = self.caches[core.0]
-            .iter()
-            .filter(|(_, m)| m.locked)
-            .map(|(l, _)| l)
-            .collect();
-        for l in locked {
+        // Drain the tracked lock list instead of sweeping every cache way;
+        // stale entries (released individually since) unlock as no-ops.
+        let mut held = std::mem::take(&mut self.locks_held[core.0]);
+        for l in held.drain(..) {
             self.unlock_line(core, l);
         }
+        self.locks_held[core.0] = held;
     }
 
     /// Clears `core`'s transactional read/write bits (commit or abort).
     /// Lines stay cached; lock bits are untouched.
     pub fn clear_tx(&mut self, core: CoreId) {
-        for (_, m) in self.caches[core.0].iter_mut() {
-            m.tx_read = false;
-            m.tx_write = false;
+        // Only the lines tracked since the last clear can hold tx bits;
+        // entries invalidated in the meantime are simply absent.
+        let mut touched = std::mem::take(&mut self.tx_touched[core.0]);
+        for l in touched.drain(..) {
+            if let Some(m) = self.caches[core.0].get_mut(l) {
+                m.tx_read = false;
+                m.tx_write = false;
+            }
         }
+        self.tx_touched[core.0] = touched;
     }
 
     /// Lines currently in `core`'s transactional read or write set.

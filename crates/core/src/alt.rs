@@ -118,13 +118,13 @@ impl Alt {
     }
 
     fn refresh_conflict_bits(&mut self) {
-        let sets: Vec<usize> = self
-            .entries
-            .iter()
-            .map(|e| self.key_of(e).dir_set)
-            .collect();
-        for i in 0..self.entries.len() {
-            self.entries[i].conflict = i + 1 < self.entries.len() && sets[i + 1] == sets[i];
+        // Allocation-free: each entry only compares its set with its
+        // successor's, so a pairwise walk suffices.
+        let n = self.entries.len();
+        for i in 0..n {
+            self.entries[i].conflict = i + 1 < n
+                && self.key_of(&self.entries[i]).dir_set
+                    == self.key_of(&self.entries[i + 1]).dir_set;
         }
     }
 
@@ -165,11 +165,21 @@ impl Alt {
 
     /// The lines that must be locked, in lock order.
     pub fn lock_list(&self) -> Vec<LineAddr> {
-        self.entries
-            .iter()
-            .filter(|e| e.needs_locking)
-            .map(|e| e.line)
-            .collect()
+        let mut out = Vec::new();
+        self.lock_list_into(&mut out);
+        out
+    }
+
+    /// Writes the lock list into `out` (cleared first), reusing its
+    /// allocation — the per-attempt variant of [`Alt::lock_list`].
+    pub fn lock_list_into(&self, out: &mut Vec<LineAddr>) {
+        out.clear();
+        out.extend(
+            self.entries
+                .iter()
+                .filter(|e| e.needs_locking)
+                .map(|e| e.line),
+        );
     }
 
     /// The lines of the lexicographical conflict group containing `line`

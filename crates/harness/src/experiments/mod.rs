@@ -9,6 +9,7 @@
 //! tolerances used for regression checks against `goldens/`.
 
 mod figures;
+mod perf;
 mod studies;
 mod tables;
 mod verify;
@@ -83,7 +84,27 @@ fn medium() -> SuiteOptions {
 const GATED_TOLERANCES: Tolerances = Tolerances {
     default_rel: 1e-9,
     overrides: &[("pct", 1e-6), ("ratio", 1e-6), ("share", 1e-6)],
+    ignored: &[],
 };
+
+/// `sim-throughput` tolerances: the simulated-schedule counters are exact,
+/// but wall-clock timing fields vary per host and are skipped outright.
+const PERF_TOLERANCES: Tolerances = Tolerances {
+    default_rel: 1e-9,
+    overrides: &[],
+    ignored: &["wall_ns", "steps_per_sec"],
+};
+
+/// Pinned options for the `sim-throughput` golden: a tiny 8-core grid
+/// that finishes in well under a second, so CI can gate on it cheaply.
+fn tiny_perf() -> SuiteOptions {
+    SuiteOptions {
+        size: Size::Tiny,
+        cores: 8,
+        seeds: vec![1],
+        ..SuiteOptions::default()
+    }
+}
 
 /// Every registered experiment, in documentation order.
 pub static EXPERIMENTS: &[Experiment] = &[
@@ -222,6 +243,16 @@ pub static EXPERIMENTS: &[Experiment] = &[
         }),
     },
     Experiment {
+        name: "sim-throughput",
+        artifact: "simulator engineering",
+        about: "simulator-kernel counters and steps/s over a tiny grid",
+        run: perf::sim_throughput,
+        golden: Some(GoldenSpec {
+            opts: tiny_perf,
+            tolerances: PERF_TOLERANCES,
+        }),
+    },
+    Experiment {
         name: "trace",
         artifact: "debugging aid",
         about: "event timeline of a short traced run",
@@ -303,7 +334,7 @@ mod tests {
     }
 
     #[test]
-    fn gated_experiments_cover_the_five_legacy_snapshots() {
+    fn gated_experiments_cover_the_legacy_snapshots_plus_perf() {
         let gated: Vec<&str> = EXPERIMENTS
             .iter()
             .filter(|e| e.golden.is_some())
@@ -311,8 +342,24 @@ mod tests {
             .collect();
         assert_eq!(
             gated,
-            ["fig01", "report", "table1-measured", "ablation", "sle"]
+            [
+                "fig01",
+                "report",
+                "table1-measured",
+                "ablation",
+                "sle",
+                "sim-throughput"
+            ]
         );
+    }
+
+    #[test]
+    fn sim_throughput_golden_skips_wall_clock_only() {
+        let spec = find("sim-throughput").unwrap().golden.unwrap();
+        assert!(spec.tolerances.ignored.contains(&"wall_ns"));
+        assert!(spec.tolerances.ignored.contains(&"steps_per_sec"));
+        // The deterministic counters stay exact.
+        assert_eq!(spec.tolerances.default_rel, 1e-9);
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! The `sim-throughput` experiment: simulator-kernel performance counters.
+//!
+//! Unlike every other experiment this one measures the *simulator*, not
+//! the simulated machine: scheduler steps, coherence requests, avoided
+//! allocations, and wall-clock throughput for a fixed tiny grid. The
+//! deterministic counters are golden-gated (a kernel change that alters
+//! the simulated schedule shows up as drift here before it shows up in a
+//! paper figure); the wall-clock fields are host-dependent and excluded
+//! from the comparison.
+
+use super::{opts_json, ExperimentOutput};
+use crate::json::Json;
+use crate::pool;
+use crate::suite::{run_once, SuiteOptions};
+use clear_machine::Preset;
+use std::fmt::Write as _;
+
+pub(super) fn sim_throughput(opts: &SuiteOptions) -> ExperimentOutput {
+    let presets = Preset::ALL;
+    let np = presets.len();
+    let stats = pool::run_indexed(opts.benchmarks.len() * np, opts.workers, |i| {
+        run_once(
+            opts.benchmarks[i / np],
+            presets[i % np],
+            opts.cores,
+            5,
+            opts.size,
+            opts.seeds[0],
+        )
+    });
+    let mut text = String::new();
+    let _ = writeln!(text, "=== simulator kernel throughput ===");
+    let _ = writeln!(
+        text,
+        "{:14} {:>6} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "benchmark", "preset", "steps", "sched-upd", "coh-reqs", "allocs-avd", "Msteps/s"
+    );
+    let mut rows = Vec::new();
+    let (mut steps, mut wall_ns) = (0u64, 0u64);
+    for (i, s) in stats.iter().enumerate() {
+        let (name, preset) = (opts.benchmarks[i / np], presets[i % np]);
+        let p = &s.perf;
+        let _ = writeln!(
+            text,
+            "{:14} {:>6} {:>10} {:>12} {:>12} {:>12} {:>10.2}",
+            name,
+            format!("{preset}"),
+            p.steps,
+            p.sched_updates,
+            p.coherence_requests,
+            p.allocs_avoided,
+            p.steps_per_sec() / 1e6,
+        );
+        steps += p.steps;
+        wall_ns += p.run_wall_ns;
+        rows.push(Json::obj([
+            ("benchmark", Json::from(name)),
+            ("preset", Json::from(format!("{preset}"))),
+            ("total_cycles", Json::from(s.total_cycles)),
+            ("commits", Json::from(s.commits())),
+            ("steps", Json::from(p.steps)),
+            ("sched_updates", Json::from(p.sched_updates)),
+            ("coherence_requests", Json::from(p.coherence_requests)),
+            ("allocs_avoided", Json::from(p.allocs_avoided)),
+            ("wall_ns", Json::from(p.run_wall_ns)),
+            ("steps_per_sec", Json::Float(p.steps_per_sec())),
+        ]));
+    }
+    let aggregate = if wall_ns == 0 {
+        0.0
+    } else {
+        steps as f64 * 1e9 / wall_ns as f64
+    };
+    let _ = writeln!(
+        text,
+        "aggregate: {steps} steps in {:.1} ms = {:.2} Msteps/s",
+        wall_ns as f64 / 1e6,
+        aggregate / 1e6,
+    );
+    let json = Json::obj([
+        ("experiment", Json::from("sim-throughput")),
+        ("options", opts_json(opts)),
+        ("rows", Json::Arr(rows)),
+        ("total_steps", Json::from(steps)),
+        ("total_wall_ns", Json::from(wall_ns)),
+        ("aggregate_steps_per_sec", Json::Float(aggregate)),
+    ]);
+    ExperimentOutput::new(text, json)
+}

@@ -71,6 +71,10 @@ pub struct Tolerances {
     /// `(path fragment, relative tolerance)` overrides; the first matching
     /// fragment wins.
     pub overrides: &'static [(&'static str, f64)],
+    /// Path fragments whose values are skipped entirely — for
+    /// non-deterministic metrics such as wall-clock timings, where both
+    /// sides must have the key but any value (and value type) passes.
+    pub ignored: &'static [&'static str],
 }
 
 impl Default for Tolerances {
@@ -81,6 +85,7 @@ impl Default for Tolerances {
         Tolerances {
             default_rel: 1e-9,
             overrides: &[],
+            ignored: &[],
         }
     }
 }
@@ -94,6 +99,10 @@ impl Tolerances {
         }
         self.default_rel
     }
+
+    fn is_ignored(&self, path: &str) -> bool {
+        self.ignored.iter().any(|fragment| path.contains(fragment))
+    }
 }
 
 /// Compares an actual result against the golden baseline.
@@ -106,6 +115,9 @@ pub fn compare(golden: &Json, actual: &Json, tol: &Tolerances) -> Vec<Drift> {
 }
 
 fn walk(golden: &Json, actual: &Json, path: &str, tol: &Tolerances, out: &mut Vec<Drift>) {
+    if tol.is_ignored(path) {
+        return;
+    }
     let here = |p: &str| {
         if p.is_empty() {
             "<root>".to_string()
@@ -231,6 +243,7 @@ mod tests {
         let t = Tolerances {
             default_rel: 1e-6,
             overrides: &[],
+            ignored: &[],
         };
         assert!(compare(&doc(1, 0.5), &doc(1, 0.5 * (1.0 + 1e-8)), &t).is_empty());
         let drifts = compare(&doc(1, 0.5), &doc(1, 0.5 * (1.0 + 1e-3)), &t);
@@ -243,6 +256,7 @@ mod tests {
         let t = Tolerances {
             default_rel: 1e-9,
             overrides: &[("ratio", 0.5)],
+            ignored: &[],
         };
         assert!(compare(&doc(1, 0.5), &doc(1, 0.6), &t).is_empty());
     }
@@ -264,5 +278,21 @@ mod tests {
         let t = Tolerances::default();
         assert!(compare(&Json::Int(3), &Json::Float(3.0), &t).is_empty());
         assert_eq!(compare(&Json::Int(3), &Json::Float(3.1), &t).len(), 1);
+    }
+
+    #[test]
+    fn ignored_fragments_skip_values_and_types() {
+        let t = Tolerances {
+            default_rel: 1e-9,
+            overrides: &[],
+            ignored: &["wall_ns"],
+        };
+        let golden = Json::obj([("steps", Json::Int(10)), ("wall_ns", Json::Int(123))]);
+        // Value drift, and even a type change, under an ignored path passes.
+        let actual = Json::obj([("steps", Json::Int(10)), ("wall_ns", Json::Float(9.5))]);
+        assert!(compare(&golden, &actual, &t).is_empty());
+        // Non-ignored siblings still compare exactly.
+        let bad = Json::obj([("steps", Json::Int(11)), ("wall_ns", Json::Int(0))]);
+        assert_eq!(compare(&golden, &bad, &t).len(), 1);
     }
 }

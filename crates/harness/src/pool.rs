@@ -9,13 +9,27 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// The default worker count: every available core, but at least 4 so the
-/// grid is genuinely exercised concurrently even on small machines.
+/// The default worker count: the `CLEAR_WORKERS` environment variable if
+/// set to a positive integer, otherwise every available core (at least 2
+/// so the grid is genuinely exercised concurrently). The old `.max(4)`
+/// floor oversubscribed 1–2 core machines; the pool now never spawns more
+/// threads than the host can run unless explicitly asked to.
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism()
+    let available = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
-        .max(4)
+        .unwrap_or(1);
+    workers_from(std::env::var("CLEAR_WORKERS").ok().as_deref(), available)
+}
+
+/// Pure core of [`default_workers`], split out for testing: resolves an
+/// optional `CLEAR_WORKERS` override against the detected parallelism.
+fn workers_from(env: Option<&str>, available: usize) -> usize {
+    if let Some(n) = env.and_then(|v| v.trim().parse::<usize>().ok()) {
+        if n > 0 {
+            return n;
+        }
+    }
+    available.max(2)
 }
 
 /// Runs `f(0..n)` across `workers` scoped threads and returns the results
@@ -79,7 +93,19 @@ mod tests {
     }
 
     #[test]
-    fn default_workers_is_at_least_four() {
-        assert!(default_workers() >= 4);
+    fn workers_env_override_wins() {
+        assert_eq!(workers_from(Some("6"), 2), 6);
+        assert_eq!(workers_from(Some(" 12 "), 64), 12);
+        // Invalid or non-positive overrides fall back to detection.
+        assert_eq!(workers_from(Some("0"), 8), 8);
+        assert_eq!(workers_from(Some("lots"), 8), 8);
+    }
+
+    #[test]
+    fn workers_clamp_to_available_parallelism_with_floor_of_two() {
+        assert_eq!(workers_from(None, 1), 2);
+        assert_eq!(workers_from(None, 2), 2);
+        assert_eq!(workers_from(None, 16), 16);
+        assert!(default_workers() >= 2);
     }
 }

@@ -35,11 +35,13 @@
 mod config;
 mod energy;
 mod machine;
+pub mod perf;
 mod stats;
 mod trace;
 
 pub use config::{MachineConfig, Preset, SpeculationKind, TimingConfig};
 pub use energy::{compute_energy, EnergyBreakdown, EnergyConfig};
 pub use machine::Machine;
+pub use perf::PerfCounters;
 pub use stats::{AbortCounts, ArStatsEntry, ModeCommits, RunStats};
 pub use trace::{Trace, TraceEvent};

@@ -41,8 +41,13 @@ impl Machine {
                     ExecMode::SCl
                 };
                 // Refresh the S-CL lock list with lines the CRT has learned
-                // about since the ALT was built (§5.1).
-                let lock_list = {
+                // about since the ALT was built (§5.1). The list reuses the
+                // core's previous lock-list buffer.
+                let mut lock_list = std::mem::take(&mut self.cores[c].lock_list);
+                if lock_list.capacity() > 0 {
+                    self.perf.allocs_avoided += 1;
+                }
+                {
                     let core = &mut self.cores[c];
                     let alt = core.alt.as_mut().expect("CL mode requires ALT");
                     alt.reset_lock_state();
@@ -54,8 +59,8 @@ impl Machine {
                             }
                         }
                     }
-                    alt.lock_list()
-                };
+                    alt.lock_list_into(&mut lock_list);
+                }
                 self.arm_vm(c);
                 self.trace.record(
                     self.cores[c].clock,
@@ -130,6 +135,10 @@ impl Machine {
     /// all speculative and lock state, and applies the S-CL
     /// non-discoverability rule (§4.4.2).
     pub(super) fn perform_abort(&mut self, c: usize, kind: AbortKind) {
+        // The abort penalty below advances `c`'s clock, possibly while `c`
+        // is a *victim* of the core being stepped: tell the scheduler so
+        // the heap re-keys this core after the current step.
+        self.sched_touched.push(c);
         self.trace
             .record(self.cores[c].clock, c, TraceEvent::Abort { kind });
         self.stats.aborts.record(kind);
@@ -287,9 +296,12 @@ impl Machine {
                 retries: self.cores[c].retries_total,
             },
         );
-        // Publish buffered stores.
-        let sq: Vec<(u64, u64)> = self.cores[c].sq.drain().collect();
-        for (word_addr, value) in sq {
+        // Publish buffered stores straight out of the store queue (each
+        // word address is distinct, so drain order is unobservable).
+        if !self.cores[c].sq.is_empty() {
+            self.perf.allocs_avoided += 1;
+        }
+        for (word_addr, value) in self.cores[c].sq.drain() {
             self.memory.store_word(Addr(word_addr), value);
         }
         self.coherence.clear_tx(CoreId(c));

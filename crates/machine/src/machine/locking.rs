@@ -12,41 +12,58 @@ impl Machine {
         // together (§5): entries are lex-sorted, so a group is a maximal
         // consecutive run with one set index.
         let dir = self.coherence.dir_geometry();
-        let group: Vec<LineAddr> = {
+        // The group and victim lists reuse per-machine scratch buffers; both
+        // are restored before every exit from this function.
+        let mut group = std::mem::take(&mut self.scratch_group);
+        group.clear();
+        {
             let list = &self.cores[c].lock_list;
             let set = dir.set_index(list[idx]);
-            list[idx..]
-                .iter()
-                .take_while(|l| dir.set_index(**l) == set)
-                .copied()
-                .collect()
-        };
+            group.extend(
+                list[idx..]
+                    .iter()
+                    .take_while(|l| dir.set_index(**l) == set)
+                    .copied(),
+            );
+        }
+        self.perf.allocs_avoided += 1;
 
         // Policy check over the whole group before stealing anything.
-        let mut victims: Vec<TxInfo> = Vec::new();
+        let mut victims = std::mem::take(&mut self.scratch_victims);
+        victims.clear();
+        let mut spin = false;
         for &line in &group {
             let probe = self.coherence.probe(CoreId(c), line, Access::Write);
             if probe.locked_by_other.is_some() {
                 // Another core holds a group line locked: retried request
                 // (Fig. 6).
-                self.cores[c].clock += self.config.timing.spin_interval;
-                self.stats.lock_spin_cycles += self.config.timing.spin_interval;
-                return;
+                spin = true;
+                break;
             }
-            victims.extend(
-                probe
-                    .remote_impacts
-                    .iter()
-                    .filter(|i| i.is_tx_conflict(true))
-                    .map(|i| self.tx_info(i.core.0)),
-            );
+            for i in probe
+                .remote_impacts
+                .iter()
+                .filter(|i| i.is_tx_conflict(true))
+            {
+                victims.push(self.tx_info(i.core.0));
+            }
         }
-        if !victims.is_empty() {
+        let nacked = !spin && !victims.is_empty() && {
+            self.perf.allocs_avoided += 1;
             let me = self.tx_info(c);
-            if resolve_conflict(self.config.flavor, me, &victims) == Resolution::NackRequester {
-                self.perform_abort(c, AbortKind::Nacked);
-                return;
-            }
+            resolve_conflict(self.config.flavor, me, &victims) == Resolution::NackRequester
+        };
+        self.scratch_victims = victims;
+        if spin {
+            self.cores[c].clock += self.config.timing.spin_interval;
+            self.stats.lock_spin_cycles += self.config.timing.spin_interval;
+            self.scratch_group = group;
+            return;
+        }
+        if nacked {
+            self.perform_abort(c, AbortKind::Nacked);
+            self.scratch_group = group;
+            return;
         }
         // Record the ALT Hit bits (group-locking probe of §5).
         for &line in &group {
@@ -91,5 +108,6 @@ impl Machine {
                 self.perform_abort(c, AbortKind::Capacity);
             }
         }
+        self.scratch_group = group;
     }
 }

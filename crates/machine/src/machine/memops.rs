@@ -74,16 +74,12 @@ impl Machine {
                     addr,
                     addr_indirect,
                     ..
-                } => {
-                    self.do_load(c, addr, addr_indirect);
-                }
+                } => self.do_load(c, addr, addr_indirect),
                 Effect::Store {
                     addr,
                     value,
                     addr_indirect,
-                } => {
-                    self.do_store(c, addr, value, addr_indirect);
-                }
+                } => self.do_store(c, addr, value, addr_indirect),
                 Effect::Commit => {
                     self.cores[c].clock += 1;
                     if self.cores[c].held_abort.is_some() {
@@ -145,11 +141,14 @@ impl Machine {
             }
         }
 
-        // Store-to-load forwarding from the speculative store buffer.
-        if let Some(&v) = self.cores[c].sq.get(&addr.0) {
-            self.cores[c].clock += 1;
-            self.cores[c].vm.as_mut().unwrap().finish_load(v);
-            return;
+        // Store-to-load forwarding from the speculative store buffer (the
+        // emptiness check skips the hash for the common no-prior-store case).
+        if !self.cores[c].sq.is_empty() {
+            if let Some(&v) = self.cores[c].sq.get(&addr.0) {
+                self.cores[c].clock += 1;
+                self.cores[c].vm.as_mut().unwrap().finish_load(v);
+                return;
+            }
         }
 
         match self.cores[c].mode {
@@ -190,24 +189,28 @@ impl Machine {
                     }
                     return;
                 }
-                let conflicting: Vec<&RemoteImpact> = probe
+                // Collect conflicting victims into the reused scratch list.
+                let mut victims = std::mem::take(&mut self.scratch_victims);
+                victims.clear();
+                for i in probe
                     .remote_impacts
                     .iter()
                     .filter(|i| i.is_tx_conflict(false))
-                    .collect();
-                if !conflicting.is_empty() {
-                    let victims: Vec<TxInfo> =
-                        conflicting.iter().map(|i| self.tx_info(i.core.0)).collect();
+                {
+                    victims.push(self.tx_info(i.core.0));
+                }
+                let nacked = !victims.is_empty() && {
+                    self.perf.allocs_avoided += 1;
                     let me = self.tx_info(c);
-                    if resolve_conflict(self.config.flavor, me, &victims)
-                        == Resolution::NackRequester
-                    {
-                        if mode == ExecMode::Fallback {
-                            // Fallback cannot abort; force through.
-                        } else {
-                            self.perform_abort(c, AbortKind::Nacked);
-                            return;
-                        }
+                    resolve_conflict(self.config.flavor, me, &victims) == Resolution::NackRequester
+                };
+                self.scratch_victims = victims;
+                if nacked {
+                    if mode == ExecMode::Fallback {
+                        // Fallback cannot abort; force through.
+                    } else {
+                        self.perform_abort(c, AbortKind::Nacked);
+                        return;
                     }
                 }
                 let tx = if mode == ExecMode::Fallback {
@@ -215,15 +218,22 @@ impl Machine {
                 } else {
                     TxTrack::Read
                 };
-                match self.coherence.apply(CoreId(c), line, Access::Read, tx) {
+                // Coherence state is unchanged since the probe, so the
+                // apply can consume it instead of re-probing.
+                match self
+                    .coherence
+                    .apply_probed(CoreId(c), line, Access::Read, tx, probe)
+                {
                     Ok(ok) => {
                         self.cores[c].clock += ok.latency;
-                        let impacts = ok.remote_impacts;
                         // Read conflicts: remote write-set holders abort.
-                        let conflicts: Vec<RemoteImpact> = impacts
-                            .into_iter()
-                            .filter(|i| i.is_tx_conflict(false))
-                            .collect();
+                        // Filtered in place — the apply result is consumed,
+                        // not copied.
+                        let mut conflicts = ok.remote_impacts;
+                        if !conflicts.is_empty() {
+                            self.perf.allocs_avoided += 1;
+                            conflicts.retain(|i| i.is_tx_conflict(false));
+                        }
                         self.abort_victims(c, line, &conflicts, AbortKind::MemoryConflict);
                         let v = self.memory.load_word(addr);
                         self.cores[c].vm.as_mut().unwrap().finish_load(v);
@@ -286,11 +296,11 @@ impl Machine {
                     self.stats.pending_stall_cycles += self.config.timing.spin_interval;
                     return;
                 }
-                let impacts = self.force_apply(c, line, Access::Write, TxTrack::None);
-                let conflicts: Vec<RemoteImpact> = impacts
-                    .into_iter()
-                    .filter(|i| i.is_tx_conflict(true))
-                    .collect();
+                let mut conflicts = self.force_apply(c, line, Access::Write, TxTrack::None);
+                if !conflicts.is_empty() {
+                    self.perf.allocs_avoided += 1;
+                    conflicts.retain(|i| i.is_tx_conflict(true));
+                }
                 self.abort_victims(c, line, &conflicts, AbortKind::MemoryConflict);
                 self.memory.store_word(addr, value);
             }
@@ -330,33 +340,42 @@ impl Machine {
                     }
                     return;
                 }
-                let conflicting: Vec<&RemoteImpact> = probe
+                // Collect conflicting victims into the reused scratch list.
+                let mut victims = std::mem::take(&mut self.scratch_victims);
+                victims.clear();
+                for i in probe
                     .remote_impacts
                     .iter()
                     .filter(|i| i.is_tx_conflict(true))
-                    .collect();
-                if !conflicting.is_empty() {
-                    let victims: Vec<TxInfo> =
-                        conflicting.iter().map(|i| self.tx_info(i.core.0)).collect();
-                    let me = self.tx_info(c);
-                    if resolve_conflict(self.config.flavor, me, &victims)
-                        == Resolution::NackRequester
-                    {
-                        self.perform_abort(c, AbortKind::Nacked);
-                        return;
-                    }
-                }
-                match self
-                    .coherence
-                    .apply(CoreId(c), line, Access::Write, TxTrack::Write)
                 {
+                    victims.push(self.tx_info(i.core.0));
+                }
+                let nacked = !victims.is_empty() && {
+                    self.perf.allocs_avoided += 1;
+                    let me = self.tx_info(c);
+                    resolve_conflict(self.config.flavor, me, &victims) == Resolution::NackRequester
+                };
+                self.scratch_victims = victims;
+                if nacked {
+                    self.perform_abort(c, AbortKind::Nacked);
+                    return;
+                }
+                // Coherence state is unchanged since the probe, so the
+                // apply can consume it instead of re-probing.
+                match self.coherence.apply_probed(
+                    CoreId(c),
+                    line,
+                    Access::Write,
+                    TxTrack::Write,
+                    probe,
+                ) {
                     Ok(ok) => {
                         self.cores[c].clock += ok.latency;
-                        let impacts = ok.remote_impacts;
-                        let conflicts: Vec<RemoteImpact> = impacts
-                            .into_iter()
-                            .filter(|i| i.is_tx_conflict(true))
-                            .collect();
+                        let mut conflicts = ok.remote_impacts;
+                        if !conflicts.is_empty() {
+                            self.perf.allocs_avoided += 1;
+                            conflicts.retain(|i| i.is_tx_conflict(true));
+                        }
                         self.abort_victims(c, line, &conflicts, AbortKind::MemoryConflict);
                         self.cores[c].sq.insert(addr.0, value);
                     }

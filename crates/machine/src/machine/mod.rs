@@ -20,14 +20,15 @@
 //!   (lazy data, eager conflict detection), which is observationally
 //!   equivalent for other cores.
 
+use crate::perf::PerfCounters;
 use crate::{compute_energy, MachineConfig, RunStats, SpeculationKind, Trace, TraceEvent};
 use clear_coherence::{Access, CoherenceSystem, CoreId, LockFail, RemoteImpact, TxTrack};
 use clear_core::{decide, Alt, Crt, Discovery, Ert, RetryMode};
 use clear_htm::{resolve_conflict, AbortKind, FallbackLock, PowerToken, Resolution, TxInfo};
 use clear_isa::{ArInvocation, Effect, Vm, Workload};
 use clear_mem::rng::Xoshiro256PlusPlus;
-use clear_mem::{Addr, LineAddr, Memory};
-use std::collections::{HashMap, HashSet};
+use clear_mem::{Addr, FxHashMap, LineAddr, LineSet, Memory};
+use sched::CoreHeap;
 use std::sync::Arc;
 
 /// The execution mode of the current attempt.
@@ -87,7 +88,7 @@ struct Core {
     mode: ExecMode,
     pending: Option<PendingOp>,
     /// Speculative store buffer: word address -> value.
-    sq: HashMap<u64, u64>,
+    sq: FxHashMap<u64, u64>,
     /// Abort held while failed-mode discovery continues (§4.1).
     held_abort: Option<AbortKind>,
     discovery: Option<Discovery>,
@@ -103,9 +104,9 @@ struct Core {
     ert: Ert,
     crt: Crt,
     /// Footprint of the current attempt (Fig. 1 instrumentation).
-    fp_cur: HashSet<LineAddr>,
+    fp_cur: LineSet,
     /// Footprint of the first (aborted) attempt of this invocation.
-    fp_first: Option<HashSet<LineAddr>>,
+    fp_first: Option<LineSet>,
 }
 
 impl Core {
@@ -118,7 +119,7 @@ impl Core {
             inv: None,
             mode: ExecMode::Speculative,
             pending: None,
-            sq: HashMap::new(),
+            sq: FxHashMap::default(),
             held_abort: None,
             discovery: None,
             planned: RetryMode::SpeculativeRetry,
@@ -130,7 +131,7 @@ impl Core {
             explicit_fb_recorded: false,
             ert: Ert::new(cc.ert_entries),
             crt: Crt::new(cc.crt_sets, cc.crt_ways),
-            fp_cur: HashSet::new(),
+            fp_cur: LineSet::new(),
             fp_first: None,
         }
     }
@@ -153,6 +154,15 @@ pub struct Machine {
     stats: RunStats,
     rng: Xoshiro256PlusPlus,
     trace: Trace,
+    /// Cores whose clocks were pushed forward by a remote abort since the
+    /// last scheduler step; the run loop re-keys their heap entries.
+    sched_touched: Vec<usize>,
+    /// Simulator-kernel counters for the current run (see [`crate::perf`]).
+    perf: PerfCounters,
+    /// Reused buffers for per-access/per-lock victim collection and lock
+    /// groups; taken, filled, and put back on the hot path.
+    scratch_victims: Vec<TxInfo>,
+    scratch_group: Vec<LineAddr>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -185,6 +195,10 @@ impl Machine {
             stats: RunStats::default(),
             rng,
             trace: Trace::new(),
+            sched_touched: Vec::new(),
+            perf: PerfCounters::default(),
+            scratch_victims: Vec::new(),
+            scratch_group: Vec::new(),
             config,
         }
     }
@@ -211,29 +225,68 @@ impl Machine {
 
     /// Runs the workload to completion (or to the `max_cycles` safety stop)
     /// and returns the collected statistics.
+    ///
+    /// Core selection uses an indexed min-heap keyed on `(clock, core_id)`
+    /// — a total order, so every step advances the exact same core a
+    /// linear `min_by_key` scan would pick, in O(log cores).
     pub fn run(&mut self) -> RunStats {
-        loop {
-            let next = self
-                .cores
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| c.phase != Phase::Finished)
-                .min_by_key(|(i, c)| (c.clock, *i))
-                .map(|(i, _)| i);
-            let Some(c) = next else { break };
+        let started = std::time::Instant::now();
+        let mut sched = CoreHeap::new(self.cores.len());
+        for (i, core) in self.cores.iter().enumerate() {
+            if core.phase != Phase::Finished {
+                sched.push(i, core.clock);
+            }
+        }
+        self.sched_touched.clear();
+        while let Some(c) = sched.peek() {
+            #[cfg(debug_assertions)]
+            self.debug_assert_heap_min(c);
             if self.cores[c].clock > self.config.max_cycles {
                 self.stats.timed_out = true;
                 break;
             }
             self.step_core(c);
+            self.perf.steps += 1;
+            if self.cores[c].phase == Phase::Finished {
+                sched.remove(c);
+            } else if sched.update(c, self.cores[c].clock) {
+                self.perf.sched_updates += 1;
+            }
+            // Remote aborts pushed victim clocks forward; re-key them.
+            if !self.sched_touched.is_empty() {
+                for i in 0..self.sched_touched.len() {
+                    let v = self.sched_touched[i];
+                    if v != c && sched.update(v, self.cores[v].clock) {
+                        self.perf.sched_updates += 1;
+                    }
+                }
+                self.sched_touched.clear();
+            }
         }
+        self.perf.run_wall_ns += started.elapsed().as_nanos() as u64;
         self.finalize_stats();
         self.stats.clone()
+    }
+
+    /// Debug-build cross-check: the heap's minimum must be exactly what
+    /// the replaced linear scan would have picked.
+    #[cfg(debug_assertions)]
+    fn debug_assert_heap_min(&self, picked: usize) {
+        let scan = self
+            .cores
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.phase != Phase::Finished)
+            .min_by_key(|(i, c)| (c.clock, *i))
+            .map(|(i, _)| i);
+        debug_assert_eq!(scan, Some(picked), "heap disagrees with linear scan");
     }
 
     fn finalize_stats(&mut self) {
         self.stats.total_cycles = self.cores.iter().map(|c| c.clock).max().unwrap_or(0);
         self.stats.coherence = self.coherence.stats();
+        self.perf.coherence_requests = self.stats.coherence.requests();
+        self.stats.perf = self.perf;
         self.stats.lock_ops = self.stats.coherence.locks + self.stats.coherence.unlocks;
         self.stats.energy = compute_energy(
             &self.config.energy,
@@ -330,10 +383,8 @@ impl Machine {
 
     fn arm_vm(&mut self, c: usize) {
         let inv = self.cores[c].inv.as_ref().expect("invocation present");
-        let program: Arc<_> = Arc::clone(&inv.program);
-        let args = inv.args.clone();
-        let mut vm = Vm::new(program);
-        for (r, v) in args {
+        let mut vm = Vm::new(Arc::clone(&inv.program));
+        for &(r, v) in &inv.args {
             vm.set_reg(r, v);
         }
         let core = &mut self.cores[c];
@@ -349,3 +400,4 @@ mod attempt;
 mod conflicts;
 mod locking;
 mod memops;
+mod sched;

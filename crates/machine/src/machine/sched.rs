@@ -1,0 +1,210 @@
+//! The core scheduler: an indexed binary min-heap over `(clock, core_id)`.
+//!
+//! [`Machine::run`](super::Machine::run) must always advance the core with
+//! the smallest clock, ties broken by core id. A linear scan is O(cores)
+//! per simulated step; this heap makes it O(log cores) while selecting the
+//! *exact same* core every step, because `(clock, core_id)` is a total
+//! order. Clocks only ever increase, so re-keying after a step or a remote
+//! abort is a sift-down plus a defensive sift-up.
+
+/// Indexed min-heap of core ids keyed by `(clock, core_id)`.
+#[derive(Debug)]
+pub(super) struct CoreHeap {
+    /// Heap array of core ids.
+    heap: Vec<usize>,
+    /// `pos[core]` = index of `core` in `heap`, or [`CoreHeap::ABSENT`].
+    pos: Vec<usize>,
+    /// `clock[core]` = the key the heap currently believes.
+    clock: Vec<u64>,
+}
+
+impl CoreHeap {
+    const ABSENT: usize = usize::MAX;
+
+    /// An empty heap able to hold cores `0..n`.
+    pub(super) fn new(n: usize) -> Self {
+        CoreHeap {
+            heap: Vec::with_capacity(n),
+            pos: vec![Self::ABSENT; n],
+            clock: vec![0; n],
+        }
+    }
+
+    fn key(&self, core: usize) -> (u64, usize) {
+        (self.clock[core], core)
+    }
+
+    /// Inserts `core` with the given clock. Must not already be present.
+    pub(super) fn push(&mut self, core: usize, clock: u64) {
+        debug_assert_eq!(self.pos[core], Self::ABSENT, "core {core} already queued");
+        self.clock[core] = clock;
+        self.pos[core] = self.heap.len();
+        self.heap.push(core);
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// The core with the smallest `(clock, core_id)`, if any.
+    pub(super) fn peek(&self) -> Option<usize> {
+        self.heap.first().copied()
+    }
+
+    /// Updates `core`'s clock and restores heap order. Returns `false`
+    /// (and does nothing) if the core is not in the heap.
+    pub(super) fn update(&mut self, core: usize, clock: u64) -> bool {
+        let i = self.pos[core];
+        if i == Self::ABSENT {
+            return false;
+        }
+        if clock == self.clock[core] {
+            return true; // key unchanged, heap order intact
+        }
+        let grew = clock > self.clock[core];
+        self.clock[core] = clock;
+        if grew {
+            // Clocks are monotonic in the machine, so sifting down suffices.
+            self.sift_down(i);
+        } else {
+            let i = self.sift_down(i);
+            self.sift_up(i);
+        }
+        true
+    }
+
+    /// Removes `core` from the heap. No-op if absent.
+    pub(super) fn remove(&mut self, core: usize) {
+        let i = self.pos[core];
+        if i == Self::ABSENT {
+            return;
+        }
+        self.pos[core] = Self::ABSENT;
+        let last = self.heap.pop().expect("non-empty heap");
+        if last != core {
+            self.heap[i] = last;
+            self.pos[last] = i;
+            let i = self.sift_down(i);
+            self.sift_up(i);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.key(self.heap[i]) >= self.key(self.heap[parent]) {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) -> usize {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < self.heap.len() && self.key(self.heap[l]) < self.key(self.heap[smallest]) {
+                smallest = l;
+            }
+            if r < self.heap.len() && self.key(self.heap[r]) < self.key(self.heap[smallest]) {
+                smallest = r;
+            }
+            if smallest == i {
+                return i;
+            }
+            self.swap(i, smallest);
+            i = smallest;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a]] = a;
+        self.pos[self.heap[b]] = b;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(h: &mut CoreHeap) -> Vec<usize> {
+        let mut out = Vec::new();
+        while let Some(c) = h.peek() {
+            out.push(c);
+            h.remove(c);
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_clock_then_id_order() {
+        let mut h = CoreHeap::new(4);
+        h.push(0, 30);
+        h.push(1, 10);
+        h.push(2, 10);
+        h.push(3, 20);
+        assert_eq!(drain(&mut h), vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn update_rekeys() {
+        let mut h = CoreHeap::new(3);
+        for c in 0..3 {
+            h.push(c, 0);
+        }
+        assert_eq!(h.peek(), Some(0));
+        assert!(h.update(0, 100));
+        assert_eq!(h.peek(), Some(1));
+        assert!(h.update(1, 50));
+        assert_eq!(h.peek(), Some(2));
+        h.remove(2);
+        assert_eq!(drain(&mut h), vec![1, 0]);
+    }
+
+    #[test]
+    fn update_or_remove_of_absent_core_is_a_noop() {
+        let mut h = CoreHeap::new(2);
+        h.push(0, 5);
+        assert!(!h.update(1, 9));
+        h.remove(1);
+        assert_eq!(drain(&mut h), vec![0]);
+    }
+
+    #[test]
+    fn matches_linear_scan_on_random_schedule() {
+        use clear_mem::rng::SplitMix64;
+        let n = 9;
+        let mut rng = SplitMix64::new(0xC0FE);
+        let mut clocks: Vec<Option<u64>> = (0..n).map(|_| Some(0)).collect();
+        let mut h = CoreHeap::new(n);
+        for c in 0..n {
+            h.push(c, 0);
+        }
+        for _ in 0..2000 {
+            let expect = clocks
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| c.map(|v| (v, i)))
+                .min()
+                .map(|(_, i)| i);
+            assert_eq!(h.peek(), expect);
+            let Some(c) = expect else { break };
+            if rng.below(20) == 0 {
+                clocks[c] = None;
+                h.remove(c);
+            } else {
+                let bump = rng.below(50);
+                let v = clocks[c].unwrap() + bump;
+                clocks[c] = Some(v);
+                h.update(c, v);
+                // Occasionally a "remote abort" bumps another core too.
+                if rng.flip() {
+                    let other = rng.index(n);
+                    if let Some(o) = clocks[other] {
+                        clocks[other] = Some(o + 7);
+                        h.update(other, o + 7);
+                    }
+                }
+            }
+        }
+    }
+}

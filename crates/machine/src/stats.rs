@@ -1,6 +1,6 @@
 //! Run statistics: everything the paper's figures are built from.
 
-use crate::EnergyBreakdown;
+use crate::{EnergyBreakdown, PerfCounters};
 use clear_coherence::CoherenceStats;
 use clear_core::RetryMode;
 use clear_htm::AbortKind;
@@ -116,6 +116,8 @@ pub struct RunStats {
     pub coherence: CoherenceStats,
     /// Energy totals.
     pub energy: EnergyBreakdown,
+    /// Simulator-kernel performance counters (see [`crate::perf`]).
+    pub perf: PerfCounters,
     /// The run hit the `max_cycles` safety stop before the workload
     /// finished.
     pub timed_out: bool,

@@ -100,6 +100,41 @@ impl<T> SetAssocCache<T> {
             })
     }
 
+    /// Index of `line`'s way in the backing store, if cached — lets a
+    /// probe/apply pair share one lookup via [`SetAssocCache::payload_at`]
+    /// and [`SetAssocCache::touch_at`] instead of re-scanning the set.
+    /// The index stays valid until the cache is mutated.
+    pub fn find_way(&self, line: LineAddr) -> Option<usize> {
+        let range = self.set_range(line);
+        let start = range.start;
+        self.ways[range]
+            .iter()
+            .position(|e| e.as_ref().is_some_and(|e| e.line == line))
+            .map(|i| start + i)
+    }
+
+    /// Payload at a way index obtained from [`SetAssocCache::find_way`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range or the way is free.
+    pub fn payload_at(&self, way: usize) -> &T {
+        &self.ways[way].as_ref().expect("occupied way").payload
+    }
+
+    /// Refreshes the LRU position of the entry at `way` (same effect as
+    /// [`SetAssocCache::touch`] on its line) and returns its payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is out of range or the way is free.
+    pub fn touch_at(&mut self, way: usize) -> &mut T {
+        self.tick += 1;
+        let e = self.ways[way].as_mut().expect("occupied way");
+        e.last_use = self.tick;
+        &mut e.payload
+    }
+
     /// Returns a reference to the payload of `line` if present, without
     /// touching LRU state.
     pub fn get(&self, line: LineAddr) -> Option<&T> {

@@ -1,0 +1,152 @@
+//! Fast, deterministic hashing for simulation hot paths.
+//!
+//! The simulator's inner loop hits hash containers on every simulated
+//! memory access (store queue, footprints, the coherence directory). The
+//! standard library's default SipHash is DoS-resistant but costs tens of
+//! cycles per lookup, which is pure overhead here: keys are simulated
+//! addresses under our control, so there is no untrusted input to defend
+//! against. [`FxHasher`] is the classic multiplicative "Fx" hash used by
+//! rustc — one rotate, one xor, one multiply per word — and, unlike
+//! `RandomState`, it is *deterministic across processes*, which the
+//! golden-replay contract requires anyway.
+//!
+//! Determinism note: iteration order of [`FxHashMap`]/[`FxHashSet`] is
+//! still arbitrary (it depends on insertion history and capacity), exactly
+//! like the SipHash containers they replace. Hot-path call sites must not
+//! iterate them in any observable order; the simulator only ever does
+//! point lookups and drains whose order is provably unobservable.
+//!
+//! # Examples
+//!
+//! ```
+//! use clear_mem::hash::FxHashMap;
+//!
+//! let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+//! m.insert(3, 30);
+//! assert_eq!(m.get(&3), Some(&30));
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// The multiplicative constant of the Fx hash (the golden-ratio-derived
+/// constant used by rustc's `FxHasher`).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast non-cryptographic hasher: `state = (rotl5(state) ^ word) * SEED`
+/// per 8-byte word. Deterministic (no per-process random state).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_u64(v: u64) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u64(v);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_spreading() {
+        assert_eq!(hash_u64(42), hash_u64(42));
+        // One-word hash is a single round: rotl5(0) ^ v = v, times SEED.
+        assert_eq!(hash_u64(1), SEED);
+        // Nearby keys must land far apart (the whole point of the multiply).
+        assert_ne!(hash_u64(1) >> 48, hash_u64(2) >> 48);
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes() {
+        let mut a = FxHasher::default();
+        a.write(&7u64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(7);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn short_tails_are_padded() {
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 0]);
+        // Same padded word (zero-extension), so equal — documents that the
+        // hasher is for fixed-width keys, not length-prefixed streams.
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn containers_work() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..100 {
+            s.insert(i * 64);
+        }
+        assert_eq!(s.len(), 100);
+        assert!(s.contains(&640));
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(5, "five");
+        assert_eq!(m.remove(&5), Some("five"));
+    }
+}

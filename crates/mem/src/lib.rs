@@ -10,7 +10,10 @@
 //!   simple line-aligned bump allocator;
 //! * [`LexKey`] — the deadlock-free lexicographical lock ordering key used
 //!   when locking cachelines (ordered by directory set index, then line
-//!   address), following §5 of the paper and MAD atomics \[16\].
+//!   address), following §5 of the paper and MAD atomics \[16\];
+//! * [`hash`] — a deterministic Fx-style hasher ([`FxHashMap`] /
+//!   [`FxHashSet`]) and [`LineSet`], a small-inline cacheline set, both
+//!   built for the simulator's hot paths.
 //!
 //! # Examples
 //!
@@ -30,12 +33,16 @@
 mod addr;
 mod cache;
 mod geometry;
+pub mod hash;
 mod lex;
+mod lineset;
 mod memory;
 pub mod rng;
 
 pub use addr::{Addr, LineAddr, LINE_BYTES, WORD_BYTES};
 pub use cache::{EvictionOutcome, PinnedSetFull, SetAssocCache};
 pub use geometry::CacheGeometry;
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use lex::{lock_order, LexKey};
+pub use lineset::{LineBitSet, LineSet};
 pub use memory::Memory;

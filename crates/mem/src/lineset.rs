@@ -1,0 +1,356 @@
+//! A small-inline set of cachelines.
+//!
+//! Per Fig. 1 of the paper, the overwhelming majority of atomic-region
+//! footprints are at most 32 cachelines, so the per-attempt footprint sets
+//! on the simulator's hot path almost never need a heap-allocated hash
+//! table. [`LineSet`] keeps up to [`LineSet::INLINE`] lines in a fixed
+//! array probed linearly (which at these sizes beats any hash scheme) and
+//! spills to a boxed [`FxHashSet`](crate::hash::FxHashSet) only for the
+//! rare overflowing region. The spill box is retained across
+//! [`LineSet::clear`], so a core that overflowed once does not reallocate
+//! every attempt.
+
+use crate::hash::FxHashSet;
+use crate::LineAddr;
+use std::fmt;
+
+/// A set of [`LineAddr`]s optimised for small footprints.
+///
+/// # Examples
+///
+/// ```
+/// use clear_mem::{LineAddr, LineSet};
+///
+/// let mut s = LineSet::new();
+/// assert!(s.insert(LineAddr(3)));
+/// assert!(!s.insert(LineAddr(3)));
+/// assert!(s.contains(LineAddr(3)));
+/// assert_eq!(s.len(), 1);
+/// ```
+#[derive(Default)]
+pub struct LineSet {
+    /// Valid in `0..len` while not spilled.
+    inline: [LineAddr; LineSet::INLINE],
+    len: usize,
+    /// `true` once the set graduated to `spill`; `inline`/`len` are then
+    /// stale and `spill` is authoritative.
+    spilled: bool,
+    /// Heap fallback, kept allocated across `clear()` for reuse.
+    spill: Option<Box<FxHashSet<LineAddr>>>,
+}
+
+impl LineSet {
+    /// Number of lines stored without heap allocation (Fig. 1's bound on
+    /// common AR footprints).
+    pub const INLINE: usize = 32;
+
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        LineSet::default()
+    }
+
+    /// Number of lines in the set.
+    pub fn len(&self) -> usize {
+        if self.spilled {
+            self.spill.as_ref().expect("spilled set present").len()
+        } else {
+            self.len
+        }
+    }
+
+    /// `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` if `line` is in the set.
+    #[inline]
+    pub fn contains(&self, line: LineAddr) -> bool {
+        if self.spilled {
+            self.spill
+                .as_ref()
+                .expect("spilled set present")
+                .contains(&line)
+        } else {
+            self.inline[..self.len].contains(&line)
+        }
+    }
+
+    /// Inserts `line`; returns `true` if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, line: LineAddr) -> bool {
+        if self.spilled {
+            return self
+                .spill
+                .as_mut()
+                .expect("spilled set present")
+                .insert(line);
+        }
+        if self.inline[..self.len].contains(&line) {
+            return false;
+        }
+        if self.len < Self::INLINE {
+            self.inline[self.len] = line;
+            self.len += 1;
+            return true;
+        }
+        // Graduate to the heap set, reusing a previously allocated box.
+        let set = self.spill.get_or_insert_with(Default::default);
+        set.clear();
+        set.extend(self.inline.iter().copied());
+        set.insert(line);
+        self.spilled = true;
+        true
+    }
+
+    /// Empties the set, retaining any spill allocation for reuse.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spilled = false;
+        if let Some(s) = self.spill.as_mut() {
+            s.clear();
+        }
+    }
+
+    /// Iterates the lines in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        let (inline, spill) = if self.spilled {
+            (
+                [].iter(),
+                Some(self.spill.as_ref().expect("spilled set present").iter()),
+            )
+        } else {
+            (self.inline[..self.len].iter(), None)
+        };
+        inline.copied().chain(spill.into_iter().flatten().copied())
+    }
+
+    /// `true` if every line of `self` is in `other`.
+    pub fn is_subset(&self, other: &LineSet) -> bool {
+        self.iter().all(|l| other.contains(l))
+    }
+}
+
+impl Clone for LineSet {
+    fn clone(&self) -> Self {
+        // An unused spill box is not carried into the clone: clones are
+        // snapshots (e.g. the first-attempt footprint), not hot-path
+        // accumulators.
+        LineSet {
+            inline: self.inline,
+            len: self.len,
+            spilled: self.spilled,
+            spill: if self.spilled {
+                self.spill.clone()
+            } else {
+                None
+            },
+        }
+    }
+}
+
+impl fmt::Debug for LineSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut lines: Vec<u64> = self.iter().map(|l| l.0).collect();
+        lines.sort_unstable();
+        f.debug_struct("LineSet")
+            .field("len", &self.len())
+            .field("lines", &lines)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_dedup() {
+        let mut s = LineSet::new();
+        assert!(s.insert(LineAddr(1)));
+        assert!(s.insert(LineAddr(2)));
+        assert!(!s.insert(LineAddr(1)));
+        assert!(s.contains(LineAddr(1)));
+        assert!(!s.contains(LineAddr(3)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn spills_past_inline_capacity_and_stays_correct() {
+        let mut s = LineSet::new();
+        for i in 0..100u64 {
+            assert!(s.insert(LineAddr(i)), "{i}");
+        }
+        assert_eq!(s.len(), 100);
+        for i in 0..100u64 {
+            assert!(s.contains(LineAddr(i)));
+            assert!(!s.insert(LineAddr(i)));
+        }
+        assert!(!s.contains(LineAddr(100)));
+        let mut seen: Vec<u64> = s.iter().map(|l| l.0).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clear_resets_and_reuses_spill() {
+        let mut s = LineSet::new();
+        for i in 0..50u64 {
+            s.insert(LineAddr(i));
+        }
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(LineAddr(3)));
+        // Reusable after clear, both inline and spilled again.
+        for i in 0..50u64 {
+            assert!(s.insert(LineAddr(i + 1000)));
+        }
+        assert_eq!(s.len(), 50);
+    }
+
+    #[test]
+    fn subset_matches_hashset_semantics() {
+        let mut a = LineSet::new();
+        let mut b = LineSet::new();
+        for i in 0..10u64 {
+            a.insert(LineAddr(i));
+        }
+        for i in 0..40u64 {
+            b.insert(LineAddr(i));
+        }
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        a.insert(LineAddr(999));
+        assert!(!a.is_subset(&b));
+        assert!(LineSet::new().is_subset(&a));
+    }
+
+    #[test]
+    fn clone_snapshots_contents() {
+        let mut s = LineSet::new();
+        for i in 0..40u64 {
+            s.insert(LineAddr(i));
+        }
+        let c = s.clone();
+        s.clear();
+        assert_eq!(c.len(), 40);
+        assert!(c.contains(LineAddr(39)));
+    }
+}
+
+/// A growable bitmap over *dense* line indices.
+///
+/// [`Memory`](crate::Memory) hands out storage by bump allocation, so live
+/// line addresses form a dense prefix of the index space. Structures keyed
+/// by line that cover the whole simulated footprint (the coherence
+/// directory's LLC and L2-shadow presence sets) can therefore use one bit
+/// per line instead of a hash set: membership tests and updates become a
+/// shift and a mask with no hashing at all.
+///
+/// The bitmap grows on [`LineBitSet::insert`]; queries outside the current
+/// capacity simply answer `false`.
+///
+/// # Examples
+///
+/// ```
+/// use clear_mem::{LineAddr, LineBitSet};
+///
+/// let mut s = LineBitSet::new();
+/// assert!(s.insert(LineAddr(70)));
+/// assert!(!s.insert(LineAddr(70)));
+/// assert!(s.contains(LineAddr(70)));
+/// assert!(!s.contains(LineAddr(71)));
+/// assert!(s.remove(LineAddr(70)));
+/// assert!(!s.contains(LineAddr(70)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LineBitSet {
+    words: Vec<u64>,
+}
+
+impl LineBitSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn split(line: LineAddr) -> (usize, u64) {
+        ((line.0 >> 6) as usize, 1u64 << (line.0 & 63))
+    }
+
+    /// Adds `line`; returns `true` if it was absent.
+    #[inline]
+    pub fn insert(&mut self, line: LineAddr) -> bool {
+        let (w, bit) = Self::split(line);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let absent = self.words[w] & bit == 0;
+        self.words[w] |= bit;
+        absent
+    }
+
+    /// Removes `line`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, line: LineAddr) -> bool {
+        let (w, bit) = Self::split(line);
+        match self.words.get_mut(w) {
+            Some(word) => {
+                let present = *word & bit != 0;
+                *word &= !bit;
+                present
+            }
+            None => false,
+        }
+    }
+
+    /// `true` if `line` is in the set.
+    #[inline]
+    pub fn contains(&self, line: LineAddr) -> bool {
+        let (w, bit) = Self::split(line);
+        self.words.get(w).is_some_and(|word| word & bit != 0)
+    }
+
+    /// Removes every line, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod bitset_tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains_across_word_boundaries() {
+        let mut s = LineBitSet::new();
+        for l in [0u64, 63, 64, 65, 1000] {
+            assert!(s.insert(LineAddr(l)), "first insert of {l}");
+            assert!(!s.insert(LineAddr(l)), "second insert of {l}");
+        }
+        assert!(s.contains(LineAddr(1000)));
+        assert!(!s.contains(LineAddr(999)));
+        assert!(
+            !s.contains(LineAddr(1_000_000)),
+            "beyond capacity is absent"
+        );
+        assert!(s.remove(LineAddr(64)));
+        assert!(!s.remove(LineAddr(64)));
+        assert!(
+            !s.remove(LineAddr(1_000_000)),
+            "beyond capacity removes nothing"
+        );
+        assert!(s.contains(LineAddr(63)) && s.contains(LineAddr(65)));
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s = LineBitSet::new();
+        s.insert(LineAddr(500));
+        let cap = s.words.len();
+        s.clear();
+        assert!(!s.contains(LineAddr(500)));
+        assert_eq!(s.words.len(), cap);
+    }
+}

@@ -1,0 +1,56 @@
+//! End-to-end determinism: the harness contract is that every experiment
+//! is a pure function of its options, so the rendered JSON document —
+//! the exact bytes golden files are made of — must reproduce across runs
+//! and be independent of the worker-pool width.
+
+use clear_harness::experiments::find;
+use clear_harness::SuiteOptions;
+use clear_workloads::Size;
+
+fn tiny(workers: usize) -> SuiteOptions {
+    SuiteOptions {
+        size: Size::Tiny,
+        cores: 8,
+        seeds: vec![1, 2],
+        retry_sweep: vec![2, 5],
+        workers,
+        ..SuiteOptions::default()
+    }
+}
+
+/// Two representative experiments: `fig01` exercises the full suite
+/// engine (sweep + seed aggregation), `sle` drives the machine directly
+/// with a non-default speculation mode.
+const REPRESENTATIVE: [&str; 2] = ["fig01", "sle"];
+
+#[test]
+fn same_seed_runs_render_byte_identical_json() {
+    for name in REPRESENTATIVE {
+        let exp = find(name).expect(name);
+        let opts = tiny(4);
+        let a = (exp.run)(&opts);
+        let b = (exp.run)(&opts);
+        assert_eq!(
+            a.json.to_pretty(),
+            b.json.to_pretty(),
+            "{name}: repeated run drifted"
+        );
+        assert_eq!(a.text, b.text, "{name}: repeated text drifted");
+    }
+}
+
+#[test]
+fn worker_pool_width_does_not_change_results() {
+    for name in REPRESENTATIVE {
+        let exp = find(name).expect(name);
+        let serial = (exp.run)(&tiny(1));
+        let parallel = (exp.run)(&tiny(8));
+        // The options block records the worker count nowhere, so the whole
+        // document must match byte-for-byte.
+        assert_eq!(
+            serial.json.to_pretty(),
+            parallel.json.to_pretty(),
+            "{name}: 1-worker vs 8-worker run drifted"
+        );
+    }
+}

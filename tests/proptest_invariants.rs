@@ -384,3 +384,111 @@ mod machine_props {
         }
     }
 }
+
+/// ALT under random observe/mark/reset sequences: entries stay in strict
+/// directory-set lexicographic order and every Conflict bit says exactly
+/// "my successor shares my directory set" — the group-escalation
+/// delimiter of §5 survives any interleaving of discovery, CRT upgrades,
+/// lock progress, and lock-pass resets.
+#[test]
+fn alt_random_sequences_keep_order_and_group_bits() {
+    for case in 0..CASES {
+        let mut rng = case_rng(0xa17b175, case);
+        let dir = CacheGeometry::new(1 << (1 + rng.below(4) as u32), 4);
+        let mut alt = Alt::new(16, dir);
+        let nops = 1 + rng.index(79);
+        for _ in 0..nops {
+            let line = LineAddr(rng.below(96));
+            match rng.below(6) {
+                0 | 1 => {
+                    let _ = alt.observe(line, rng.flip());
+                }
+                2 => alt.mark_needs_locking(line),
+                3 => alt.mark_locked(line),
+                4 => alt.mark_hit(line, rng.flip()),
+                _ => alt.reset_lock_state(),
+            }
+        }
+
+        let keys: Vec<LexKey> = alt.iter().map(|e| LexKey::new(dir, e.line)).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "case {case}");
+
+        let entries: Vec<_> = alt.iter().copied().collect();
+        for (i, e) in entries.iter().enumerate() {
+            let next_same_set = entries
+                .get(i + 1)
+                .is_some_and(|n| dir.set_index(n.line) == dir.set_index(e.line));
+            assert_eq!(e.conflict, next_same_set, "case {case} entry {i}");
+            // group_of returns the whole contiguous same-set run.
+            let group = alt.group_of(e.line);
+            let expect: Vec<LineAddr> = entries
+                .iter()
+                .filter(|o| dir.set_index(o.line) == dir.set_index(e.line))
+                .map(|o| o.line)
+                .collect();
+            assert_eq!(group, expect, "case {case} entry {i}");
+        }
+    }
+}
+
+/// Locking an ALT's lock list and then bulk-unlocking at XEnd releases
+/// exactly the locked set: the requester holds every Needs-Locking line
+/// while the region runs, holds nothing afterwards, and a second core's
+/// unrelated locks are untouched throughout.
+#[test]
+fn alt_lock_list_bulk_unlocks_exactly_locked_set_at_xend() {
+    use clear_coherence::{CoherenceConfig, CoherenceSystem, CoreId};
+
+    for case in 0..CASES {
+        let mut rng = case_rng(0xb01d, case);
+        let mut sys = CoherenceSystem::new(CoherenceConfig::table2(2));
+        let dir_geom = sys.config().directory;
+
+        // Core 0's footprint: distinct lines in 0..64, random write bits.
+        let mut alt = Alt::new(32, dir_geom);
+        let mut picked = HashSet::new();
+        for _ in 0..1 + rng.index(12) {
+            let l = rng.below(64);
+            if picked.insert(l) {
+                alt.observe(LineAddr(l), rng.flip()).unwrap();
+            }
+        }
+        // Core 1 holds a disjoint set of locks (lines 64..128).
+        let other: Vec<LineAddr> = (0..1 + rng.index(6))
+            .map(|_| LineAddr(64 + rng.below(64)))
+            .collect();
+        for &l in &other {
+            sys.lock_line(CoreId(1), l).unwrap();
+        }
+        let other_locked = sys.locked_count(CoreId(1));
+
+        let list = alt.lock_list();
+        for &l in &list {
+            sys.lock_line(CoreId(0), l).unwrap();
+            alt.mark_locked(l);
+        }
+        assert_eq!(sys.locked_count(CoreId(0)), list.len(), "case {case}");
+        for &l in &list {
+            assert_eq!(sys.locked_by(l), Some(CoreId(0)), "case {case}");
+        }
+        assert!(
+            alt.iter().filter(|e| e.needs_locking).all(|e| e.locked),
+            "case {case}"
+        );
+
+        // XEnd: one bulk release.
+        sys.unlock_all(CoreId(0));
+        assert_eq!(sys.locked_count(CoreId(0)), 0, "case {case}");
+        for &l in &list {
+            assert_eq!(sys.locked_by(l), None, "case {case}");
+        }
+        // The other core's locks survive untouched.
+        assert_eq!(sys.locked_count(CoreId(1)), other_locked, "case {case}");
+        for &l in &other {
+            assert_eq!(sys.locked_by(l), Some(CoreId(1)), "case {case}");
+        }
+        // A second XEnd is a no-op.
+        sys.unlock_all(CoreId(0));
+        assert_eq!(sys.locked_count(CoreId(1)), other_locked, "case {case}");
+    }
+}

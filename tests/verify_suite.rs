@@ -1,0 +1,36 @@
+//! The install-check `verify` experiment folded into `cargo test`: every
+//! benchmark under every configuration must satisfy its atomicity
+//! invariant at tiny size, at both a small and the paper's core count.
+//! CI used to run this as a separate harness invocation; keeping it in
+//! the test suite means a plain `cargo test` catches invariant breakage.
+
+use clear_harness::experiments::find;
+use clear_harness::SuiteOptions;
+use clear_workloads::Size;
+
+fn verify_at(cores: usize) {
+    let exp = find("verify").expect("verify experiment registered");
+    let opts = SuiteOptions {
+        size: Size::Tiny,
+        cores,
+        seeds: vec![1],
+        ..SuiteOptions::default()
+    };
+    let out = (exp.run)(&opts);
+    assert_eq!(
+        out.failures, 0,
+        "verify suite failed at {cores} cores:\n{}",
+        out.text
+    );
+    assert!(out.text.contains("all invariants hold"), "{}", out.text);
+}
+
+#[test]
+fn verify_suite_tiny_8_cores() {
+    verify_at(8);
+}
+
+#[test]
+fn verify_suite_tiny_32_cores() {
+    verify_at(32);
+}
