@@ -35,6 +35,11 @@ struct DirEntry {
 /// Effect an access would have on one remote core's copy of the line.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RemoteImpact {
+    /// The line whose remote copy is impacted. Single-line accesses only
+    /// ever produce impacts for the accessed line; group lock acquisitions
+    /// return impacts spanning the group, and this field attributes each
+    /// one to its exact line (conflict attribution in the trace).
+    pub line: LineAddr,
     /// The remote core.
     pub core: CoreId,
     /// Line is in the remote core's transactional read set.
@@ -260,6 +265,7 @@ impl CoherenceSystem {
             };
             match access {
                 Access::Write => impacts.push(RemoteImpact {
+                    line,
                     core: CoreId(c),
                     tx_read: meta.tx_read,
                     tx_write: meta.tx_write,
@@ -268,6 +274,7 @@ impl CoherenceSystem {
                 Access::Read => {
                     if meta.mesi.is_exclusive() {
                         impacts.push(RemoteImpact {
+                            line,
                             core: CoreId(c),
                             tx_read: meta.tx_read,
                             tx_write: meta.tx_write,

@@ -8,6 +8,7 @@
 //! additionally declare a [`GoldenSpec`] pinning the options and
 //! tolerances used for regression checks against `goldens/`.
 
+mod digest;
 mod figures;
 mod perf;
 mod studies;
@@ -95,8 +96,9 @@ const PERF_TOLERANCES: Tolerances = Tolerances {
     ignored: &["wall_ns", "steps_per_sec"],
 };
 
-/// Pinned options for the `sim-throughput` golden: a tiny 8-core grid
-/// that finishes in well under a second, so CI can gate on it cheaply.
+/// Pinned options for the `sim-throughput` and `trace-digest` goldens: a
+/// tiny 8-core grid that finishes in well under a second, so CI can gate
+/// on both cheaply.
 fn tiny_perf() -> SuiteOptions {
     SuiteOptions {
         size: Size::Tiny,
@@ -260,6 +262,16 @@ pub static EXPERIMENTS: &[Experiment] = &[
         golden: None,
     },
     Experiment {
+        name: "trace-digest",
+        artifact: "observability",
+        about: "golden-gated FxHash digests of the full trace stream",
+        run: digest::trace_digest,
+        golden: Some(GoldenSpec {
+            opts: tiny_perf,
+            tolerances: GATED_TOLERANCES,
+        }),
+    },
+    Experiment {
         name: "verify",
         artifact: "install check",
         about: "atomicity invariants across the full benchmark grid",
@@ -286,7 +298,7 @@ pub fn run_to_stdout(name: &str, opts: &SuiteOptions) {
 }
 
 /// `Size` as its CLI spelling.
-pub(crate) fn size_str(size: Size) -> &'static str {
+pub fn size_str(size: Size) -> &'static str {
     match size {
         Size::Tiny => "tiny",
         Size::Small => "small",
@@ -348,7 +360,8 @@ mod tests {
                 "table1-measured",
                 "ablation",
                 "sle",
-                "sim-throughput"
+                "sim-throughput",
+                "trace-digest"
             ]
         );
     }

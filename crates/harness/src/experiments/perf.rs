@@ -62,6 +62,10 @@ pub(super) fn sim_throughput(opts: &SuiteOptions) -> ExperimentOutput {
             ("sched_updates", Json::from(p.sched_updates)),
             ("coherence_requests", Json::from(p.coherence_requests)),
             ("allocs_avoided", Json::from(p.allocs_avoided)),
+            // Tracing is off in throughput runs, so gating these at zero
+            // pins the zero-overhead-when-disabled contract.
+            ("trace_events_recorded", Json::from(p.trace_events_recorded)),
+            ("trace_events_dropped", Json::from(p.trace_events_dropped)),
             ("wall_ns", Json::from(p.run_wall_ns)),
             ("steps_per_sec", Json::Float(p.steps_per_sec())),
         ]));

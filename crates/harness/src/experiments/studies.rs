@@ -510,13 +510,13 @@ pub(super) fn trace_dump(opts: &SuiteOptions) -> ExperimentOutput {
         text,
         "=== trace of {name} under CLEAR ({cores} cores, tiny input) ===\n"
     );
-    let events = m.trace().events();
-    let shown = events.len().min(400);
-    for (cycle, core, event) in &events[..shown] {
-        let _ = writeln!(text, "{cycle:>8}  core{core:<2}  {event}");
+    let total = m.trace().len();
+    let shown = total.min(400);
+    for r in m.trace().records().take(shown) {
+        let _ = writeln!(text, "{:>8}  core{:<2}  {}", r.cycle, r.core, r.event);
     }
-    if events.len() > shown {
-        let _ = writeln!(text, "... {} more events", events.len() - shown);
+    if total > shown {
+        let _ = writeln!(text, "... {} more events", total - shown);
     }
     let _ = writeln!(
         text,
@@ -532,7 +532,13 @@ pub(super) fn trace_dump(opts: &SuiteOptions) -> ExperimentOutput {
         ("experiment", Json::from("trace")),
         ("options", opts_json(opts)),
         ("benchmark", Json::from(name)),
-        ("events", Json::from(events.len())),
+        ("events", Json::from(total)),
+        ("events_recorded", Json::from(m.trace().recorded())),
+        ("events_dropped", Json::from(m.trace().dropped())),
+        (
+            "digest",
+            Json::from(crate::trace_export::digest_hex(m.trace().digest())),
+        ),
         ("commits", Json::from(stats.commits())),
         ("aborts", Json::from(stats.aborts.total())),
         ("total_cycles", Json::from(stats.total_cycles)),

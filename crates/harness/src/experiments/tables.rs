@@ -19,8 +19,8 @@ fn measured_immutability(name: &str) -> HashMap<u32, (u64, u64)> {
     m.enable_tracing();
     m.run();
     let mut per_ar: HashMap<u32, (u64, u64)> = HashMap::new();
-    for (_, _, e) in m.trace().events() {
-        if let TraceEvent::Decision { ar, immutable, .. } = e {
+    for r in m.trace().records() {
+        if let TraceEvent::Decision { ar, immutable, .. } = &r.event {
             let slot = per_ar.entry(ar.0).or_default();
             slot.1 += 1;
             if *immutable {

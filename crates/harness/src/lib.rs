@@ -15,6 +15,9 @@
 //! - [`golden`]: versioned golden baselines under `goldens/` with
 //!   per-metric drift tolerances; the CLI's `check` exits nonzero on any
 //!   drift, which is what CI gates on.
+//! - [`trace_export`]: consumers of the machine's execution trace — the
+//!   Chrome-trace exporter behind `clear-harness trace`, the plain-text
+//!   timeline, and the per-AR derived-metrics pass.
 //!
 //! ```text
 //! cargo run --release -p clear-harness -- list
@@ -27,6 +30,7 @@ pub mod golden;
 pub mod json;
 pub mod pool;
 pub mod suite;
+pub mod trace_export;
 
 pub use suite::{
     bar, format_table, geomean, print_table, run_cell, run_once, run_suite, trimmed_mean,

@@ -4,18 +4,23 @@
 //! ```text
 //! clear-harness list
 //! clear-harness run <name>|all [suite options] [--json]
+//! clear-harness trace <workload> [suite options] [--chrome FILE] [--events N] [--json]
 //! clear-harness golden update [names...]
 //! clear-harness check [names...]
 //! ```
 
 use clear_harness::experiments::{find, Experiment, EXPERIMENTS};
-use clear_harness::{golden, SuiteOptions};
+use clear_harness::json::Json;
+use clear_harness::{golden, trace_export, SuiteOptions};
+use clear_machine::Preset;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  clear-harness list\n  clear-harness run <name>|all \
          [--size tiny|small|medium] [--cores N] [--seeds N]\n      \
          [--sweep full|quick|none] [--bench NAME] [--workers N] [--json]\n  \
+         clear-harness trace <workload> [--size ...] [--cores N] [--seeds N]\n      \
+         [--chrome FILE] [--events N] [--json]\n  \
          clear-harness golden update [names...]\n  clear-harness check [names...]"
     );
     std::process::exit(2);
@@ -26,9 +31,87 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("list") => list(),
         Some("run") => run(&args[1..]),
+        Some("trace") => trace(&args[1..]),
         Some("golden") if args.get(1).map(String::as_str) == Some("update") => update(&args[2..]),
         Some("check") => check(&args[1..]),
         _ => usage(),
+    }
+}
+
+/// `clear-harness trace <workload>`: run one benchmark with tracing on,
+/// print the timeline and derived metrics, and optionally export the
+/// stream as Chrome Trace Event Format JSON (Perfetto-loadable).
+fn trace(args: &[String]) {
+    let Some(workload) = args.first() else {
+        usage()
+    };
+    let mut rest: Vec<String> = args[1..].to_vec();
+    let mut take_value = |flag: &str| -> Option<String> {
+        let i = rest.iter().position(|a| a == flag)?;
+        if i + 1 >= rest.len() {
+            eprintln!("missing value for {flag}");
+            std::process::exit(2);
+        }
+        let v = rest.remove(i + 1);
+        rest.remove(i);
+        Some(v)
+    };
+    let chrome_path = take_value("--chrome");
+    let events_limit: usize = take_value("--events")
+        .map(|v| v.parse().expect("--events N"))
+        .unwrap_or(400);
+    let as_json = rest
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| rest.remove(i))
+        .is_some();
+    let opts = SuiteOptions::from_arg_slice(&rest);
+    let seed = opts.seeds[0];
+    let m = trace_export::run_traced(workload, Preset::C, opts.cores, 5, opts.size, seed);
+    let metrics = trace_export::derive_metrics(&m, 8);
+
+    if let Some(path) = &chrome_path {
+        let doc = trace_export::chrome_trace(&m, workload, seed);
+        let text = doc.to_pretty();
+        // Re-validating the written bytes through the in-tree parser keeps
+        // the export honest: CI's smoke step relies on this check.
+        let summary = trace_export::validate_chrome_trace(&text).unwrap_or_else(|e| {
+            eprintln!("exported chrome trace failed validation: {e}");
+            std::process::exit(1);
+        });
+        std::fs::write(path, &text).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "wrote {path}: {} chrome events across {} cores (validated)",
+            summary.events, summary.cores
+        );
+    }
+
+    if as_json {
+        let doc = Json::obj([
+            ("benchmark", Json::from(workload.as_str())),
+            ("cores", Json::from(opts.cores)),
+            ("seed", Json::from(seed)),
+            ("events_recorded", Json::from(m.trace().recorded())),
+            ("events_dropped", Json::from(m.trace().dropped())),
+            (
+                "digest",
+                Json::from(trace_export::digest_hex(m.trace().digest())),
+            ),
+            ("derived", metrics.to_json()),
+        ]);
+        println!("{}", doc.to_pretty());
+    } else {
+        println!(
+            "=== trace of {workload} under CLEAR ({} cores, {} input, seed {seed}) ===\n",
+            opts.cores,
+            clear_harness::experiments::size_str(opts.size),
+        );
+        print!("{}", trace_export::timeline_text(&m, events_limit));
+        println!();
+        print!("{}", metrics.to_text());
     }
 }
 

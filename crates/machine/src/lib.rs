@@ -44,4 +44,4 @@ pub use energy::{compute_energy, EnergyBreakdown, EnergyConfig};
 pub use machine::Machine;
 pub use perf::PerfCounters;
 pub use stats::{AbortCounts, ArStatsEntry, ModeCommits, RunStats};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{Trace, TraceEvent, TraceRecord};

@@ -15,6 +15,7 @@ impl Machine {
                     self.abort_victims(c, line, &impacts, AbortKind::OtherFallback);
                     self.arm_vm(c);
                     self.cores[c].mode = ExecMode::Fallback;
+                    self.cores[c].attempt_started_at = self.cores[c].clock;
                     self.trace.record(
                         self.cores[c].clock,
                         c,
@@ -62,6 +63,7 @@ impl Machine {
                     alt.lock_list_into(&mut lock_list);
                 }
                 self.arm_vm(c);
+                self.cores[c].attempt_started_at = self.cores[c].clock;
                 self.trace.record(
                     self.cores[c].clock,
                     c,
@@ -76,6 +78,7 @@ impl Machine {
                 let core = &mut self.cores[c];
                 core.mode = mode;
                 core.lock_list = lock_list;
+                core.lock_wait_acc = 0;
                 core.phase = Phase::LockAcquire { idx: 0 };
                 // S-CL checkpoints like a transaction; NS-CL does not.
                 core.clock += if mode == ExecMode::SCl {
@@ -97,6 +100,7 @@ impl Machine {
                 self.cores[c].explicit_fb_recorded = false;
                 self.arm_vm(c);
                 self.cores[c].mode = ExecMode::Speculative;
+                self.cores[c].attempt_started_at = self.cores[c].clock;
                 self.trace.record(
                     self.cores[c].clock,
                     c,
@@ -139,8 +143,11 @@ impl Machine {
         // is a *victim* of the core being stepped: tell the scheduler so
         // the heap re-keys this core after the current step.
         self.sched_touched.push(c);
+        let span = self.cores[c]
+            .clock
+            .saturating_sub(self.cores[c].attempt_started_at);
         self.trace
-            .record(self.cores[c].clock, c, TraceEvent::Abort { kind });
+            .record(self.cores[c].clock, c, TraceEvent::Abort { kind, span });
         self.stats.aborts.record(kind);
         if let Some(inv) = self.cores[c].inv.as_ref() {
             self.stats.ar_stats.entry(inv.ar.0).or_default().aborts += 1;

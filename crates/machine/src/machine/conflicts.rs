@@ -58,7 +58,9 @@ impl Machine {
             } else {
                 self.stats.conflicts_from_access += 1;
             }
-            self.signal_conflict(v, kind);
+            // Trace attribution uses the impact's own line (exact even for
+            // group locks, where `line` is the conservative group head).
+            self.signal_conflict(v, kind, imp.line, requester);
         }
     }
 
@@ -73,13 +75,22 @@ impl Machine {
     }
 
     /// Delivers a conflict to a victim core: enter failed-mode discovery
-    /// (CLEAR) or abort immediately (baseline).
-    pub(super) fn signal_conflict(&mut self, v: usize, kind: AbortKind) {
+    /// (CLEAR) or abort immediately (baseline). `line` and `aggressor`
+    /// attribute the conflict for the trace: which cacheline was stolen,
+    /// and by which core.
+    pub(super) fn signal_conflict(
+        &mut self,
+        v: usize,
+        kind: AbortKind,
+        line: LineAddr,
+        aggressor: usize,
+    ) {
         let core = &mut self.cores[v];
         match core.mode {
             ExecMode::Speculative if core.phase == Phase::Running => {
                 let clock = core.clock;
-                self.trace.record(clock, v, TraceEvent::ConflictReceived);
+                self.trace
+                    .record(clock, v, TraceEvent::ConflictReceived { line, aggressor });
                 let core = &mut self.cores[v];
                 if let Some(d) = core.discovery.as_mut() {
                     if !d.in_failed_mode() && !d.overflowed() {
@@ -96,8 +107,11 @@ impl Machine {
                 self.perform_abort(v, kind);
             }
             ExecMode::SCl if core.phase == Phase::Running => {
-                self.trace
-                    .record(core.clock, v, TraceEvent::ConflictReceived);
+                self.trace.record(
+                    core.clock,
+                    v,
+                    TraceEvent::ConflictReceived { line, aggressor },
+                );
                 self.perform_abort(v, kind);
             }
             // NS-CL and fallback hold no transactional lines; lock-phase

@@ -56,6 +56,7 @@ impl Machine {
         self.scratch_victims = victims;
         if spin {
             self.cores[c].clock += self.config.timing.spin_interval;
+            self.cores[c].lock_wait_acc += self.config.timing.spin_interval;
             self.stats.lock_spin_cycles += self.config.timing.spin_interval;
             self.scratch_group = group;
             return;
@@ -81,12 +82,20 @@ impl Machine {
             Ok(ok) => {
                 self.cores[c].clock += ok.latency;
                 let impacts = ok.remote_impacts;
+                // The accumulated spin wait paid for the whole group; it is
+                // attributed to the group's first lock to keep per-line
+                // totals additive.
+                let mut wait_cycles = std::mem::take(&mut self.cores[c].lock_wait_acc);
                 for &line in &group {
                     if let Some(alt) = self.cores[c].alt.as_mut() {
                         alt.mark_locked(line);
                     }
-                    self.trace
-                        .record(self.cores[c].clock, c, TraceEvent::LockAcquired { line });
+                    self.trace.record(
+                        self.cores[c].clock,
+                        c,
+                        TraceEvent::LockAcquired { line, wait_cycles },
+                    );
+                    wait_cycles = 0;
                 }
                 // The impacts list of a group lock spans lines; CRT
                 // attribution uses the first group line, which is exact for
@@ -98,6 +107,7 @@ impl Machine {
             }
             Err(LockFail::LockedBy(_)) => {
                 self.cores[c].clock += self.config.timing.spin_interval;
+                self.cores[c].lock_wait_acc += self.config.timing.spin_interval;
                 self.stats.lock_spin_cycles += self.config.timing.spin_interval;
             }
             Err(LockFail::Capacity) => {

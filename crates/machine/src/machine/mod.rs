@@ -107,6 +107,12 @@ struct Core {
     fp_cur: LineSet,
     /// Footprint of the first (aborted) attempt of this invocation.
     fp_first: Option<LineSet>,
+    /// Cycle at which the current attempt started (trace attribution:
+    /// the `Abort` event reports the attempt's cycle span).
+    attempt_started_at: u64,
+    /// Cycles spent spinning in the current lock-acquisition phase,
+    /// reported by the next `LockAcquired` trace event.
+    lock_wait_acc: u64,
 }
 
 impl Core {
@@ -133,6 +139,8 @@ impl Core {
             crt: Crt::new(cc.crt_sets, cc.crt_ways),
             fp_cur: LineSet::new(),
             fp_first: None,
+            attempt_started_at: 0,
+            lock_wait_acc: 0,
         }
     }
 }
@@ -205,6 +213,17 @@ impl Machine {
 
     /// Enables event tracing (see [`Trace`]). Call before [`Machine::run`].
     pub fn enable_tracing(&mut self) {
+        self.trace.enable();
+    }
+
+    /// Enables event tracing with an explicit ring-buffer capacity; once
+    /// full, each new record evicts the oldest and counts as dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn enable_tracing_with_capacity(&mut self, capacity: usize) {
+        self.trace = Trace::with_capacity(capacity);
         self.trace.enable();
     }
 
@@ -286,6 +305,8 @@ impl Machine {
         self.stats.total_cycles = self.cores.iter().map(|c| c.clock).max().unwrap_or(0);
         self.stats.coherence = self.coherence.stats();
         self.perf.coherence_requests = self.stats.coherence.requests();
+        self.perf.trace_events_recorded = self.trace.recorded();
+        self.perf.trace_events_dropped = self.trace.dropped();
         self.stats.perf = self.perf;
         self.stats.lock_ops = self.stats.coherence.locks + self.stats.coherence.unlocks;
         self.stats.energy = compute_energy(

@@ -25,6 +25,12 @@ pub struct PerfCounters {
     /// Heap allocations avoided by reusing scratch buffers (victim lists,
     /// lock lists, conflict filters, store-queue drains).
     pub allocs_avoided: u64,
+    /// Trace records emitted (retained or dropped); zero unless tracing
+    /// was enabled. A pure function of the run, so golden-gated.
+    pub trace_events_recorded: u64,
+    /// Trace records evicted by ring-buffer overflow; also deterministic
+    /// and golden-gated.
+    pub trace_events_dropped: u64,
     /// Wall-clock nanoseconds spent inside `Machine::run`. Host-dependent:
     /// never compared against goldens.
     pub run_wall_ns: u64,

@@ -1,20 +1,35 @@
-//! Optional execution tracing: a timeline of AR lifecycle events.
+//! Execution tracing: a per-core, cycle-timestamped stream of AR
+//! lifecycle events with conflict attribution.
 //!
 //! Disabled by default (zero overhead beyond a branch); enable with
 //! [`Machine::enable_tracing`](crate::Machine::enable_tracing) to record
-//! every attempt start, conflict, discovery transition, decision, lock
-//! acquisition, commit and abort. Tests use it to assert protocol
-//! sequences; the `discovery_trace` example shows the decision logic
-//! standalone.
+//! every attempt start, conflict (with the conflicting line and aggressor
+//! core), discovery transition, decision, lock acquisition (with wait
+//! cycles), commit and abort (with the attempt's cycle span) as
+//! [`TraceRecord`]s.
+//!
+//! Records flow through a bounded ring buffer: once `capacity` records
+//! are retained, each new record evicts the oldest and bumps an
+//! overflow-drop counter, so a runaway run degrades into a flight
+//! recorder of the most recent events instead of exhausting memory. The
+//! recorded/dropped totals surface through
+//! [`PerfCounters`](crate::PerfCounters).
+//!
+//! The stream is a pure function of the simulated run, so
+//! [`Trace::digest`] — an FxHash over every deterministic field — is a
+//! byte-stable fingerprint of the whole protocol state machine: the
+//! harness's `trace-digest` experiment gates it against a golden, and the
+//! `trace` subcommand exports the stream as a Chrome-trace JSON timeline.
 
 use clear_core::RetryMode;
 use clear_htm::AbortKind;
 use clear_isa::ArId;
-use clear_mem::LineAddr;
+use clear_mem::{FxHasher, LineAddr};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// One traced event.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum TraceEvent {
     /// A new AR invocation was fetched from the workload.
     ArFetched {
@@ -27,7 +42,12 @@ pub enum TraceEvent {
         mode: RetryMode,
     },
     /// A conflict reached this core while it was speculating.
-    ConflictReceived,
+    ConflictReceived {
+        /// The line whose transactional copy was stolen.
+        line: LineAddr,
+        /// The core whose access (or lock acquisition) caused the steal.
+        aggressor: usize,
+    },
     /// The core entered failed-mode discovery instead of aborting (§4.1).
     EnterFailedMode,
     /// Discovery finished and the Fig. 2 decision tree chose a retry mode.
@@ -45,11 +65,17 @@ pub enum TraceEvent {
     LockAcquired {
         /// The locked line.
         line: LineAddr,
+        /// Cycles spent spinning before this acquisition succeeded.
+        /// Attributed to the first line of a lexicographical lock group;
+        /// the rest of the group reports zero.
+        wait_cycles: u64,
     },
     /// The attempt aborted.
     Abort {
         /// Why.
         kind: AbortKind,
+        /// Cycles from the attempt's start to the abort.
+        span: u64,
     },
     /// The AR committed.
     Commit {
@@ -65,7 +91,9 @@ impl fmt::Display for TraceEvent {
         match self {
             TraceEvent::ArFetched { ar } => write!(f, "fetch {ar}"),
             TraceEvent::AttemptStart { mode } => write!(f, "start {mode}"),
-            TraceEvent::ConflictReceived => write!(f, "conflict"),
+            TraceEvent::ConflictReceived { line, aggressor } => {
+                write!(f, "conflict {line} from core{aggressor}")
+            }
             TraceEvent::EnterFailedMode => write!(f, "enter-failed-mode"),
             TraceEvent::Decision {
                 ar,
@@ -78,8 +106,10 @@ impl fmt::Display for TraceEvent {
                     "decide {ar} -> {mode} (fp={footprint}, immutable={immutable})"
                 )
             }
-            TraceEvent::LockAcquired { line } => write!(f, "lock {line}"),
-            TraceEvent::Abort { kind } => write!(f, "abort {kind}"),
+            TraceEvent::LockAcquired { line, wait_cycles } => {
+                write!(f, "lock {line} (waited {wait_cycles})")
+            }
+            TraceEvent::Abort { kind, span } => write!(f, "abort {kind} after {span} cycles"),
             TraceEvent::Commit { mode, retries } => {
                 write!(f, "commit {mode} after {retries} retries")
             }
@@ -87,17 +117,77 @@ impl fmt::Display for TraceEvent {
     }
 }
 
-/// A recorded trace: `(cycle, core, event)` triples in emission order.
-#[derive(Clone, Debug, Default)]
+impl TraceEvent {
+    /// Short category label, stable across formatting changes — the name
+    /// Chrome-trace exporters and histograms group by.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceEvent::ArFetched { .. } => "fetch",
+            TraceEvent::AttemptStart { .. } => "attempt",
+            TraceEvent::ConflictReceived { .. } => "conflict",
+            TraceEvent::EnterFailedMode => "enter-failed-mode",
+            TraceEvent::Decision { .. } => "decision",
+            TraceEvent::LockAcquired { .. } => "lock",
+            TraceEvent::Abort { .. } => "abort",
+            TraceEvent::Commit { .. } => "commit",
+        }
+    }
+}
+
+/// One recorded event with its cycle timestamp and core.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TraceRecord {
+    /// Core-local cycle at which the event was emitted.
+    pub cycle: u64,
+    /// The emitting core.
+    pub core: usize,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+/// A recorded trace: a bounded ring buffer of [`TraceRecord`]s.
+#[derive(Clone, Debug)]
 pub struct Trace {
     enabled: bool,
-    events: Vec<(u64, usize, TraceEvent)>,
+    capacity: usize,
+    buf: Vec<TraceRecord>,
+    /// Index of the oldest retained record once the buffer has wrapped.
+    head: usize,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
 }
 
 impl Trace {
-    /// Creates a disabled trace.
+    /// Default ring capacity: large enough that the bundled workloads at
+    /// every harness size retain their full streams.
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// Creates a disabled trace with the default ring capacity.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a disabled trace retaining at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring capacity must be nonzero");
+        Trace {
+            enabled: false,
+            capacity,
+            buf: Vec::new(),
+            head: 0,
+            recorded: 0,
+            dropped: 0,
+        }
     }
 
     /// Turns recording on.
@@ -110,24 +200,75 @@ impl Trace {
         self.enabled
     }
 
-    /// Records an event (no-op while disabled).
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records an event (no-op while disabled). Once the ring is full the
+    /// oldest record is evicted and counted as dropped.
     pub fn record(&mut self, cycle: u64, core: usize, event: TraceEvent) {
-        if self.enabled {
-            self.events.push((cycle, core, event));
+        if !self.enabled {
+            return;
+        }
+        self.recorded += 1;
+        let rec = TraceRecord { cycle, core, event };
+        if self.buf.len() < self.capacity {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
         }
     }
 
-    /// All recorded events.
-    pub fn events(&self) -> &[(u64, usize, TraceEvent)] {
-        &self.events
+    /// Total records emitted while enabled (retained or dropped).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Records evicted by ring-buffer overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained records.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Retained records in emission order, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
     }
 
     /// Events of one core, in order.
     pub fn core_events(&self, core: usize) -> impl Iterator<Item = &TraceEvent> {
-        self.events
-            .iter()
-            .filter(move |(_, c, _)| *c == core)
-            .map(|(_, _, e)| e)
+        self.records()
+            .filter(move |r| r.core == core)
+            .map(|r| &r.event)
+    }
+
+    /// FxHash fingerprint of the stream: every deterministic field of
+    /// every retained record plus the recorded/dropped totals. Two runs
+    /// with the same options produce the same digest; any reordering of
+    /// the protocol state machine changes it even when aggregate
+    /// statistics coincide.
+    pub fn digest(&self) -> u64 {
+        let mut h = FxHasher::default();
+        self.recorded.hash(&mut h);
+        self.dropped.hash(&mut h);
+        for r in self.records() {
+            r.hash(&mut h);
+        }
+        h.finish()
     }
 }
 
@@ -138,8 +279,16 @@ mod tests {
     #[test]
     fn disabled_trace_records_nothing() {
         let mut t = Trace::new();
-        t.record(1, 0, TraceEvent::ConflictReceived);
-        assert!(t.events().is_empty());
+        t.record(
+            1,
+            0,
+            TraceEvent::ConflictReceived {
+                line: LineAddr(1),
+                aggressor: 2,
+            },
+        );
+        assert!(t.is_empty());
+        assert_eq!(t.recorded(), 0);
         assert!(!t.is_enabled());
     }
 
@@ -147,12 +296,49 @@ mod tests {
     fn enabled_trace_records_in_order() {
         let mut t = Trace::new();
         t.enable();
-        t.record(5, 1, TraceEvent::ConflictReceived);
+        t.record(
+            5,
+            1,
+            TraceEvent::ConflictReceived {
+                line: LineAddr(4),
+                aggressor: 0,
+            },
+        );
         t.record(9, 0, TraceEvent::EnterFailedMode);
-        assert_eq!(t.events().len(), 2);
-        assert_eq!(t.events()[0].0, 5);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.records().next().unwrap().cycle, 5);
         assert_eq!(t.core_events(1).count(), 1);
         assert_eq!(t.core_events(0).count(), 1);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest_and_counts() {
+        let mut t = Trace::with_capacity(2);
+        t.enable();
+        for cycle in 0..5 {
+            t.record(cycle, 0, TraceEvent::EnterFailedMode);
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.recorded(), 5);
+        assert_eq!(t.dropped(), 3);
+        let cycles: Vec<u64> = t.records().map(|r| r.cycle).collect();
+        assert_eq!(cycles, [3, 4], "oldest evicted, order preserved");
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let mk = |cycles: &[u64]| {
+            let mut t = Trace::new();
+            t.enable();
+            for &c in cycles {
+                t.record(c, 1, TraceEvent::EnterFailedMode);
+            }
+            t.digest()
+        };
+        assert_eq!(mk(&[1, 2, 3]), mk(&[1, 2, 3]));
+        assert_ne!(mk(&[1, 2, 3]), mk(&[1, 3, 2]), "reordering must show");
+        assert_ne!(mk(&[1, 2]), mk(&[1, 2, 3]));
     }
 
     #[test]
@@ -165,8 +351,28 @@ mod tests {
         };
         assert_eq!(e.to_string(), "decide AR2 -> NS-CL (fp=3, immutable=true)");
         assert_eq!(
-            TraceEvent::LockAcquired { line: LineAddr(2) }.to_string(),
-            "lock L0x2"
+            TraceEvent::LockAcquired {
+                line: LineAddr(2),
+                wait_cycles: 7
+            }
+            .to_string(),
+            "lock L0x2 (waited 7)"
+        );
+        assert_eq!(
+            TraceEvent::ConflictReceived {
+                line: LineAddr(3),
+                aggressor: 5
+            }
+            .to_string(),
+            "conflict L0x3 from core5"
+        );
+        assert_eq!(
+            TraceEvent::Abort {
+                kind: AbortKind::Nacked,
+                span: 42
+            }
+            .to_string(),
+            "abort nacked after 42 cycles"
         );
     }
 }

@@ -365,12 +365,11 @@ fn trace_records_the_clear_protocol_sequence() {
     let stats = m.run();
     assert!(stats.commits_by_mode.nscl > 0);
 
-    let events = m.trace().events();
-    assert!(!events.is_empty());
+    assert!(!m.trace().is_empty());
     // Somewhere: a conflict leads to failed mode, then an NS-CL decision,
     // then locks, then an NS-CL commit.
-    let has = |f: &dyn Fn(&TraceEvent) -> bool| events.iter().any(|(_, _, e)| f(e));
-    assert!(has(&|e| matches!(e, TraceEvent::ConflictReceived)));
+    let has = |f: &dyn Fn(&TraceEvent) -> bool| m.trace().records().any(|r| f(&r.event));
+    assert!(has(&|e| matches!(e, TraceEvent::ConflictReceived { .. })));
     assert!(has(&|e| matches!(e, TraceEvent::EnterFailedMode)));
     assert!(has(&|e| matches!(
         e,
@@ -419,7 +418,7 @@ fn tracing_disabled_by_default_and_does_not_change_results() {
     cfg.seed = 42;
     let mut a = Machine::new(cfg.clone(), Box::new(SharedCounter::new(40)));
     let sa = a.run();
-    assert!(a.trace().events().is_empty());
+    assert!(a.trace().is_empty());
 
     let mut b = Machine::new(cfg, Box::new(SharedCounter::new(40)));
     b.enable_tracing();

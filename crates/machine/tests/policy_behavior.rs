@@ -155,8 +155,8 @@ fn indirect_footprint_converts_to_scl_never_nscl() {
         "contended likely-immutable AR should use S-CL"
     );
     // Every decision must classify the AR as not immutable.
-    for (_, _, e) in m.trace().events() {
-        if let TraceEvent::Decision { immutable, .. } = e {
+    for r in m.trace().records() {
+        if let TraceEvent::Decision { immutable, .. } = &r.event {
             assert!(
                 !immutable,
                 "indirection must clear the immutable assessment"
@@ -222,12 +222,12 @@ fn clear_decisions_match_ar_immutability() {
         s.commits_by_mode.scl, 0,
         "a direct-address AR never needs S-CL"
     );
-    for (_, _, e) in m.trace().events() {
+    for r in m.trace().records() {
         if let TraceEvent::Decision {
             immutable,
             footprint,
             ..
-        } = e
+        } = &r.event
         {
             assert!(immutable);
             // Counter line + fallback-lock subscription is not part of the

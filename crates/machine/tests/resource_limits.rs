@@ -165,8 +165,8 @@ fn alt_overflowing_ar_never_converts() {
         s.commits_by_mode
     );
     // No decision event can choose a CL mode.
-    for (_, _, e) in m.trace().events() {
-        if let TraceEvent::Decision { mode, .. } = e {
+    for r in m.trace().records() {
+        if let TraceEvent::Decision { mode, .. } = &r.event {
             assert_eq!(*mode, clear_core::RetryMode::SpeculativeRetry);
         }
     }
@@ -195,8 +195,8 @@ fn sq_overflow_in_failed_mode_aborts_discovery() {
     m.workload().validate(m.memory()).unwrap();
     let mut entered_failed = 0;
     let mut decisions = 0;
-    for (_, _, e) in m.trace().events() {
-        match e {
+    for r in m.trace().records() {
+        match &r.event {
             TraceEvent::EnterFailedMode => entered_failed += 1,
             TraceEvent::Decision { .. } => decisions += 1,
             _ => {}

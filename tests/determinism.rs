@@ -18,10 +18,12 @@ fn tiny(workers: usize) -> SuiteOptions {
     }
 }
 
-/// Two representative experiments: `fig01` exercises the full suite
+/// Three representative experiments: `fig01` exercises the full suite
 /// engine (sweep + seed aggregation), `sle` drives the machine directly
-/// with a non-default speculation mode.
-const REPRESENTATIVE: [&str; 2] = ["fig01", "sle"];
+/// with a non-default speculation mode, and `trace-digest` fingerprints
+/// the entire traced event stream — its rows embed FxHash digests, so a
+/// byte-identical document means the digests reproduced exactly.
+const REPRESENTATIVE: [&str; 3] = ["fig01", "sle", "trace-digest"];
 
 #[test]
 fn same_seed_runs_render_byte_identical_json() {
@@ -37,6 +39,24 @@ fn same_seed_runs_render_byte_identical_json() {
         );
         assert_eq!(a.text, b.text, "{name}: repeated text drifted");
     }
+}
+
+#[test]
+fn repeated_traced_runs_produce_identical_digests() {
+    use clear_harness::trace_export::run_traced;
+    use clear_machine::Preset;
+
+    let digest = || {
+        let m = run_traced("arrayswap", Preset::C, 8, 5, Size::Tiny, 1);
+        (
+            m.trace().recorded(),
+            m.trace().dropped(),
+            m.trace().digest(),
+        )
+    };
+    let (a, b) = (digest(), digest());
+    assert_eq!(a, b, "trace digest drifted between identical runs");
+    assert!(a.0 > 0, "traced run recorded no events");
 }
 
 #[test]
