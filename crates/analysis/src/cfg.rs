@@ -1,0 +1,223 @@
+//! Control-flow-graph recovery over a label-resolved [`Program`].
+//!
+//! A `Program` *is* one atomic region: execution enters at pc 0 (the
+//! implicit `XBegin`) and leaves at the first `XEnd`/`XAbort` it reaches,
+//! so CFG recovery is intra-program. Basic blocks are maximal runs of
+//! instructions with a single entry (block leaders are pc 0, every branch
+//! or jump target, and every instruction following a control transfer).
+
+use clear_isa::{Instr, Program};
+
+/// One basic block of an atomic-region program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// First pc of the block (inclusive).
+    pub start: usize,
+    /// One past the last pc of the block (exclusive).
+    pub end: usize,
+    /// Successor block indices, in (fall-through, target) order. A
+    /// fall-through that runs off the end of the program has no block and
+    /// is reported by the lint pass instead.
+    pub successors: Vec<usize>,
+    /// `true` if the block is reachable from the region entry.
+    pub reachable: bool,
+}
+
+impl BasicBlock {
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` if the block holds no instructions (never produced by
+    /// [`Cfg::build`]; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// The recovered control-flow graph of one atomic-region program.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Basic blocks in ascending pc order. Block 0 is the region entry.
+    pub blocks: Vec<BasicBlock>,
+    /// Per-pc block index (`block_of[pc]` is the block containing `pc`).
+    pub block_of: Vec<usize>,
+}
+
+impl Cfg {
+    /// Recovers the CFG of `program`.
+    pub fn build(program: &Program) -> Cfg {
+        let n = program.len();
+        let mut leader = vec![false; n];
+        if n > 0 {
+            leader[0] = true;
+        }
+        for pc in 0..n {
+            let s = program.successors(pc);
+            if let Some(t) = s.target {
+                if t < n {
+                    leader[t] = true;
+                }
+            }
+            // The instruction after any control transfer starts a block.
+            let transfers = matches!(
+                program.instrs()[pc],
+                Instr::Branch { .. } | Instr::Jmp { .. } | Instr::XEnd | Instr::XAbort { .. }
+            );
+            if transfers && pc + 1 < n {
+                leader[pc + 1] = true;
+            }
+        }
+
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; n];
+        let mut start = 0usize;
+        for pc in 0..n {
+            block_of[pc] = blocks.len();
+            let last = pc + 1 == n || leader[pc + 1];
+            if last {
+                blocks.push(BasicBlock {
+                    start,
+                    end: pc + 1,
+                    successors: Vec::new(),
+                    reachable: false,
+                });
+                start = pc + 1;
+            }
+        }
+
+        for block in &mut blocks {
+            let tail = block.end - 1;
+            block.successors = program
+                .successors(tail)
+                .iter()
+                .filter(|&pc| pc < n)
+                .map(|pc| block_of[pc])
+                .collect();
+        }
+
+        // Reachability from the region entry (pc 0).
+        if !blocks.is_empty() {
+            let mut stack = vec![0usize];
+            while let Some(b) = stack.pop() {
+                if blocks[b].reachable {
+                    continue;
+                }
+                blocks[b].reachable = true;
+                stack.extend(blocks[b].successors.iter().copied());
+            }
+        }
+
+        Cfg { blocks, block_of }
+    }
+
+    /// Per-pc reachability from the region entry.
+    pub fn reachable_pcs(&self) -> Vec<bool> {
+        self.block_of
+            .iter()
+            .map(|&b| self.blocks[b].reachable)
+            .collect()
+    }
+
+    /// Number of blocks reachable from the region entry.
+    pub fn reachable_blocks(&self) -> usize {
+        self.blocks.iter().filter(|b| b.reachable).count()
+    }
+
+    /// Per-pc "is part of a CFG cycle" flags: `true` when the pc can reach
+    /// itself again. Used to decide whether an access site may execute more
+    /// than once per region execution.
+    pub fn in_cycle_pcs(&self) -> Vec<bool> {
+        let nb = self.blocks.len();
+        // Block-level: can block b reach block b again through >= 1 edge?
+        let mut cyc = vec![false; nb];
+        for (b, flag) in cyc.iter_mut().enumerate() {
+            let mut seen = vec![false; nb];
+            let mut stack: Vec<usize> = self.blocks[b].successors.clone();
+            while let Some(s) = stack.pop() {
+                if s == b {
+                    *flag = true;
+                    break;
+                }
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.extend(self.blocks[s].successors.iter().copied());
+                }
+            }
+        }
+        self.block_of.iter().map(|&b| cyc[b]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clear_isa::{Cond, ProgramBuilder, Reg};
+
+    fn loop_program() -> Program {
+        // 0: li r1,0
+        // 1: branch ge r1,r2 -> 5
+        // 2: ld r3,[r0]
+        // 3: addi r1,r1,1
+        // 4: jmp 1
+        // 5: xend
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        let out = b.label();
+        b.li(Reg(1), 0)
+            .bind(top)
+            .branch(Cond::Ge, Reg(1), Reg(2), out)
+            .ld(Reg(3), Reg(0), 0)
+            .addi(Reg(1), Reg(1), 1)
+            .jmp(top)
+            .bind(out)
+            .xend();
+        b.build()
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(0), 1).addi(Reg(0), Reg(0), 2).xend();
+        let cfg = Cfg::build(&b.build());
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[0].len(), 3);
+        assert!(cfg.blocks[0].reachable);
+        assert!(cfg.blocks[0].successors.is_empty());
+        assert!(!cfg.blocks[0].is_empty());
+        assert!(cfg.in_cycle_pcs().iter().all(|&c| !c));
+    }
+
+    #[test]
+    fn loop_blocks_and_cycles() {
+        let cfg = Cfg::build(&loop_program());
+        // Blocks: [0], [1], [2..4], [5].
+        assert_eq!(cfg.blocks.len(), 4);
+        assert_eq!(cfg.reachable_blocks(), 4);
+        let cyc = cfg.in_cycle_pcs();
+        assert!(!cyc[0], "entry is not in the loop");
+        assert!(cyc[1] && cyc[2] && cyc[3] && cyc[4], "loop body cycles");
+        assert!(!cyc[5], "exit is not in the loop");
+    }
+
+    #[test]
+    fn unreachable_block_is_flagged() {
+        let mut b = ProgramBuilder::new();
+        b.xend().li(Reg(0), 1).xend();
+        let cfg = Cfg::build(&b.build());
+        assert_eq!(cfg.blocks.len(), 2);
+        assert!(cfg.blocks[0].reachable);
+        assert!(!cfg.blocks[1].reachable);
+        assert_eq!(cfg.reachable_pcs(), vec![true, false, false]);
+    }
+
+    #[test]
+    fn off_end_fall_through_has_no_successor_block() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(0), 1); // runs off the end
+        let cfg = Cfg::build(&b.build());
+        assert_eq!(cfg.blocks.len(), 1);
+        assert!(cfg.blocks[0].successors.is_empty());
+    }
+}

@@ -1,0 +1,591 @@
+//! Register-level provenance dataflow over an atomic-region program.
+//!
+//! This is the static mirror of the VM's per-register indirection bits
+//! (§5 ① of the paper, `clear_isa::Vm`): where the hardware observes at
+//! run time whether an address was derived from a value loaded *inside*
+//! the AR, the analyzer proves it ahead of time. The abstract domain
+//! refines the single dynamic bit into a small provenance lattice so the
+//! analyzer can also bound footprints and recognise the paper's
+//! *likely-immutable* pattern (Listing 2):
+//!
+//! * [`AbsVal::Undef`] — never written on any path (bottom);
+//! * [`AbsVal::Const`] — a known constant (from `li` or constant folding);
+//! * [`AbsVal::Entry`] — `entry_value(reg) + delta` for a known wrapping
+//!   `delta`: the symbolic form of "address computed outside the AR";
+//! * [`AbsVal::Direct`] — indirection-free but not symbolically tracked
+//!   (e.g. the sum of two entry registers);
+//! * [`AbsVal::Loaded`] — derived from a value loaded inside the AR, with
+//!   the load-chain depth and, when unique, the originating load site.
+//!
+//! The analysis is a forward may-analysis: joins over-approximate, so any
+//! value the VM would flag as an indirection is `Loaded` here (never
+//! `Direct`/`Entry`). That direction of conservatism is what makes the
+//! [`StaticVerdict::StaticImmutable`](crate::StaticVerdict) verdict sound
+//! with respect to dynamic discovery.
+
+use crate::cfg::Cfg;
+use clear_isa::{AluOp, Instr, Program, Reg, NUM_REGS};
+
+/// Saturation bound for load-chain depth.
+pub const MAX_DEPTH: u8 = 15;
+
+/// The unique load site a depth-1 value came from, when known.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Root {
+    /// The value was produced (only) by the `Ld` at this pc.
+    Site(u16),
+    /// Multiple load sites (or a chain of loads) could have produced it.
+    Many,
+}
+
+/// Abstract provenance of one register value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbsVal {
+    /// Never written on any path reaching this point.
+    Undef,
+    /// Known constant.
+    Const(u64),
+    /// `entry_value(reg) + delta` (wrapping); `reg` names the value the
+    /// register held when the AR was entered.
+    Entry {
+        /// The entry register the value symbolically refers to.
+        reg: Reg,
+        /// Wrapping byte delta added to the entry value.
+        delta: u64,
+    },
+    /// Indirection-free, but not symbolically tracked.
+    Direct,
+    /// Derived from a value loaded inside the AR.
+    Loaded {
+        /// Longest possible load chain behind the value (>= 1).
+        depth: u8,
+        /// Originating load site, when unique.
+        root: Root,
+    },
+}
+
+impl AbsVal {
+    /// Load-chain depth (0 for anything not `Loaded`).
+    #[inline]
+    pub fn depth(self) -> u8 {
+        match self {
+            AbsVal::Loaded { depth, .. } => depth,
+            _ => 0,
+        }
+    }
+
+    /// `true` if the VM would set the indirection bit for this value.
+    #[inline]
+    pub fn is_indirect(self) -> bool {
+        matches!(self, AbsVal::Loaded { .. })
+    }
+
+    /// Normalises a value being *read*: an `Undef` register dynamically
+    /// holds some indirection-free residue, so reads see `Direct` (the
+    /// read itself is separately reported as a use-before-def lint).
+    #[inline]
+    fn read(self) -> AbsVal {
+        match self {
+            AbsVal::Undef => AbsVal::Direct,
+            v => v,
+        }
+    }
+
+    /// Least upper bound of two provenances.
+    fn join(a: AbsVal, b: AbsVal) -> AbsVal {
+        use AbsVal::*;
+        match (a, b) {
+            _ if a == b => a,
+            (Undef, v) | (v, Undef) => v,
+            (
+                Loaded {
+                    depth: d1,
+                    root: r1,
+                },
+                Loaded {
+                    depth: d2,
+                    root: r2,
+                },
+            ) => Loaded {
+                depth: d1.max(d2),
+                root: if r1 == r2 { r1 } else { Root::Many },
+            },
+            (l @ Loaded { .. }, _) | (_, l @ Loaded { .. }) => l,
+            _ => Direct,
+        }
+    }
+}
+
+/// Per-pc register state: provenances plus a may-be-undefined bitmask.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct RegState {
+    vals: [AbsVal; NUM_REGS],
+    /// Bit `r` set: register `r` may still be unwritten on some path.
+    maybe_undef: u32,
+}
+
+impl RegState {
+    fn entry(args: &[Reg]) -> RegState {
+        let mut vals = [AbsVal::Undef; NUM_REGS];
+        let mut maybe_undef = u32::MAX;
+        for &r in args {
+            vals[r.index()] = AbsVal::Entry { reg: r, delta: 0 };
+            maybe_undef &= !(1u32 << r.index());
+        }
+        RegState { vals, maybe_undef }
+    }
+
+    /// Joins `other` into `self`; returns `true` if `self` changed.
+    fn join_from(&mut self, other: &RegState) -> bool {
+        let mut changed = false;
+        for i in 0..NUM_REGS {
+            let j = AbsVal::join(self.vals[i], other.vals[i]);
+            if j != self.vals[i] {
+                self.vals[i] = j;
+                changed = true;
+            }
+        }
+        let u = self.maybe_undef | other.maybe_undef;
+        if u != self.maybe_undef {
+            self.maybe_undef = u;
+            changed = true;
+        }
+        changed
+    }
+
+    fn write(&mut self, rd: Reg, v: AbsVal) {
+        self.vals[rd.index()] = v;
+        self.maybe_undef &= !(1u32 << rd.index());
+    }
+
+    fn may_undef(&self, r: Reg) -> bool {
+        self.maybe_undef & (1u32 << r.index()) != 0
+    }
+}
+
+fn alu_imm(v: AbsVal, op: AluOp, imm: u64) -> AbsVal {
+    match (v, op) {
+        (AbsVal::Const(c), _) => AbsVal::Const(op.apply(c, imm)),
+        (AbsVal::Entry { reg, delta }, AluOp::Add) => AbsVal::Entry {
+            reg,
+            delta: delta.wrapping_add(imm),
+        },
+        (AbsVal::Entry { reg, delta }, AluOp::Sub) => AbsVal::Entry {
+            reg,
+            delta: delta.wrapping_sub(imm),
+        },
+        (l @ AbsVal::Loaded { .. }, _) => l,
+        _ => AbsVal::Direct,
+    }
+}
+
+fn alu2(a: AbsVal, op: AluOp, b: AbsVal) -> AbsVal {
+    use AbsVal::*;
+    match (a, b) {
+        (Const(x), Const(y)) => Const(op.apply(x, y)),
+        // Indirection propagates through any ALU op (mirrors the VM's
+        // OR of source indirection bits).
+        (
+            Loaded {
+                depth: d1,
+                root: r1,
+            },
+            Loaded {
+                depth: d2,
+                root: r2,
+            },
+        ) => Loaded {
+            depth: d1.max(d2),
+            root: if r1 == r2 { r1 } else { Root::Many },
+        },
+        (l @ Loaded { .. }, _) | (_, l @ Loaded { .. }) => l,
+        // Pointer arithmetic against a constant keeps the symbol.
+        (Entry { reg, delta }, Const(c)) if op == AluOp::Add => Entry {
+            reg,
+            delta: delta.wrapping_add(c),
+        },
+        (Const(c), Entry { reg, delta }) if op == AluOp::Add => Entry {
+            reg,
+            delta: delta.wrapping_add(c),
+        },
+        (Entry { reg, delta }, Const(c)) if op == AluOp::Sub => Entry {
+            reg,
+            delta: delta.wrapping_sub(c),
+        },
+        _ => Direct,
+    }
+}
+
+fn transfer(state: &RegState, instr: &Instr, pc: usize) -> RegState {
+    let mut out = *state;
+    match *instr {
+        Instr::Li { rd, imm } => out.write(rd, AbsVal::Const(imm)),
+        Instr::Mv { rd, rs } => out.write(rd, state.vals[rs.index()].read()),
+        Instr::AluImm { op, rd, rs, imm } => {
+            out.write(rd, alu_imm(state.vals[rs.index()].read(), op, imm))
+        }
+        Instr::Alu { op, rd, rs1, rs2 } => out.write(
+            rd,
+            alu2(
+                state.vals[rs1.index()].read(),
+                op,
+                state.vals[rs2.index()].read(),
+            ),
+        ),
+        Instr::Ld { rd, base, .. } => {
+            let b = state.vals[base.index()].read();
+            let v = if b.is_indirect() {
+                AbsVal::Loaded {
+                    depth: b.depth().saturating_add(1).min(MAX_DEPTH),
+                    root: Root::Many,
+                }
+            } else {
+                AbsVal::Loaded {
+                    depth: 1,
+                    root: Root::Site(pc.min(u16::MAX as usize) as u16),
+                }
+            };
+            out.write(rd, v);
+        }
+        Instr::St { .. }
+        | Instr::Branch { .. }
+        | Instr::Jmp { .. }
+        | Instr::Nop { .. }
+        | Instr::XEnd
+        | Instr::XAbort { .. } => {}
+    }
+    out
+}
+
+/// One memory access site (a reachable `Ld` or `St`).
+#[derive(Clone, Copy, Debug)]
+pub struct AccessSite {
+    /// Program counter of the instruction.
+    pub pc: usize,
+    /// `true` for a store.
+    pub is_store: bool,
+    /// Provenance of the base register at the site (read-normalised).
+    pub base: AbsVal,
+    /// Immediate byte offset of the access.
+    pub offset: i64,
+    /// `true` if the site sits inside a CFG cycle (may run many times).
+    pub in_cycle: bool,
+}
+
+/// One reachable conditional branch.
+#[derive(Clone, Copy, Debug)]
+pub struct BranchSite {
+    /// Program counter of the branch.
+    pub pc: usize,
+    /// Provenances of the two comparands.
+    pub lhs: AbsVal,
+    /// Provenance of the right comparand.
+    pub rhs: AbsVal,
+}
+
+impl BranchSite {
+    /// `true` if the branch outcome depends on a value loaded in the AR
+    /// (the VM would report `cond_indirect`).
+    pub fn is_dependent(&self) -> bool {
+        self.lhs.is_indirect() || self.rhs.is_indirect()
+    }
+}
+
+/// Result of the provenance dataflow over one program.
+#[derive(Clone, Debug)]
+pub struct Dataflow {
+    /// All reachable memory access sites, in pc order.
+    pub accesses: Vec<AccessSite>,
+    /// All reachable conditional branches, in pc order.
+    pub branches: Vec<BranchSite>,
+    /// Reachable reads of registers that may be unwritten (pc, register),
+    /// deduplicated, in pc order.
+    pub undef_reads: Vec<(usize, Reg)>,
+    /// Largest load-chain depth behind any access base or branch comparand.
+    pub max_depth: u8,
+    /// Per-pc fixpoint in-states for reachable pcs (`None` = unreachable).
+    states: Vec<Option<RegState>>,
+}
+
+impl Dataflow {
+    /// Runs the dataflow to fixpoint and collects per-site facts.
+    pub fn run(program: &Program, entry_regs: &[Reg], cfg: &Cfg) -> Dataflow {
+        let n = program.len();
+        let mut states: Vec<Option<RegState>> = vec![None; n];
+        if n == 0 {
+            return Dataflow {
+                accesses: Vec::new(),
+                branches: Vec::new(),
+                undef_reads: Vec::new(),
+                max_depth: 0,
+                states,
+            };
+        }
+        states[0] = Some(RegState::entry(entry_regs));
+        let mut worklist = vec![0usize];
+        while let Some(pc) = worklist.pop() {
+            let st = states[pc].expect("worklist entries have a state");
+            let out = transfer(&st, &program.instrs()[pc], pc);
+            for succ in program.successors(pc).iter() {
+                if succ >= n {
+                    continue; // off-end fall-through: lint, not dataflow
+                }
+                match &mut states[succ] {
+                    Some(existing) => {
+                        if existing.join_from(&out) {
+                            worklist.push(succ);
+                        }
+                    }
+                    slot @ None => {
+                        *slot = Some(out);
+                        worklist.push(succ);
+                    }
+                }
+            }
+        }
+
+        let in_cycle = cfg.in_cycle_pcs();
+        let mut accesses = Vec::new();
+        let mut branches = Vec::new();
+        let mut undef_reads = Vec::new();
+        let mut max_depth = 0u8;
+        for pc in 0..n {
+            let Some(st) = &states[pc] else { continue };
+            let mut note_read = |r: Reg| {
+                if st.may_undef(r) && !undef_reads.contains(&(pc, r)) {
+                    undef_reads.push((pc, r));
+                }
+            };
+            match program.instrs()[pc] {
+                Instr::Mv { rs, .. } => note_read(rs),
+                Instr::AluImm { rs, .. } => note_read(rs),
+                Instr::Alu { rs1, rs2, .. } => {
+                    note_read(rs1);
+                    note_read(rs2);
+                }
+                Instr::Ld { base, offset, .. } => {
+                    note_read(base);
+                    let b = st.vals[base.index()].read();
+                    max_depth = max_depth.max(b.depth());
+                    accesses.push(AccessSite {
+                        pc,
+                        is_store: false,
+                        base: b,
+                        offset,
+                        in_cycle: in_cycle[pc],
+                    });
+                }
+                Instr::St { base, offset, src } => {
+                    note_read(base);
+                    note_read(src);
+                    let b = st.vals[base.index()].read();
+                    max_depth = max_depth.max(b.depth());
+                    accesses.push(AccessSite {
+                        pc,
+                        is_store: true,
+                        base: b,
+                        offset,
+                        in_cycle: in_cycle[pc],
+                    });
+                }
+                Instr::Branch { rs1, rs2, .. } => {
+                    note_read(rs1);
+                    note_read(rs2);
+                    let lhs = st.vals[rs1.index()].read();
+                    let rhs = st.vals[rs2.index()].read();
+                    max_depth = max_depth.max(lhs.depth()).max(rhs.depth());
+                    branches.push(BranchSite { pc, lhs, rhs });
+                }
+                Instr::Li { .. }
+                | Instr::Jmp { .. }
+                | Instr::Nop { .. }
+                | Instr::XEnd
+                | Instr::XAbort { .. } => {}
+            }
+        }
+
+        Dataflow {
+            accesses,
+            branches,
+            undef_reads,
+            max_depth,
+            states,
+        }
+    }
+
+    /// `true` if `pc` is reachable from the region entry.
+    pub fn is_reachable(&self, pc: usize) -> bool {
+        self.states.get(pc).is_some_and(|s| s.is_some())
+    }
+
+    /// The access site at `pc`, if any.
+    pub fn access_at(&self, pc: usize) -> Option<&AccessSite> {
+        self.accesses.iter().find(|a| a.pc == pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clear_isa::{Cond, ProgramBuilder};
+
+    fn flow(p: &Program, args: &[Reg]) -> Dataflow {
+        let cfg = Cfg::build(p);
+        Dataflow::run(p, args, &cfg)
+    }
+
+    #[test]
+    fn entry_symbols_track_pointer_arithmetic() {
+        // r1 = r0 + 8; r2 = r1 + 120; st [r2 - 16]
+        let mut b = ProgramBuilder::new();
+        b.addi(Reg(1), Reg(0), 8)
+            .addi(Reg(2), Reg(1), 120)
+            .st(Reg(2), -16, Reg(0))
+            .xend();
+        let f = flow(&b.build(), &[Reg(0)]);
+        assert_eq!(f.accesses.len(), 1);
+        assert_eq!(
+            f.accesses[0].base,
+            AbsVal::Entry {
+                reg: Reg(0),
+                delta: 128
+            }
+        );
+        assert_eq!(f.accesses[0].offset, -16);
+        assert_eq!(f.max_depth, 0);
+    }
+
+    #[test]
+    fn load_sets_depth_and_root() {
+        // r1 = ld [r0]; r2 = r1 + r0; ld [r2]
+        let mut b = ProgramBuilder::new();
+        b.ld(Reg(1), Reg(0), 0)
+            .add(Reg(2), Reg(1), Reg(0))
+            .ld(Reg(3), Reg(2), 0)
+            .xend();
+        let f = flow(&b.build(), &[Reg(0)]);
+        assert_eq!(
+            f.accesses[1].base,
+            AbsVal::Loaded {
+                depth: 1,
+                root: Root::Site(0)
+            }
+        );
+        // r3 is a second-level load.
+        assert_eq!(f.max_depth, 1);
+    }
+
+    #[test]
+    fn chase_deepens_and_loses_root() {
+        let mut b = ProgramBuilder::new();
+        b.ld(Reg(1), Reg(0), 0)
+            .ld(Reg(1), Reg(1), 0)
+            .ld(Reg(1), Reg(1), 0)
+            .xend();
+        let f = flow(&b.build(), &[Reg(0)]);
+        assert_eq!(f.accesses[1].base.depth(), 1);
+        assert_eq!(f.accesses[2].base.depth(), 2);
+        assert!(matches!(
+            f.accesses[2].base,
+            AbsVal::Loaded {
+                root: Root::Many,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn join_widens_conflicting_entries_to_direct() {
+        // Two paths give r1 different deltas from r0: the join is Direct.
+        let mut b = ProgramBuilder::new();
+        let other = b.label();
+        let join = b.label();
+        b.branch(Cond::Eq, Reg(0), Reg(0), other)
+            .addi(Reg(1), Reg(0), 64)
+            .jmp(join)
+            .bind(other)
+            .addi(Reg(1), Reg(0), 128)
+            .bind(join)
+            .st(Reg(1), 0, Reg(0))
+            .xend();
+        let f = flow(&b.build(), &[Reg(0)]);
+        let site = f.accesses.last().unwrap();
+        assert_eq!(site.base, AbsVal::Direct);
+        assert!(!site.base.is_indirect());
+    }
+
+    #[test]
+    fn dependent_branch_is_flagged() {
+        let mut b = ProgramBuilder::new();
+        let out = b.label();
+        b.ld(Reg(1), Reg(0), 0)
+            .branch(Cond::Ne, Reg(1), Reg(2), out)
+            .bind(out)
+            .xend();
+        let f = flow(&b.build(), &[Reg(0), Reg(2)]);
+        assert_eq!(f.branches.len(), 1);
+        assert!(f.branches[0].is_dependent());
+    }
+
+    #[test]
+    fn constant_folding_through_alu() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(1), 6)
+            .li(Reg(2), 7)
+            .alu(AluOp::Mul, Reg(3), Reg(1), Reg(2))
+            .st(Reg(3), 0, Reg(1))
+            .xend();
+        let f = flow(&b.build(), &[]);
+        let st = f.accesses[0];
+        assert_eq!(st.base, AbsVal::Const(42));
+    }
+
+    #[test]
+    fn undef_reads_are_reported_once() {
+        let mut b = ProgramBuilder::new();
+        b.mv(Reg(1), Reg(9)).st(Reg(0), 0, Reg(9)).xend();
+        let f = flow(&b.build(), &[Reg(0)]);
+        let regs: Vec<Reg> = f.undef_reads.iter().map(|&(_, r)| r).collect();
+        assert_eq!(regs, vec![Reg(9), Reg(9)]);
+        assert_eq!(f.undef_reads[0].0, 0);
+        assert_eq!(f.undef_reads[1].0, 1);
+    }
+
+    #[test]
+    fn unreachable_code_produces_no_sites() {
+        let mut b = ProgramBuilder::new();
+        b.xend().ld(Reg(1), Reg(0), 0).xend();
+        let f = flow(&b.build(), &[Reg(0)]);
+        assert!(f.accesses.is_empty());
+        assert!(!f.is_reachable(1));
+        assert!(f.is_reachable(0));
+        assert!(f.access_at(1).is_none());
+    }
+
+    #[test]
+    fn loop_invariant_entry_base_stays_symbolic() {
+        // A loop that stores through r0 each iteration with a loop counter
+        // in r1: the base stays Entry{r0}, the counter widens to Direct.
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        let out = b.label();
+        b.li(Reg(1), 0)
+            .bind(top)
+            .branch(Cond::Ge, Reg(1), Reg(2), out)
+            .st(Reg(0), 0, Reg(1))
+            .addi(Reg(1), Reg(1), 1)
+            .jmp(top)
+            .bind(out)
+            .xend();
+        let f = flow(&b.build(), &[Reg(0), Reg(2)]);
+        let site = f.accesses[0];
+        assert_eq!(
+            site.base,
+            AbsVal::Entry {
+                reg: Reg(0),
+                delta: 0
+            }
+        );
+        assert!(site.in_cycle);
+    }
+}

@@ -1,0 +1,67 @@
+//! **clear-analysis** — ahead-of-time static analysis of mini-ISA atomic
+//! regions.
+//!
+//! The dynamic side of this repository (*discovery*, `clear-core`) learns
+//! an AR's footprint, lockability and immutability by running it once
+//! speculatively. This crate answers the same three assessments *before*
+//! any execution, from the program text and the entry arguments alone:
+//!
+//! 1. [`Cfg`] recovers basic blocks and reachability from
+//!    [`Program::successors`](clear_isa::Program::successors) — a program
+//!    *is* one atomic region, entered at the implicit `XBegin` (pc 0) and
+//!    left at `XEnd`/`XAbort`;
+//! 2. [`Dataflow`] runs a register-provenance fixpoint that statically
+//!    mirrors the VM's per-register indirection bits (§5 ① of the paper);
+//! 3. [`analyze_program`] bounds the abstract address set against the
+//!    hardware budgets ([`StaticBudget`]: ALT capacity, directory
+//!    geometry) and condenses everything into a [`StaticVerdict`], plus
+//!    a reusable [lint pass](lint_program) for workload authors.
+//!
+//! The verdicts are designed to be *sound against dynamic discovery* in
+//! one direction: a [`StaticVerdict::StaticImmutable`] region can never
+//! be observed with a mutated footprint at run time, because the analysis
+//! over-approximates the VM's indirection tracking. The
+//! `static-agreement` harness experiment holds that line as a regression
+//! gate.
+//!
+//! # Examples
+//!
+//! ```
+//! use clear_analysis::{analyze_program, EntryCtx, StaticBudget, StaticVerdict};
+//! use clear_isa::{ProgramBuilder, Reg};
+//!
+//! // counter += 1, address computed outside the AR: Listing 1.
+//! let mut b = ProgramBuilder::new();
+//! b.ld(Reg(1), Reg(0), 0)
+//!     .addi(Reg(1), Reg(1), 1)
+//!     .st(Reg(0), 0, Reg(1))
+//!     .xend();
+//! let a = analyze_program(
+//!     &b.build(),
+//!     &EntryCtx::from_args(&[(Reg(0), 128)]),
+//!     &StaticBudget::default(),
+//! );
+//! assert_eq!(a.verdict, StaticVerdict::StaticImmutable);
+//! assert_eq!(a.footprint.lines, Some(1));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cfg;
+mod dataflow;
+mod lint;
+mod sample;
+mod verdict;
+
+pub use cfg::{BasicBlock, Cfg};
+pub use dataflow::{AbsVal, AccessSite, BranchSite, Dataflow, Root, MAX_DEPTH};
+pub use lint::{lint_program, Lint};
+pub use sample::{
+    analyze_workload, sample_workload, ArReport, SampledAr, WorkloadReport, WorkloadSample,
+    DEFAULT_MAX_PULLS,
+};
+pub use verdict::{
+    analyze_program, ArAnalysis, EntryCtx, FootprintBound, LockPrediction, OverflowPrediction,
+    StaticBudget, StaticVerdict,
+};

@@ -1,0 +1,322 @@
+//! The reusable lint pass over atomic-region programs.
+//!
+//! Five checks, all purely static:
+//!
+//! 1. **Unbalanced region** — control can run off the end of the program
+//!    without reaching `XEnd`/`XAbort` ([`Lint::RunsOffEnd`]), or no
+//!    reachable path ever commits ([`Lint::NoReachableCommit`]). These are
+//!    the mini-ISA analogue of unbalanced `XBegin`/`XEnd` pairs: the
+//!    implicit `XBegin` at pc 0 is never closed.
+//! 2. **Unreachable code** — blocks no path from the region entry reaches
+//!    ([`Lint::UnreachableCode`]).
+//! 3. **Use before def** — a register read on some path before any write,
+//!    and not an entry argument ([`Lint::UseBeforeDef`]). The VM zeroes
+//!    registers, but relying on residue makes an AR's behaviour depend on
+//!    whatever ran before it.
+//! 4. **Accesses outside mapped memory** — a resolvable address below the
+//!    allocator base (the unmapped "null" line) or past the mapped extent
+//!    ([`Lint::AccessOutsideMapped`]).
+//! 5. **Misaligned accesses** — a resolvable address that is not
+//!    word-aligned ([`Lint::MisalignedAccess`]); the word-addressed
+//!    simulated memory would fault on these.
+//!
+//! The original paper also warns about taking OS/library locks inside an
+//! AR; the mini-ISA has no lock instructions (locking is a *hardware*
+//! concern in CLEAR), so that class of defect cannot be expressed and has
+//! no lint here.
+
+use crate::cfg::Cfg;
+use crate::dataflow::{AbsVal, Dataflow};
+use crate::verdict::EntryCtx;
+use clear_isa::{Instr, Program, Reg};
+use clear_mem::{LINE_BYTES, WORD_BYTES};
+use std::fmt;
+
+/// One static finding about an atomic-region program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Lint {
+    /// Control can fall (or jump) past the last instruction at `pc`
+    /// without hitting `XEnd`/`XAbort`: the region is unbalanced and the
+    /// VM would panic.
+    RunsOffEnd {
+        /// The pc whose successor lies past the end of the program.
+        pc: usize,
+    },
+    /// No reachable path commits: the region can only abort (or escape).
+    NoReachableCommit,
+    /// The half-open pc range `[start, end)` is unreachable from entry.
+    UnreachableCode {
+        /// First dead pc.
+        start: usize,
+        /// One past the last dead pc.
+        end: usize,
+    },
+    /// A register is read at `pc` while possibly never written (and is
+    /// not an entry argument).
+    UseBeforeDef {
+        /// The reading pc.
+        pc: usize,
+        /// The possibly-undefined register.
+        reg: Reg,
+    },
+    /// A resolvable access target lies outside mapped simulated memory.
+    AccessOutsideMapped {
+        /// The accessing pc.
+        pc: usize,
+        /// The resolved byte address.
+        addr: u64,
+        /// `true` for a store.
+        is_store: bool,
+    },
+    /// A resolvable access target is not word-aligned.
+    MisalignedAccess {
+        /// The accessing pc.
+        pc: usize,
+        /// The resolved byte address.
+        addr: u64,
+    },
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Lint::RunsOffEnd { pc } => {
+                write!(
+                    f,
+                    "pc {pc}: control runs off the end of the region (unbalanced XBegin/XEnd)"
+                )
+            }
+            Lint::NoReachableCommit => {
+                write!(f, "no reachable XEnd: the region can never commit")
+            }
+            Lint::UnreachableCode { start, end } => {
+                write!(f, "pc {start}..{end}: unreachable code")
+            }
+            Lint::UseBeforeDef { pc, reg } => {
+                write!(
+                    f,
+                    "pc {pc}: {reg} read before any write (not an entry argument)"
+                )
+            }
+            Lint::AccessOutsideMapped { pc, addr, is_store } => {
+                let what = if is_store { "store to" } else { "load from" };
+                write!(f, "pc {pc}: {what} {addr:#x} outside mapped memory")
+            }
+            Lint::MisalignedAccess { pc, addr } => {
+                write!(f, "pc {pc}: access to {addr:#x} is not word-aligned")
+            }
+        }
+    }
+}
+
+/// Resolves an access base to a concrete byte address when possible.
+fn concrete_addr(base: AbsVal, offset: i64, entry: &EntryCtx) -> Option<u64> {
+    let off = offset as u64;
+    match base {
+        AbsVal::Const(c) => Some(c.wrapping_add(off)),
+        AbsVal::Entry { reg, delta } => entry
+            .value(reg)
+            .map(|v| v.wrapping_add(delta).wrapping_add(off)),
+        _ => None,
+    }
+}
+
+/// Runs all lints over one program. Findings come out in a deterministic
+/// order: region-shape lints first, then per-pc findings in pc order.
+pub fn lint_program(program: &Program, cfg: &Cfg, flow: &Dataflow, entry: &EntryCtx) -> Vec<Lint> {
+    let n = program.len();
+    let mut lints = Vec::new();
+
+    // 1a. Reachable control flow past the end of the program.
+    for pc in 0..n {
+        if !flow.is_reachable(pc) {
+            continue;
+        }
+        if program.successors(pc).iter().any(|s| s >= n) {
+            lints.push(Lint::RunsOffEnd { pc });
+        }
+    }
+
+    // 1b. A region that can never commit.
+    let commits =
+        (0..n).any(|pc| flow.is_reachable(pc) && matches!(program.instrs()[pc], Instr::XEnd));
+    if !commits {
+        lints.push(Lint::NoReachableCommit);
+    }
+
+    // 2. Unreachable blocks.
+    for block in &cfg.blocks {
+        if !block.reachable {
+            lints.push(Lint::UnreachableCode {
+                start: block.start,
+                end: block.end,
+            });
+        }
+    }
+
+    // 3. Use before def.
+    for &(pc, reg) in &flow.undef_reads {
+        lints.push(Lint::UseBeforeDef { pc, reg });
+    }
+
+    // 4 + 5. Concrete address checks (need real entry values).
+    for site in &flow.accesses {
+        let Some(addr) = concrete_addr(site.base, site.offset, entry) else {
+            continue;
+        };
+        if let Some(mapped) = entry.mapped_bytes {
+            if addr < LINE_BYTES || addr.saturating_add(WORD_BYTES) > mapped {
+                lints.push(Lint::AccessOutsideMapped {
+                    pc: site.pc,
+                    addr,
+                    is_store: site.is_store,
+                });
+            }
+        }
+        if addr % WORD_BYTES != 0 {
+            lints.push(Lint::MisalignedAccess { pc: site.pc, addr });
+        }
+    }
+
+    lints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clear_isa::{Cond, ProgramBuilder};
+
+    fn run(p: &Program, entry: &EntryCtx) -> Vec<Lint> {
+        let cfg = Cfg::build(p);
+        let flow = Dataflow::run(p, &entry.regs(), &cfg);
+        lint_program(p, &cfg, &flow, entry)
+    }
+
+    #[test]
+    fn clean_program_has_no_lints() {
+        let mut b = ProgramBuilder::new();
+        b.ld(Reg(1), Reg(0), 0)
+            .addi(Reg(1), Reg(1), 1)
+            .st(Reg(0), 0, Reg(1))
+            .xend();
+        let mut entry = EntryCtx::from_args(&[(Reg(0), 128)]);
+        entry.mapped_bytes = Some(1024);
+        assert!(run(&b.build(), &entry).is_empty());
+    }
+
+    #[test]
+    fn runs_off_end_is_reported() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(0), 1); // no xend
+        let lints = run(&b.build(), &EntryCtx::default());
+        assert!(lints.contains(&Lint::RunsOffEnd { pc: 0 }));
+        assert!(lints.contains(&Lint::NoReachableCommit));
+    }
+
+    #[test]
+    fn abort_only_region_never_commits() {
+        let mut b = ProgramBuilder::new();
+        b.xabort(3);
+        let lints = run(&b.build(), &EntryCtx::default());
+        assert_eq!(lints, vec![Lint::NoReachableCommit]);
+    }
+
+    #[test]
+    fn conditional_commit_is_clean() {
+        let mut b = ProgramBuilder::new();
+        let abort = b.label();
+        b.branch(Cond::Eq, Reg(0), Reg(1), abort)
+            .xend()
+            .bind(abort)
+            .xabort(1);
+        let entry = EntryCtx::symbolic(&[Reg(0), Reg(1)]);
+        assert!(run(&b.build(), &entry).is_empty());
+    }
+
+    #[test]
+    fn dead_code_is_reported() {
+        let mut b = ProgramBuilder::new();
+        b.xend().li(Reg(0), 1).xend();
+        let lints = run(&b.build(), &EntryCtx::default());
+        assert_eq!(lints, vec![Lint::UnreachableCode { start: 1, end: 3 }]);
+    }
+
+    #[test]
+    fn use_before_def_is_reported() {
+        let mut b = ProgramBuilder::new();
+        b.mv(Reg(1), Reg(9)).xend();
+        let lints = run(&b.build(), &EntryCtx::symbolic(&[Reg(0)]));
+        assert_eq!(lints, vec![Lint::UseBeforeDef { pc: 0, reg: Reg(9) }]);
+    }
+
+    #[test]
+    fn defined_on_one_path_only_still_lints() {
+        let mut b = ProgramBuilder::new();
+        let skip = b.label();
+        b.branch(Cond::Eq, Reg(0), Reg(0), skip)
+            .li(Reg(5), 1)
+            .bind(skip)
+            .st(Reg(0), 0, Reg(5))
+            .xend();
+        let lints = run(&b.build(), &EntryCtx::symbolic(&[Reg(0)]));
+        assert_eq!(lints, vec![Lint::UseBeforeDef { pc: 2, reg: Reg(5) }]);
+    }
+
+    #[test]
+    fn null_and_out_of_range_accesses_are_reported() {
+        let mut b = ProgramBuilder::new();
+        b.ld(Reg(1), Reg(0), 0) // r0 = 0: the unmapped null line
+            .st(Reg(2), 0, Reg(1)) // r2 = way past mapped memory
+            .xend();
+        let mut entry = EntryCtx::from_args(&[(Reg(0), 0), (Reg(2), 1 << 20)]);
+        entry.mapped_bytes = Some(4096);
+        let lints = run(&b.build(), &entry);
+        assert_eq!(
+            lints,
+            vec![
+                Lint::AccessOutsideMapped {
+                    pc: 0,
+                    addr: 0,
+                    is_store: false
+                },
+                Lint::AccessOutsideMapped {
+                    pc: 1,
+                    addr: 1 << 20,
+                    is_store: true
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn misaligned_access_is_reported() {
+        let mut b = ProgramBuilder::new();
+        b.ld(Reg(1), Reg(0), 3).xend();
+        let entry = EntryCtx::from_args(&[(Reg(0), 64)]);
+        let lints = run(&b.build(), &entry);
+        assert_eq!(lints, vec![Lint::MisalignedAccess { pc: 0, addr: 67 }]);
+    }
+
+    #[test]
+    fn lints_render_readably() {
+        let samples = [
+            (Lint::RunsOffEnd { pc: 4 }, "pc 4"),
+            (Lint::NoReachableCommit, "never commit"),
+            (Lint::UnreachableCode { start: 2, end: 5 }, "pc 2..5"),
+            (Lint::UseBeforeDef { pc: 1, reg: Reg(7) }, "r7"),
+            (
+                Lint::AccessOutsideMapped {
+                    pc: 0,
+                    addr: 0,
+                    is_store: true,
+                },
+                "store to 0x0",
+            ),
+            (Lint::MisalignedAccess { pc: 2, addr: 67 }, "0x43"),
+        ];
+        for (lint, needle) in samples {
+            let s = lint.to_string();
+            assert!(s.contains(needle), "{s:?} should contain {needle:?}");
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Ahead-of-time sampling of a workload's atomic-region programs.
+//!
+//! Workloads stream [`ArInvocation`]s rather than exposing their programs
+//! directly, so the analyzer obtains one representative invocation per
+//! static AR by setting the workload up in a scratch [`Memory`] and
+//! pulling invocations round-robin across threads — *without executing
+//! anything*. Entry arguments are computed outside the AR by construction
+//! (they are indirection-free), so the first sampled invocation gives the
+//! analyzer a concrete, legitimate entry context for each AR.
+
+use crate::verdict::{analyze_program, ArAnalysis, EntryCtx, StaticBudget};
+use clear_isa::{ArInvocation, ArSpec, Program, Reg, Workload, WorkloadMeta};
+use clear_mem::{LineAddr, Memory};
+use std::sync::Arc;
+
+/// Default cap on invocation pulls while hunting for every AR.
+pub const DEFAULT_MAX_PULLS: usize = 10_000;
+
+/// One sampled invocation of a static AR.
+#[derive(Clone, Debug)]
+pub struct SampledAr {
+    /// The AR's static description.
+    pub spec: ArSpec,
+    /// The region program (shared with the workload).
+    pub program: Arc<Program>,
+    /// Entry register values of the sampled invocation.
+    pub args: Vec<(Reg, u64)>,
+    /// The invocation's a-priori footprint, when the workload declares
+    /// one (immutable ARs only).
+    pub declared_footprint: Option<Vec<LineAddr>>,
+}
+
+/// Everything sampled from one workload.
+#[derive(Debug)]
+pub struct WorkloadSample {
+    /// The workload's static description.
+    pub meta: WorkloadMeta,
+    /// Bytes of simulated memory mapped after setup.
+    pub mapped_bytes: u64,
+    /// One sample per AR, in [`WorkloadMeta::ars`] order.
+    pub ars: Vec<SampledAr>,
+}
+
+/// Samples one invocation of every AR the workload declares.
+///
+/// # Errors
+///
+/// Returns an error if some declared AR never appeared within
+/// `max_pulls` invocations (or before every thread ran dry), or if an
+/// invocation carries an AR id missing from the metadata.
+pub fn sample_workload(
+    workload: &mut dyn Workload,
+    threads: usize,
+    max_pulls: usize,
+) -> Result<WorkloadSample, String> {
+    let meta = workload.meta();
+    let mut mem = Memory::new();
+    workload.setup(&mut mem, threads);
+
+    let mut found: Vec<Option<SampledAr>> = vec![None; meta.ars.len()];
+    let mut missing = meta.ars.len();
+    let mut done = vec![false; threads];
+    let mut pulls = 0usize;
+
+    'outer: while missing > 0 && pulls < max_pulls {
+        let mut progressed = false;
+        for (tid, thread_done) in done.iter_mut().enumerate() {
+            if *thread_done {
+                continue;
+            }
+            let Some(inv) = workload.next_ar(tid, &mem) else {
+                *thread_done = true;
+                continue;
+            };
+            progressed = true;
+            pulls += 1;
+            record(&meta, &mut found, &mut missing, &inv)?;
+            if missing == 0 || pulls >= max_pulls {
+                break 'outer;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    let ars: Vec<SampledAr> = meta
+        .ars
+        .iter()
+        .zip(found)
+        .map(|(spec, s)| {
+            s.ok_or_else(|| {
+                format!(
+                    "workload {}: AR {} ({}) never produced an invocation in {pulls} pulls",
+                    meta.name, spec.id, spec.name
+                )
+            })
+        })
+        .collect::<Result<_, String>>()?;
+
+    Ok(WorkloadSample {
+        meta,
+        mapped_bytes: mem.allocated_bytes(),
+        ars,
+    })
+}
+
+fn record(
+    meta: &WorkloadMeta,
+    found: &mut [Option<SampledAr>],
+    missing: &mut usize,
+    inv: &ArInvocation,
+) -> Result<(), String> {
+    let idx = meta
+        .ars
+        .iter()
+        .position(|a| a.id == inv.ar)
+        .ok_or_else(|| {
+            format!(
+                "workload {}: invocation for undeclared AR {}",
+                meta.name, inv.ar
+            )
+        })?;
+    if found[idx].is_none() {
+        found[idx] = Some(SampledAr {
+            spec: meta.ars[idx].clone(),
+            program: Arc::clone(&inv.program),
+            args: inv.args.clone(),
+            declared_footprint: inv.static_footprint.clone(),
+        });
+        *missing -= 1;
+    }
+    Ok(())
+}
+
+/// The static analysis of one sampled AR.
+#[derive(Clone, Debug)]
+pub struct ArReport {
+    /// The AR's static description.
+    pub spec: ArSpec,
+    /// The analysis result.
+    pub analysis: ArAnalysis,
+    /// When the workload declares an a-priori footprint *and* the
+    /// analyzer resolved the footprint concretely: whether the two line
+    /// sets are identical. A `Some(false)` marks a workload defect (the
+    /// declared footprint is wrong) or an analyzer imprecision.
+    pub declared_footprint_matches: Option<bool>,
+}
+
+/// The static analysis of one whole workload.
+#[derive(Debug)]
+pub struct WorkloadReport {
+    /// Benchmark name.
+    pub name: String,
+    /// Bytes of simulated memory mapped after setup.
+    pub mapped_bytes: u64,
+    /// Per-AR reports, in metadata order.
+    pub ars: Vec<ArReport>,
+}
+
+/// Samples and analyzes every AR of a workload.
+///
+/// # Errors
+///
+/// Propagates sampling failures (an AR that never appears).
+pub fn analyze_workload(
+    workload: &mut dyn Workload,
+    threads: usize,
+    budget: &StaticBudget,
+) -> Result<WorkloadReport, String> {
+    let sample = sample_workload(workload, threads, DEFAULT_MAX_PULLS)?;
+    let ars = sample
+        .ars
+        .iter()
+        .map(|ar| {
+            let mut entry = EntryCtx::from_args(&ar.args);
+            entry.mapped_bytes = Some(sample.mapped_bytes);
+            let analysis = analyze_program(&ar.program, &entry, budget);
+            let declared_footprint_matches = match (&ar.declared_footprint, &analysis.footprint) {
+                (Some(declared), fp) if fp.concrete => {
+                    let mut d = declared.clone();
+                    d.sort_unstable();
+                    d.dedup();
+                    Some(d == fp.concrete_footprint)
+                }
+                _ => None,
+            };
+            ArReport {
+                spec: ar.spec.clone(),
+                analysis,
+                declared_footprint_matches,
+            }
+        })
+        .collect();
+    Ok(WorkloadReport {
+        name: sample.meta.name.clone(),
+        mapped_bytes: sample.mapped_bytes,
+        ars,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clear_isa::{ArId, Mutability, ProgramBuilder};
+
+    /// A two-AR toy workload: one AR per thread parity, thread 1 finite.
+    struct Toy {
+        programs: Vec<Arc<Program>>,
+        base: u64,
+        left: [usize; 2],
+    }
+
+    impl Toy {
+        fn new() -> Toy {
+            let mut a = ProgramBuilder::new();
+            a.st(Reg(0), 0, Reg(1)).xend();
+            let mut b = ProgramBuilder::new();
+            b.ld(Reg(1), Reg(0), 0).xend();
+            Toy {
+                programs: vec![Arc::new(a.build()), Arc::new(b.build())],
+                base: 0,
+                left: [3, 2],
+            }
+        }
+    }
+
+    impl Workload for Toy {
+        fn meta(&self) -> WorkloadMeta {
+            WorkloadMeta {
+                name: "toy".into(),
+                ars: vec![
+                    ArSpec {
+                        id: ArId(0),
+                        name: "store".into(),
+                        mutability: Mutability::Immutable,
+                    },
+                    ArSpec {
+                        id: ArId(1),
+                        name: "load".into(),
+                        mutability: Mutability::Immutable,
+                    },
+                ],
+            }
+        }
+
+        fn setup(&mut self, mem: &mut Memory, _threads: usize) {
+            self.base = mem.alloc_words(8).0;
+        }
+
+        fn next_ar(&mut self, tid: usize, _mem: &Memory) -> Option<ArInvocation> {
+            let t = tid.min(1);
+            if self.left[t] == 0 {
+                return None;
+            }
+            self.left[t] -= 1;
+            Some(ArInvocation {
+                ar: ArId(t as u32),
+                program: Arc::clone(&self.programs[t]),
+                args: vec![(Reg(0), self.base), (Reg(1), 7)],
+                think_cycles: 0,
+                static_footprint: Some(vec![clear_mem::Addr(self.base).line()]),
+            })
+        }
+    }
+
+    #[test]
+    fn sampling_finds_every_ar() {
+        let mut w = Toy::new();
+        let s = sample_workload(&mut w, 2, 100).unwrap();
+        assert_eq!(s.ars.len(), 2);
+        assert_eq!(s.ars[0].spec.id, ArId(0));
+        assert_eq!(s.ars[1].spec.id, ArId(1));
+        assert!(s.mapped_bytes > 0);
+    }
+
+    #[test]
+    fn sampling_reports_missing_ars() {
+        let mut w = Toy::new();
+        // Only thread 0 runs: AR1 never appears.
+        let err = sample_workload(&mut w, 1, 100).unwrap_err();
+        assert!(err.contains("AR1"), "{err}");
+    }
+
+    #[test]
+    fn analyze_workload_reports_every_ar() {
+        let mut w = Toy::new();
+        let r = analyze_workload(&mut w, 2, &StaticBudget::default()).unwrap();
+        assert_eq!(r.name, "toy");
+        assert_eq!(r.ars.len(), 2);
+        for ar in &r.ars {
+            assert_eq!(ar.analysis.verdict, crate::StaticVerdict::StaticImmutable);
+            assert!(ar.analysis.lints.is_empty());
+            assert_eq!(ar.declared_footprint_matches, Some(true));
+        }
+    }
+}

@@ -1,0 +1,691 @@
+//! Footprint bounding and the per-AR static verdict.
+//!
+//! This module mirrors the three discovery assessments of §4 ahead of
+//! time:
+//!
+//! * **Assessment 1 (overflow)** — the abstract footprint bound is
+//!   compared against the ALT capacity ([`StaticBudget::alt_entries`]);
+//! * **Assessment 2 (lockability)** — resolved footprints are checked for
+//!   simultaneous holdability against the directory geometry;
+//! * **Assessment 3 (immutability)** — the provenance dataflow proves the
+//!   absence (or stability) of indirections.
+//!
+//! The verdict lattice refines Table 1's static classes:
+//!
+//! * [`StaticVerdict::StaticImmutable`] — *proved* immutable: no address
+//!   or branch depends on a value loaded in the AR. Sound: a dynamic run
+//!   can never observe an indirection the analyzer missed.
+//! * [`StaticVerdict::LikelyImmutable`] — every indirection is one load
+//!   deep, from a slot the region itself never overwrites (Listing 2's
+//!   `users` pointer). Immutable unless a *concurrent* writer changes the
+//!   slot.
+//! * [`StaticVerdict::Indirect`] — the footprint hangs off multi-hop or
+//!   unstable indirections (Listing 3) and may change between retries.
+//! * [`StaticVerdict::NonConvertible`] — the bounded footprint cannot fit
+//!   the ALT (or is unbounded without indirection), so CLEAR would fall
+//!   back to speculative retries regardless of mutability.
+
+use crate::cfg::Cfg;
+use crate::dataflow::{AbsVal, Dataflow, Root};
+use crate::lint::{lint_program, Lint};
+use clear_core::{ClearConfig, ObservedClass};
+use clear_isa::{Mutability, Program, Reg};
+use clear_mem::{CacheGeometry, FxHashMap, FxHashSet, LineAddr, LINE_BYTES};
+use std::fmt;
+
+/// Entry context of one AR invocation: which registers are defined at
+/// `XBegin` and (when sampling a concrete invocation) their values.
+#[derive(Clone, Debug, Default)]
+pub struct EntryCtx {
+    /// Entry registers with their invocation values.
+    pub args: Vec<(Reg, u64)>,
+    /// `true` when the argument values are real and may be used to
+    /// resolve addresses concretely; `false` analyses the program purely
+    /// symbolically (registers defined, values unknown).
+    pub concrete: bool,
+    /// Bytes of simulated memory mapped at analysis time
+    /// ([`clear_mem::Memory::allocated_bytes`]); enables the
+    /// out-of-bounds access lints.
+    pub mapped_bytes: Option<u64>,
+}
+
+impl EntryCtx {
+    /// Context from concrete invocation arguments.
+    pub fn from_args(args: &[(Reg, u64)]) -> EntryCtx {
+        EntryCtx {
+            args: args.to_vec(),
+            concrete: true,
+            mapped_bytes: None,
+        }
+    }
+
+    /// Context with entry registers defined but values unknown.
+    pub fn symbolic(regs: &[Reg]) -> EntryCtx {
+        EntryCtx {
+            args: regs.iter().map(|&r| (r, 0)).collect(),
+            concrete: false,
+            mapped_bytes: None,
+        }
+    }
+
+    /// The registers defined at region entry.
+    pub fn regs(&self) -> Vec<Reg> {
+        self.args.iter().map(|&(r, _)| r).collect()
+    }
+
+    /// Concrete entry value of `reg`, when known.
+    pub fn value(&self, reg: Reg) -> Option<u64> {
+        if !self.concrete {
+            return None;
+        }
+        self.args.iter().find(|&&(r, _)| r == reg).map(|&(_, v)| v)
+    }
+}
+
+/// The hardware budgets the static analyzer bounds footprints against.
+#[derive(Clone, Copy, Debug)]
+pub struct StaticBudget {
+    /// ALT capacity in cachelines (Assessment 1).
+    pub alt_entries: usize,
+    /// Directory geometry for the lockability check (Assessment 2).
+    pub directory: CacheGeometry,
+}
+
+impl StaticBudget {
+    /// Budget from a CLEAR configuration and directory geometry.
+    pub fn from_config(cfg: &ClearConfig, directory: CacheGeometry) -> StaticBudget {
+        StaticBudget {
+            alt_entries: cfg.alt_entries,
+            directory,
+        }
+    }
+}
+
+impl Default for StaticBudget {
+    /// The paper's Table 2 defaults: 32-entry ALT, 8192-set 16-way
+    /// directory.
+    fn default() -> Self {
+        StaticBudget::from_config(&ClearConfig::default(), CacheGeometry::new(8192, 16))
+    }
+}
+
+/// A symbolically resolved byte address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum SymAddr {
+    /// Concrete byte address.
+    Abs(u64),
+    /// `entry_value(reg) + delta` for an unknown entry value.
+    Sym(Reg, u64),
+}
+
+impl SymAddr {
+    /// The cacheline key of the address. For symbolic addresses this
+    /// assumes the entry value is line-aligned (workload allocators are
+    /// line-aligned bump allocators); concrete addresses need no
+    /// assumption.
+    fn line_key(self) -> SymAddr {
+        match self {
+            SymAddr::Abs(a) => SymAddr::Abs(a / LINE_BYTES),
+            SymAddr::Sym(r, d) => SymAddr::Sym(r, d / LINE_BYTES),
+        }
+    }
+}
+
+/// Resolves an access site's base + offset to a symbolic byte address,
+/// when its provenance allows.
+fn resolve(base: AbsVal, offset: i64, entry: &EntryCtx) -> Option<SymAddr> {
+    let off = offset as u64; // wrapping two's-complement add
+    match base {
+        AbsVal::Const(c) => Some(SymAddr::Abs(c.wrapping_add(off))),
+        AbsVal::Entry { reg, delta } => match entry.value(reg) {
+            Some(v) => Some(SymAddr::Abs(v.wrapping_add(delta).wrapping_add(off))),
+            None => Some(SymAddr::Sym(reg, delta.wrapping_add(off))),
+        },
+        _ => None,
+    }
+}
+
+/// Abstract bound on the cachelines one region execution can touch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FootprintBound {
+    /// Upper bound on distinct accessed lines; `None` when a site with an
+    /// unresolved address sits inside a CFG cycle (unbounded).
+    pub lines: Option<usize>,
+    /// Upper bound on distinct written lines (same convention).
+    pub written_lines: Option<usize>,
+    /// Distinct lines with symbolically exact addresses.
+    pub exact_lines: usize,
+    /// Access sites whose address could not be resolved (each contributes
+    /// one line to the bound when outside cycles).
+    pub unknown_sites: usize,
+    /// `true` when every reachable access resolved to a concrete address:
+    /// the bound is then exact, not an over-approximation.
+    pub concrete: bool,
+    /// The exact line set, when [`FootprintBound::concrete`] (sorted).
+    pub concrete_footprint: Vec<LineAddr>,
+}
+
+/// Predicted Assessment-1 outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OverflowPrediction {
+    /// The footprint bound fits the ALT.
+    Fits,
+    /// The footprint bound exceeds the ALT: discovery will overflow.
+    Overflow,
+    /// Unbounded footprint: no prediction.
+    Unknown,
+}
+
+/// Predicted Assessment-2 outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockPrediction {
+    /// The footprint can be held (locked) simultaneously.
+    Lockable,
+    /// A directory set is provably oversubscribed.
+    Unlockable,
+    /// Cannot tell (unbounded or too abstract).
+    Unknown,
+}
+
+/// The per-AR static classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StaticVerdict {
+    /// Proved footprint-immutable (Listing 1): every address and branch is
+    /// computed from entry values and constants only.
+    StaticImmutable,
+    /// Immutable unless concurrently invalidated (Listing 2): indirections
+    /// are single-hop through slots this region never overwrites.
+    LikelyImmutable,
+    /// The footprint depends on unstable or multi-hop indirections
+    /// (Listing 3).
+    Indirect,
+    /// The footprint cannot fit CLEAR's structures, so conversion to
+    /// cacheline locking is off the table (Fig. 2 left edge).
+    NonConvertible,
+}
+
+impl StaticVerdict {
+    /// The Table 1 class this verdict corresponds to, when one exists.
+    /// `NonConvertible` is a *size* statement, orthogonal to mutability.
+    pub fn expected_mutability(self) -> Option<Mutability> {
+        match self {
+            StaticVerdict::StaticImmutable => Some(Mutability::Immutable),
+            StaticVerdict::LikelyImmutable => Some(Mutability::LikelyImmutable),
+            StaticVerdict::Indirect => Some(Mutability::Mutable),
+            StaticVerdict::NonConvertible => None,
+        }
+    }
+
+    /// `true` if a dynamic observation of `obs` is consistent with this
+    /// verdict:
+    ///
+    /// * proved-immutable ARs must be observed immutable — hardware
+    ///   discovery tracks exactly the indirections the analyzer proved
+    ///   absent, so anything else is an analyzer soundness bug;
+    /// * likely-immutable ARs carry a real indirection the hardware
+    ///   *will* see (observed mutable), unless the value never actually
+    ///   feeds an address on the taken path (observed immutable): both
+    ///   are consistent;
+    /// * indirect ARs should be observed mutable;
+    /// * non-convertible ARs should overflow or be unlockable.
+    pub fn agrees_with(self, obs: ObservedClass) -> bool {
+        match self {
+            StaticVerdict::StaticImmutable => obs == ObservedClass::Immutable,
+            StaticVerdict::LikelyImmutable => {
+                obs == ObservedClass::Immutable || obs == ObservedClass::Mutable
+            }
+            StaticVerdict::Indirect => obs == ObservedClass::Mutable,
+            StaticVerdict::NonConvertible => {
+                obs == ObservedClass::Overflowed || obs == ObservedClass::Unlockable
+            }
+        }
+    }
+
+    /// Stable short name used in reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            StaticVerdict::StaticImmutable => "static-immutable",
+            StaticVerdict::LikelyImmutable => "likely-immutable",
+            StaticVerdict::Indirect => "indirect",
+            StaticVerdict::NonConvertible => "non-convertible",
+        }
+    }
+
+    /// All verdicts, in lattice/report order.
+    pub const ALL: [StaticVerdict; 4] = [
+        StaticVerdict::StaticImmutable,
+        StaticVerdict::LikelyImmutable,
+        StaticVerdict::Indirect,
+        StaticVerdict::NonConvertible,
+    ];
+}
+
+impl fmt::Display for StaticVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Complete static analysis of one atomic-region program.
+#[derive(Clone, Debug)]
+pub struct ArAnalysis {
+    /// The classification.
+    pub verdict: StaticVerdict,
+    /// Instruction count.
+    pub instructions: usize,
+    /// Total basic blocks.
+    pub blocks: usize,
+    /// Blocks reachable from entry.
+    pub reachable_blocks: usize,
+    /// The abstract footprint bound.
+    pub footprint: FootprintBound,
+    /// Predicted Assessment-1 outcome.
+    pub overflow: OverflowPrediction,
+    /// Predicted Assessment-2 outcome.
+    pub lockability: LockPrediction,
+    /// Deepest load chain behind any address or branch.
+    pub max_depth: u8,
+    /// Reachable access sites whose base is an indirection.
+    pub indirect_sites: usize,
+    /// Reachable branches that depend on loaded values.
+    pub dependent_branches: usize,
+    /// Lint findings, in deterministic order.
+    pub lints: Vec<Lint>,
+}
+
+fn compute_footprint(flow: &Dataflow, entry: &EntryCtx) -> FootprintBound {
+    let mut exact: FxHashSet<SymAddr> = FxHashSet::default();
+    let mut exact_written: FxHashSet<SymAddr> = FxHashSet::default();
+    let mut unknown_sites = 0usize;
+    let mut unknown_written = 0usize;
+    let mut unbounded = false;
+    let mut unbounded_written = false;
+    let mut concrete = true;
+    let mut concrete_lines: FxHashSet<u64> = FxHashSet::default();
+
+    for site in &flow.accesses {
+        match resolve(site.base, site.offset, entry) {
+            Some(addr) => {
+                let key = addr.line_key();
+                exact.insert(key);
+                if site.is_store {
+                    exact_written.insert(key);
+                }
+                match addr {
+                    SymAddr::Abs(a) => {
+                        concrete_lines.insert(a / LINE_BYTES);
+                    }
+                    SymAddr::Sym(..) => concrete = false,
+                }
+            }
+            None => {
+                concrete = false;
+                if site.in_cycle {
+                    unbounded = true;
+                    if site.is_store {
+                        unbounded_written = true;
+                    }
+                } else {
+                    unknown_sites += 1;
+                    if site.is_store {
+                        unknown_written += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut footprint: Vec<LineAddr> = if concrete {
+        concrete_lines.iter().map(|&l| LineAddr(l)).collect()
+    } else {
+        Vec::new()
+    };
+    footprint.sort_unstable();
+
+    FootprintBound {
+        lines: (!unbounded).then_some(exact.len() + unknown_sites),
+        written_lines: (!unbounded_written).then_some(exact_written.len() + unknown_written),
+        exact_lines: exact.len(),
+        unknown_sites,
+        concrete,
+        concrete_footprint: footprint,
+    }
+}
+
+fn predict_overflow(fp: &FootprintBound, budget: &StaticBudget) -> OverflowPrediction {
+    match fp.lines {
+        None => OverflowPrediction::Unknown,
+        Some(n) if n > budget.alt_entries => OverflowPrediction::Overflow,
+        Some(_) => OverflowPrediction::Fits,
+    }
+}
+
+fn predict_lockability(fp: &FootprintBound, budget: &StaticBudget) -> LockPrediction {
+    if fp.concrete {
+        // Exact per-set occupancy test against the directory.
+        let mut per_set: FxHashMap<usize, usize> = FxHashMap::default();
+        for &line in &fp.concrete_footprint {
+            *per_set.entry(budget.directory.set_index(line)).or_insert(0) += 1;
+        }
+        if per_set.values().all(|&c| c <= budget.directory.ways) {
+            LockPrediction::Lockable
+        } else {
+            LockPrediction::Unlockable
+        }
+    } else {
+        match fp.lines {
+            // Worst case puts every line in one set: still lockable.
+            Some(n) if n <= budget.directory.ways => LockPrediction::Lockable,
+            _ => LockPrediction::Unknown,
+        }
+    }
+}
+
+/// `true` when a value is *stable* in the Listing-2 sense: either
+/// indirection-free, or loaded exactly once from a slot this region never
+/// overwrites (so it can only change under a concurrent writer).
+fn value_stable(
+    v: AbsVal,
+    flow: &Dataflow,
+    entry: &EntryCtx,
+    stored_slots: &FxHashSet<SymAddr>,
+) -> bool {
+    match v {
+        AbsVal::Loaded {
+            depth: 1,
+            root: Root::Site(p),
+        } => {
+            let Some(site) = flow.access_at(p as usize) else {
+                return false;
+            };
+            match resolve(site.base, site.offset, entry) {
+                Some(slot) => !stored_slots.contains(&slot),
+                None => false,
+            }
+        }
+        AbsVal::Loaded { .. } => false,
+        _ => true,
+    }
+}
+
+fn classify(
+    flow: &Dataflow,
+    entry: &EntryCtx,
+    fp: &FootprintBound,
+    overflow: OverflowPrediction,
+) -> StaticVerdict {
+    let any_indirect = flow.accesses.iter().any(|a| a.base.is_indirect())
+        || flow.branches.iter().any(|b| b.is_dependent());
+
+    if fp.lines.is_none() {
+        // Unbounded: a pointer/branch-driven loop is Indirect; a direct
+        // but unbounded region can never be captured by the ALT.
+        return if any_indirect {
+            StaticVerdict::Indirect
+        } else {
+            StaticVerdict::NonConvertible
+        };
+    }
+    if overflow == OverflowPrediction::Overflow {
+        return StaticVerdict::NonConvertible;
+    }
+    if !any_indirect {
+        return StaticVerdict::StaticImmutable;
+    }
+
+    // Word-granular addresses of stores with resolvable targets; stores
+    // through unresolved (loaded) bases are optimistically assumed to hit
+    // data, not pointer slots — that optimism is exactly what makes the
+    // verdict "likely" rather than proved.
+    let stored_slots: FxHashSet<SymAddr> = flow
+        .accesses
+        .iter()
+        .filter(|a| a.is_store)
+        .filter_map(|a| resolve(a.base, a.offset, entry))
+        .collect();
+
+    let stable = flow
+        .accesses
+        .iter()
+        .all(|a| value_stable(a.base, flow, entry, &stored_slots))
+        && flow.branches.iter().all(|b| {
+            value_stable(b.lhs, flow, entry, &stored_slots)
+                && value_stable(b.rhs, flow, entry, &stored_slots)
+        });
+
+    if stable {
+        StaticVerdict::LikelyImmutable
+    } else {
+        StaticVerdict::Indirect
+    }
+}
+
+/// Runs the full analysis pipeline over one atomic-region program.
+pub fn analyze_program(program: &Program, entry: &EntryCtx, budget: &StaticBudget) -> ArAnalysis {
+    let cfg = Cfg::build(program);
+    let flow = Dataflow::run(program, &entry.regs(), &cfg);
+    let footprint = compute_footprint(&flow, entry);
+    let overflow = predict_overflow(&footprint, budget);
+    let lockability = predict_lockability(&footprint, budget);
+    let verdict = classify(&flow, entry, &footprint, overflow);
+    let lints = lint_program(program, &cfg, &flow, entry);
+
+    ArAnalysis {
+        verdict,
+        instructions: program.len(),
+        blocks: cfg.blocks.len(),
+        reachable_blocks: cfg.reachable_blocks(),
+        indirect_sites: flow
+            .accesses
+            .iter()
+            .filter(|a| a.base.is_indirect())
+            .count(),
+        dependent_branches: flow.branches.iter().filter(|b| b.is_dependent()).count(),
+        max_depth: flow.max_depth,
+        footprint,
+        overflow,
+        lockability,
+        lints,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clear_isa::{Cond, ProgramBuilder};
+
+    fn ctx(args: &[(Reg, u64)]) -> EntryCtx {
+        EntryCtx::from_args(args)
+    }
+
+    #[test]
+    fn pure_register_region_is_static_immutable() {
+        let mut b = ProgramBuilder::new();
+        b.ld(Reg(1), Reg(0), 0)
+            .addi(Reg(1), Reg(1), 1)
+            .st(Reg(0), 0, Reg(1))
+            .st(Reg(0), 64, Reg(1))
+            .xend();
+        let a = analyze_program(&b.build(), &ctx(&[(Reg(0), 128)]), &StaticBudget::default());
+        assert_eq!(a.verdict, StaticVerdict::StaticImmutable);
+        assert_eq!(a.footprint.lines, Some(2));
+        assert_eq!(a.footprint.written_lines, Some(2));
+        assert!(a.footprint.concrete);
+        assert_eq!(
+            a.footprint.concrete_footprint,
+            vec![LineAddr(2), LineAddr(3)]
+        );
+        assert_eq!(a.overflow, OverflowPrediction::Fits);
+        assert_eq!(a.lockability, LockPrediction::Lockable);
+        assert!(a.lints.is_empty());
+    }
+
+    #[test]
+    fn single_hop_stable_pointer_is_likely_immutable() {
+        // Listing 2: base pointer loaded from a slot never stored here.
+        let mut b = ProgramBuilder::new();
+        b.ld(Reg(4), Reg(0), 0)
+            .add(Reg(5), Reg(4), Reg(1))
+            .ld(Reg(7), Reg(5), 0)
+            .addi(Reg(7), Reg(7), 1)
+            .st(Reg(5), 0, Reg(7))
+            .xend();
+        let a = analyze_program(
+            &b.build(),
+            &ctx(&[(Reg(0), 64), (Reg(1), 0)]),
+            &StaticBudget::default(),
+        );
+        assert_eq!(a.verdict, StaticVerdict::LikelyImmutable);
+        assert_eq!(a.max_depth, 1);
+        assert!(!a.footprint.concrete);
+    }
+
+    #[test]
+    fn overwritten_pointer_slot_demotes_to_indirect() {
+        // Same shape, but the region also stores to the pointer slot.
+        let mut b = ProgramBuilder::new();
+        b.ld(Reg(4), Reg(0), 0)
+            .ld(Reg(7), Reg(4), 0)
+            .st(Reg(0), 0, Reg(7))
+            .xend();
+        let a = analyze_program(&b.build(), &ctx(&[(Reg(0), 64)]), &StaticBudget::default());
+        assert_eq!(a.verdict, StaticVerdict::Indirect);
+    }
+
+    #[test]
+    fn pointer_chase_is_indirect() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        let out = b.label();
+        b.mv(Reg(1), Reg(0))
+            .li(Reg(2), 0)
+            .bind(top)
+            .branch(Cond::Ge, Reg(2), Reg(3), out)
+            .ld(Reg(1), Reg(1), 0)
+            .addi(Reg(2), Reg(2), 1)
+            .jmp(top)
+            .bind(out)
+            .xend();
+        let a = analyze_program(
+            &b.build(),
+            &ctx(&[(Reg(0), 64), (Reg(3), 8)]),
+            &StaticBudget::default(),
+        );
+        assert_eq!(a.verdict, StaticVerdict::Indirect);
+        assert_eq!(a.footprint.lines, None, "chase loop is unbounded");
+        assert_eq!(a.overflow, OverflowPrediction::Unknown);
+        assert_eq!(a.lockability, LockPrediction::Unknown);
+    }
+
+    #[test]
+    fn over_alt_region_is_non_convertible() {
+        // 40 distinct lines > the 32-entry ALT.
+        let mut b = ProgramBuilder::new();
+        for i in 0..40i64 {
+            b.st(Reg(0), i * 64, Reg(1));
+        }
+        b.xend();
+        let a = analyze_program(
+            &b.build(),
+            &ctx(&[(Reg(0), 64), (Reg(1), 7)]),
+            &StaticBudget::default(),
+        );
+        assert_eq!(a.verdict, StaticVerdict::NonConvertible);
+        assert_eq!(a.footprint.lines, Some(40));
+        assert_eq!(a.overflow, OverflowPrediction::Overflow);
+    }
+
+    #[test]
+    fn direct_unbounded_loop_is_non_convertible() {
+        // A direct-addressed loop whose trip count is a register: the
+        // address is re-derived per iteration through untracked
+        // arithmetic, so the bound is open-ended.
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        let out = b.label();
+        b.li(Reg(2), 0)
+            .bind(top)
+            .branch(Cond::Ge, Reg(2), Reg(3), out)
+            .alui(clear_isa::AluOp::Shl, Reg(4), Reg(2), 6)
+            .add(Reg(4), Reg(4), Reg(0))
+            .st(Reg(4), 0, Reg(2))
+            .addi(Reg(2), Reg(2), 1)
+            .jmp(top)
+            .bind(out)
+            .xend();
+        let a = analyze_program(
+            &b.build(),
+            &ctx(&[(Reg(0), 64), (Reg(3), 100)]),
+            &StaticBudget::default(),
+        );
+        assert_eq!(a.verdict, StaticVerdict::NonConvertible);
+        assert_eq!(a.footprint.lines, None);
+    }
+
+    #[test]
+    fn unlockable_concrete_footprint_is_detected() {
+        // A tiny 1-set 2-way directory: three distinct lines collide.
+        let budget = StaticBudget {
+            alt_entries: 32,
+            directory: CacheGeometry::new(1, 2),
+        };
+        let mut b = ProgramBuilder::new();
+        b.st(Reg(0), 0, Reg(1))
+            .st(Reg(0), 64, Reg(1))
+            .st(Reg(0), 128, Reg(1))
+            .xend();
+        let a = analyze_program(&b.build(), &ctx(&[(Reg(0), 64), (Reg(1), 1)]), &budget);
+        assert_eq!(a.lockability, LockPrediction::Unlockable);
+        // Size-wise it still fits the ALT, and it is proved immutable.
+        assert_eq!(a.verdict, StaticVerdict::StaticImmutable);
+    }
+
+    #[test]
+    fn verdict_agreement_matrix() {
+        use ObservedClass::*;
+        assert!(StaticVerdict::StaticImmutable.agrees_with(Immutable));
+        assert!(!StaticVerdict::StaticImmutable.agrees_with(Mutable));
+        assert!(StaticVerdict::LikelyImmutable.agrees_with(Immutable));
+        assert!(StaticVerdict::LikelyImmutable.agrees_with(Mutable));
+        assert!(!StaticVerdict::LikelyImmutable.agrees_with(Overflowed));
+        assert!(StaticVerdict::Indirect.agrees_with(Mutable));
+        assert!(!StaticVerdict::Indirect.agrees_with(Immutable));
+        assert!(StaticVerdict::NonConvertible.agrees_with(Overflowed));
+        assert!(StaticVerdict::NonConvertible.agrees_with(Unlockable));
+        assert!(!StaticVerdict::NonConvertible.agrees_with(Immutable));
+    }
+
+    #[test]
+    fn verdict_names_are_stable() {
+        let names: Vec<&str> = StaticVerdict::ALL.iter().map(|v| v.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "static-immutable",
+                "likely-immutable",
+                "indirect",
+                "non-convertible"
+            ]
+        );
+        assert_eq!(
+            StaticVerdict::StaticImmutable.expected_mutability(),
+            Some(Mutability::Immutable)
+        );
+        assert_eq!(StaticVerdict::NonConvertible.expected_mutability(), None);
+    }
+
+    #[test]
+    fn symbolic_entry_args_still_classify() {
+        // Without concrete values the same program classifies identically,
+        // only the footprint loses concreteness.
+        let mut b = ProgramBuilder::new();
+        b.ld(Reg(1), Reg(0), 0).st(Reg(0), 64, Reg(1)).xend();
+        let p = b.build();
+        let concrete = analyze_program(&p, &ctx(&[(Reg(0), 128)]), &StaticBudget::default());
+        let symbolic =
+            analyze_program(&p, &EntryCtx::symbolic(&[Reg(0)]), &StaticBudget::default());
+        assert_eq!(concrete.verdict, StaticVerdict::StaticImmutable);
+        assert_eq!(symbolic.verdict, concrete.verdict);
+        assert_eq!(concrete.footprint.lines, Some(2));
+    }
+}

@@ -1,8 +1,60 @@
 //! The discovery phase (§4.1/§4.2): learning an AR's footprint and
 //! mutability during its speculative execution.
 
-use crate::{Alt, ClearConfig};
+use crate::{Alt, ClearConfig, RetryMode};
 use clear_mem::{CacheGeometry, LineAddr};
+use std::fmt;
+
+/// The coarse dynamic class of one discovery decision, in the vocabulary
+/// shared with the static analyzer (`clear-analysis`): what the machine
+/// *observed* about an AR execution, comparable against what the analyzer
+/// *predicted* from program text alone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ObservedClass {
+    /// The footprint overflowed a core structure (ALT/L1/SQ) — the AR is
+    /// non-convertible (assessment 1).
+    Overflowed,
+    /// The footprint fit but cannot be simultaneously locked
+    /// (assessment 2).
+    Unlockable,
+    /// No indirections observed: the footprint is immutable on a retry
+    /// (assessment 3) — the AR is NS-CL eligible.
+    Immutable,
+    /// Indirections (or dependent branches) observed: the footprint can
+    /// mutate on a retry — at best S-CL.
+    Mutable,
+}
+
+impl ObservedClass {
+    /// The class implied by a Fig. 2 retry-mode decision. `Fallback` maps
+    /// to `Overflowed`: the retry policy only takes that path once the AR
+    /// cannot be converted.
+    pub fn from_mode(mode: RetryMode, immutable: bool) -> ObservedClass {
+        match mode {
+            RetryMode::NsCl => ObservedClass::Immutable,
+            RetryMode::SCl => ObservedClass::Mutable,
+            RetryMode::SpeculativeRetry | RetryMode::Fallback => {
+                if immutable {
+                    ObservedClass::Overflowed
+                } else {
+                    ObservedClass::Mutable
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for ObservedClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ObservedClass::Overflowed => "overflowed",
+            ObservedClass::Unlockable => "unlockable",
+            ObservedClass::Immutable => "immutable",
+            ObservedClass::Mutable => "mutable",
+        };
+        f.write_str(s)
+    }
+}
 
 /// The verdict of a completed discovery, feeding the Fig. 2 decision tree.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -20,6 +72,23 @@ pub struct DiscoveryAssessment {
     pub footprint: Vec<LineAddr>,
     /// The subset of the footprint that was written.
     pub written: Vec<LineAddr>,
+}
+
+impl DiscoveryAssessment {
+    /// Collapses the three assessments into the [`ObservedClass`]
+    /// vocabulary shared with the static analyzer, in the same priority
+    /// order as the Fig. 2 decision tree.
+    pub fn observed_class(&self) -> ObservedClass {
+        if self.overflowed {
+            ObservedClass::Overflowed
+        } else if !self.lockable {
+            ObservedClass::Unlockable
+        } else if self.immutable {
+            ObservedClass::Immutable
+        } else {
+            ObservedClass::Mutable
+        }
+    }
 }
 
 /// Per-execution discovery state.
@@ -242,6 +311,70 @@ mod tests {
         d.on_sq_overflow();
         assert!(d.overflowed());
         assert!(d.assess(|_| true).overflowed);
+    }
+
+    #[test]
+    fn observed_class_follows_decision_priority() {
+        let mut d = disc();
+        d.on_access(LineAddr(1), true, false);
+        assert_eq!(
+            d.assess(|_| true).observed_class(),
+            ObservedClass::Immutable
+        );
+        assert_eq!(
+            d.assess(|_| false).observed_class(),
+            ObservedClass::Unlockable
+        );
+        d.on_access(LineAddr(2), false, true);
+        assert_eq!(d.assess(|_| true).observed_class(), ObservedClass::Mutable);
+        d.on_sq_overflow();
+        assert_eq!(
+            d.assess(|_| true).observed_class(),
+            ObservedClass::Overflowed
+        );
+    }
+
+    #[test]
+    fn observed_class_from_mode_matches_decide() {
+        use crate::decide;
+        // Every (mode, immutable) pair recoverable from a Decision trace
+        // event maps back to a class consistent with the assessment that
+        // produced the mode.
+        for overflowed in [false, true] {
+            for lockable in [false, true] {
+                for immutable in [false, true] {
+                    let a = DiscoveryAssessment {
+                        overflowed,
+                        lockable,
+                        immutable,
+                        footprint: vec![],
+                        written: vec![],
+                    };
+                    let from_mode = ObservedClass::from_mode(decide(&a), immutable);
+                    let exact = a.observed_class();
+                    // Unlockable is indistinguishable from Overflowed at
+                    // the mode level (both retry speculatively).
+                    let expect = match exact {
+                        ObservedClass::Unlockable if immutable => ObservedClass::Overflowed,
+                        ObservedClass::Unlockable => ObservedClass::Mutable,
+                        ObservedClass::Overflowed if !immutable => ObservedClass::Mutable,
+                        c => c,
+                    };
+                    assert_eq!(
+                        from_mode, expect,
+                        "ov={overflowed} lk={lockable} im={immutable}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn observed_class_display() {
+        assert_eq!(ObservedClass::Overflowed.to_string(), "overflowed");
+        assert_eq!(ObservedClass::Unlockable.to_string(), "unlockable");
+        assert_eq!(ObservedClass::Immutable.to_string(), "immutable");
+        assert_eq!(ObservedClass::Mutable.to_string(), "mutable");
     }
 
     #[test]

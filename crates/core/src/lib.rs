@@ -57,5 +57,5 @@ pub use alt::{Alt, AltEntry, AltOverflow};
 pub use config::{ClearConfig, SclLockPolicy};
 pub use crt::Crt;
 pub use decision::{decide, RetryMode};
-pub use discovery::{Discovery, DiscoveryAssessment};
+pub use discovery::{Discovery, DiscoveryAssessment, ObservedClass};
 pub use ert::{Ert, ErtEntry};

@@ -11,9 +11,12 @@
 mod digest;
 mod figures;
 mod perf;
+mod statics;
 mod studies;
 mod tables;
 mod verify;
+
+pub use statics::analyze_output;
 
 use crate::golden::Tolerances;
 use crate::json::Json;
@@ -272,6 +275,16 @@ pub static EXPERIMENTS: &[Experiment] = &[
         }),
     },
     Experiment {
+        name: "static-agreement",
+        artifact: "static analyzer validation",
+        about: "ahead-of-time AR verdicts vs dynamic discovery observations",
+        run: statics::static_agreement,
+        golden: Some(GoldenSpec {
+            opts: SuiteOptions::default,
+            tolerances: GATED_TOLERANCES,
+        }),
+    },
+    Experiment {
         name: "verify",
         artifact: "install check",
         about: "atomicity invariants across the full benchmark grid",
@@ -361,7 +374,8 @@ mod tests {
                 "ablation",
                 "sle",
                 "sim-throughput",
-                "trace-digest"
+                "trace-digest",
+                "static-agreement"
             ]
         );
     }

@@ -1,0 +1,456 @@
+//! Static-analysis experiments: the `analyze` CLI backend and the
+//! `static-agreement` gate comparing ahead-of-time verdicts against
+//! dynamic discovery observations.
+//!
+//! The agreement gate holds the analyzer's soundness line as a
+//! regression check: a [`StaticVerdict::StaticImmutable`] AR must never
+//! produce a discovery decision with `immutable == false`. Any such
+//! observation counts as a failure (non-zero exit) *and* is pinned to
+//! zero in `goldens/static-agreement.json`.
+
+use super::{opts_json, size_str, ExperimentOutput};
+use crate::json::Json;
+use crate::pool;
+use crate::suite::SuiteOptions;
+use clear_analysis::{
+    analyze_workload, ArReport, LockPrediction, OverflowPrediction, StaticBudget, StaticVerdict,
+    WorkloadReport,
+};
+use clear_core::ObservedClass;
+use clear_machine::{Machine, Preset, TraceEvent};
+use clear_workloads::{by_name, Size, BENCHMARK_NAMES};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Sampling context pinned for the gate, matching `table1-measured`'s
+/// dynamic run: Small input, 16 cores, retry threshold 5, seed 5.
+const SAMPLE_THREADS: usize = 16;
+const SAMPLE_SEED: u64 = 5;
+
+/// Observed classes in fixed column order (also the majority tie-break).
+const OBSERVED: [ObservedClass; 4] = [
+    ObservedClass::Immutable,
+    ObservedClass::Mutable,
+    ObservedClass::Overflowed,
+    ObservedClass::Unlockable,
+];
+
+fn observed_idx(class: ObservedClass) -> usize {
+    OBSERVED
+        .iter()
+        .position(|&o| o == class)
+        .expect("in OBSERVED")
+}
+
+fn overflow_str(p: OverflowPrediction) -> &'static str {
+    match p {
+        OverflowPrediction::Fits => "fits",
+        OverflowPrediction::Overflow => "overflow",
+        OverflowPrediction::Unknown => "unknown",
+    }
+}
+
+fn lock_str(p: LockPrediction) -> &'static str {
+    match p {
+        LockPrediction::Lockable => "lockable",
+        LockPrediction::Unlockable => "unlockable",
+        LockPrediction::Unknown => "unknown",
+    }
+}
+
+/// Static side of the gate: sample and analyze one benchmark under the
+/// pinned context.
+fn static_side(name: &str) -> WorkloadReport {
+    analyze(name, Size::Small, SAMPLE_THREADS, SAMPLE_SEED)
+        .unwrap_or_else(|e| panic!("static analysis of {name} failed: {e}"))
+}
+
+/// Samples and statically analyzes one benchmark.
+fn analyze(name: &str, size: Size, threads: usize, seed: u64) -> Result<WorkloadReport, String> {
+    let mut w = by_name(name, size, seed).ok_or_else(|| format!("unknown benchmark {name}"))?;
+    analyze_workload(&mut *w, threads, &StaticBudget::default())
+}
+
+/// Dynamic side of the gate: per-AR counts of observed classes derived
+/// from every discovery decision of one traced run.
+fn dynamic_side(name: &str) -> HashMap<u32, [u64; 4]> {
+    let w = by_name(name, Size::Small, SAMPLE_SEED).expect("known benchmark");
+    let mut cfg = Preset::C.config(SAMPLE_THREADS, 5);
+    cfg.seed = SAMPLE_SEED;
+    let mut m = Machine::new(cfg, w);
+    m.enable_tracing();
+    m.run();
+    let mut per_ar: HashMap<u32, [u64; 4]> = HashMap::new();
+    for r in m.trace().records() {
+        if let TraceEvent::Decision {
+            ar,
+            mode,
+            immutable,
+            ..
+        } = &r.event
+        {
+            let class = ObservedClass::from_mode(*mode, *immutable);
+            per_ar.entry(ar.0).or_default()[observed_idx(class)] += 1;
+        }
+    }
+    per_ar
+}
+
+/// The observed class seen most often (ties break in `OBSERVED` order);
+/// `None` when the AR never reached a discovery decision.
+fn majority(counts: &[u64; 4]) -> Option<ObservedClass> {
+    let mut best = OBSERVED[0];
+    for &c in &OBSERVED[1..] {
+        if counts[observed_idx(c)] > counts[observed_idx(best)] {
+            best = c;
+        }
+    }
+    (counts[observed_idx(best)] > 0).then_some(best)
+}
+
+pub(super) fn static_agreement(opts: &SuiteOptions) -> ExperimentOutput {
+    let per_bench = pool::run_indexed(BENCHMARK_NAMES.len(), opts.workers, |i| {
+        let name = BENCHMARK_NAMES[i];
+        (static_side(name), dynamic_side(name))
+    });
+
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "=== static-agreement: ahead-of-time verdicts vs dynamic discovery ==="
+    );
+    let _ = writeln!(
+        text,
+        "{:14} {:16} {:18} {:18} {:>6} {:>9}  {:10} {:>5}",
+        "benchmark", "AR", "declared", "static verdict", "lines", "decisions", "majority", "agree"
+    );
+
+    let mut rows = Vec::new();
+    // confusion[verdict][observed-or-none]
+    let mut confusion = [[0u64; 5]; 4];
+    let mut ars = 0u64;
+    let mut with_decisions = 0u64;
+    let mut agreeing = 0u64;
+    let mut unsound = 0u64;
+
+    for (name, (report, dynamics)) in BENCHMARK_NAMES.iter().zip(&per_bench) {
+        for ar in &report.ars {
+            ars += 1;
+            let verdict = ar.analysis.verdict;
+            let counts = dynamics.get(&ar.spec.id.0).copied().unwrap_or_default();
+            let decisions: u64 = counts.iter().sum();
+            let maj = majority(&counts);
+            let agree = maj.map(|m| verdict.agrees_with(m));
+            let vi = StaticVerdict::ALL
+                .iter()
+                .position(|&v| v == verdict)
+                .expect("in ALL");
+            match maj {
+                Some(m) => {
+                    with_decisions += 1;
+                    confusion[vi][observed_idx(m)] += 1;
+                    if agree == Some(true) {
+                        agreeing += 1;
+                    }
+                }
+                None => confusion[vi][4] += 1,
+            }
+            if verdict == StaticVerdict::StaticImmutable {
+                // Soundness: every immutable==false observation of a
+                // proved-immutable AR is an analyzer bug.
+                unsound += counts[observed_idx(ObservedClass::Mutable)];
+            }
+
+            let lines_txt = match ar.analysis.footprint.lines {
+                Some(n) => n.to_string(),
+                None => "-".into(),
+            };
+            let _ = writeln!(
+                text,
+                "{:14} {:16} {:18} {:18} {:>6} {:>9}  {:10} {:>5}",
+                name,
+                ar.spec.name,
+                ar.spec.mutability.to_string(),
+                verdict.to_string(),
+                lines_txt,
+                decisions,
+                maj.map(|m| m.to_string()).unwrap_or_else(|| "-".into()),
+                match agree {
+                    Some(true) => "yes",
+                    Some(false) => "NO",
+                    None => "-",
+                },
+            );
+            rows.push(agreement_row_json(name, ar, &counts, decisions, maj, agree));
+        }
+    }
+
+    let agreement_pct = if with_decisions == 0 {
+        f64::NAN
+    } else {
+        100.0 * agreeing as f64 / with_decisions as f64
+    };
+    let _ = writeln!(
+        text,
+        "\nARs: {ars}   with decisions: {with_decisions}   agreeing: {agreeing} \
+         ({agreement_pct:.1}%)   unsound immutable observations: {unsound}"
+    );
+    let _ = writeln!(
+        text,
+        "note: non-convertible is an upper-bound prediction; a mutable majority \
+         means this run never reached the bound (imprecision, not unsoundness)."
+    );
+    let _ = writeln!(text, "\nconfusion (static verdict x observed majority):");
+    let _ = writeln!(
+        text,
+        "{:18} {:>10} {:>10} {:>10} {:>10} {:>6}",
+        "verdict", "immutable", "mutable", "overflowed", "unlockable", "none"
+    );
+    let mut confusion_json = Vec::new();
+    for (vi, verdict) in StaticVerdict::ALL.iter().enumerate() {
+        let c = &confusion[vi];
+        let _ = writeln!(
+            text,
+            "{:18} {:>10} {:>10} {:>10} {:>10} {:>6}",
+            verdict.name(),
+            c[0],
+            c[1],
+            c[2],
+            c[3],
+            c[4]
+        );
+        confusion_json.push(Json::obj([
+            ("verdict", Json::from(verdict.name())),
+            ("immutable", Json::from(c[0])),
+            ("mutable", Json::from(c[1])),
+            ("overflowed", Json::from(c[2])),
+            ("unlockable", Json::from(c[3])),
+            ("none", Json::from(c[4])),
+        ]));
+    }
+
+    let json = Json::obj([
+        ("experiment", Json::from("static-agreement")),
+        ("options", opts_json(opts)),
+        ("sample_threads", Json::from(SAMPLE_THREADS)),
+        ("sample_seed", Json::from(SAMPLE_SEED)),
+        ("rows", Json::Arr(rows)),
+        ("confusion", Json::Arr(confusion_json)),
+        ("ars", Json::from(ars)),
+        ("ars_with_decisions", Json::from(with_decisions)),
+        ("agreeing", Json::from(agreeing)),
+        ("agreement_pct", Json::from(agreement_pct)),
+        ("unsound_immutable_observations", Json::from(unsound)),
+    ]);
+    let mut out = ExperimentOutput::new(text, json);
+    out.failures = unsound as usize;
+    out
+}
+
+fn agreement_row_json(
+    name: &str,
+    ar: &ArReport,
+    counts: &[u64; 4],
+    decisions: u64,
+    maj: Option<ObservedClass>,
+    agree: Option<bool>,
+) -> Json {
+    Json::obj([
+        ("benchmark", Json::from(name)),
+        ("ar", Json::from(ar.spec.name.clone())),
+        ("declared", Json::from(ar.spec.mutability.to_string())),
+        ("verdict", Json::from(ar.analysis.verdict.name())),
+        (
+            "lines",
+            ar.analysis
+                .footprint
+                .lines
+                .map(Json::from)
+                .unwrap_or(Json::Null),
+        ),
+        ("max_depth", Json::from(u64::from(ar.analysis.max_depth))),
+        ("overflow", Json::from(overflow_str(ar.analysis.overflow))),
+        ("lockability", Json::from(lock_str(ar.analysis.lockability))),
+        ("decisions", Json::from(decisions)),
+        (
+            "observed",
+            Json::obj([
+                ("immutable", Json::from(counts[0])),
+                ("mutable", Json::from(counts[1])),
+                ("overflowed", Json::from(counts[2])),
+                ("unlockable", Json::from(counts[3])),
+            ]),
+        ),
+        (
+            "majority",
+            maj.map(|m| Json::from(m.to_string())).unwrap_or(Json::Null),
+        ),
+        ("agree", agree.map(Json::from).unwrap_or(Json::Null)),
+    ])
+}
+
+/// Backend of `clear-harness analyze <workload>`: full per-AR static
+/// report for one benchmark, or for every registered benchmark when
+/// `name` is `all`. Uses the CLI's size/cores/seed, so the same command
+/// inspects any input scale.
+///
+/// # Errors
+///
+/// Reports unknown benchmark names and sampling failures (an AR that
+/// never appears within the pull budget at this size/thread count).
+pub fn analyze_output(name: &str, opts: &SuiteOptions) -> Result<ExperimentOutput, String> {
+    let names: Vec<&str> = if name == "all" {
+        BENCHMARK_NAMES.to_vec()
+    } else {
+        vec![*BENCHMARK_NAMES
+            .iter()
+            .find(|&&n| n == name)
+            .ok_or_else(|| format!("unknown benchmark {name} (try `all`)"))?]
+    };
+    let seed = opts.seeds[0];
+    let reports = names
+        .iter()
+        .map(|n| analyze(n, opts.size, opts.cores, seed))
+        .collect::<Result<Vec<_>, String>>()?;
+
+    let mut text = String::new();
+    let mut workloads = Vec::new();
+    for report in &reports {
+        let _ = writeln!(
+            text,
+            "=== static analysis of {} ({} input, {} threads, seed {}) ===",
+            report.name,
+            size_str(opts.size),
+            opts.cores,
+            seed
+        );
+        let _ = writeln!(text, "mapped memory: {} bytes", report.mapped_bytes);
+        let _ = writeln!(
+            text,
+            "{:16} {:18} {:18} {:>6} {:>6} {:>6} {:>9} {:>11}",
+            "AR", "declared", "verdict", "insns", "blocks", "lines", "overflow", "lockability"
+        );
+        let mut ars = Vec::new();
+        for ar in &report.ars {
+            let lines_txt = match ar.analysis.footprint.lines {
+                Some(n) => n.to_string(),
+                None => "-".into(),
+            };
+            let _ = writeln!(
+                text,
+                "{:16} {:18} {:18} {:>6} {:>6} {:>6} {:>9} {:>11}",
+                ar.spec.name,
+                ar.spec.mutability.to_string(),
+                ar.analysis.verdict.to_string(),
+                ar.analysis.instructions,
+                ar.analysis.blocks,
+                lines_txt,
+                overflow_str(ar.analysis.overflow),
+                lock_str(ar.analysis.lockability),
+            );
+            for lint in &ar.analysis.lints {
+                let _ = writeln!(text, "    lint: {lint}");
+            }
+            ars.push(analyze_ar_json(ar));
+        }
+        let _ = writeln!(text);
+        workloads.push(Json::obj([
+            ("benchmark", Json::from(report.name.clone())),
+            ("mapped_bytes", Json::from(report.mapped_bytes)),
+            ("ars", Json::Arr(ars)),
+        ]));
+    }
+
+    let lint_count: usize = reports
+        .iter()
+        .flat_map(|r| &r.ars)
+        .map(|a| a.analysis.lints.len())
+        .sum();
+    let json = Json::obj([
+        ("command", Json::from("analyze")),
+        ("options", opts_json(opts)),
+        ("workloads", Json::Arr(workloads)),
+        ("lints", Json::from(lint_count)),
+    ]);
+    let mut out = ExperimentOutput::new(text, json);
+    // A lint in a registered workload is a defect: fail the invocation.
+    out.failures = lint_count;
+    Ok(out)
+}
+
+fn analyze_ar_json(ar: &ArReport) -> Json {
+    let fp = &ar.analysis.footprint;
+    let opt = |v: Option<usize>| v.map(Json::from).unwrap_or(Json::Null);
+    Json::obj([
+        ("id", Json::from(u64::from(ar.spec.id.0))),
+        ("ar", Json::from(ar.spec.name.clone())),
+        ("declared", Json::from(ar.spec.mutability.to_string())),
+        ("verdict", Json::from(ar.analysis.verdict.name())),
+        ("instructions", Json::from(ar.analysis.instructions)),
+        ("blocks", Json::from(ar.analysis.blocks)),
+        ("reachable_blocks", Json::from(ar.analysis.reachable_blocks)),
+        ("lines", opt(fp.lines)),
+        ("written_lines", opt(fp.written_lines)),
+        ("exact_lines", Json::from(fp.exact_lines)),
+        ("unknown_sites", Json::from(fp.unknown_sites)),
+        ("concrete", Json::from(fp.concrete)),
+        ("max_depth", Json::from(u64::from(ar.analysis.max_depth))),
+        ("indirect_sites", Json::from(ar.analysis.indirect_sites)),
+        (
+            "dependent_branches",
+            Json::from(ar.analysis.dependent_branches),
+        ),
+        ("overflow", Json::from(overflow_str(ar.analysis.overflow))),
+        ("lockability", Json::from(lock_str(ar.analysis.lockability))),
+        (
+            "lints",
+            Json::arr(ar.analysis.lints.iter().map(|l| Json::from(l.to_string()))),
+        ),
+        (
+            "declared_footprint_matches",
+            ar.declared_footprint_matches
+                .map(Json::from)
+                .unwrap_or(Json::Null),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> SuiteOptions {
+        SuiteOptions {
+            size: Size::Tiny,
+            cores: 4,
+            seeds: vec![1],
+            retry_sweep: vec![5],
+            benchmarks: vec!["mwobject"],
+            workers: 2,
+        }
+    }
+
+    #[test]
+    fn analyze_reports_one_workload() {
+        let out = analyze_output("mwobject", &tiny_opts()).unwrap();
+        assert!(out.text.contains("static analysis of mwobject"));
+        assert_eq!(out.failures, 0, "registered workload has lints");
+        let Json::Obj(fields) = &out.json else {
+            panic!("not an object")
+        };
+        assert!(fields.iter().any(|(k, _)| k == "workloads"));
+    }
+
+    #[test]
+    fn analyze_rejects_unknown_names() {
+        let err = analyze_output("no-such-benchmark", &tiny_opts()).unwrap_err();
+        assert!(err.contains("unknown benchmark"), "{err}");
+    }
+
+    #[test]
+    fn majority_breaks_ties_and_handles_empty() {
+        assert_eq!(majority(&[0, 0, 0, 0]), None);
+        assert_eq!(majority(&[2, 2, 0, 0]), Some(ObservedClass::Immutable));
+        assert_eq!(majority(&[0, 1, 5, 0]), Some(ObservedClass::Overflowed));
+    }
+}

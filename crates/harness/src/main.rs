@@ -5,11 +5,12 @@
 //! clear-harness list
 //! clear-harness run <name>|all [suite options] [--json]
 //! clear-harness trace <workload> [suite options] [--chrome FILE] [--events N] [--json]
+//! clear-harness analyze <workload>|all [suite options] [--json]
 //! clear-harness golden update [names...]
 //! clear-harness check [names...]
 //! ```
 
-use clear_harness::experiments::{find, Experiment, EXPERIMENTS};
+use clear_harness::experiments::{analyze_output, find, Experiment, EXPERIMENTS};
 use clear_harness::json::Json;
 use clear_harness::{golden, trace_export, SuiteOptions};
 use clear_machine::Preset;
@@ -21,6 +22,7 @@ fn usage() -> ! {
          [--sweep full|quick|none] [--bench NAME] [--workers N] [--json]\n  \
          clear-harness trace <workload> [--size ...] [--cores N] [--seeds N]\n      \
          [--chrome FILE] [--events N] [--json]\n  \
+         clear-harness analyze <workload>|all [--size ...] [--cores N] [--seeds N] [--json]\n  \
          clear-harness golden update [names...]\n  clear-harness check [names...]"
     );
     std::process::exit(2);
@@ -32,6 +34,7 @@ fn main() {
         Some("list") => list(),
         Some("run") => run(&args[1..]),
         Some("trace") => trace(&args[1..]),
+        Some("analyze") => analyze(&args[1..]),
         Some("golden") if args.get(1).map(String::as_str) == Some("update") => update(&args[2..]),
         Some("check") => check(&args[1..]),
         _ => usage(),
@@ -112,6 +115,34 @@ fn trace(args: &[String]) {
         print!("{}", trace_export::timeline_text(&m, events_limit));
         println!();
         print!("{}", metrics.to_text());
+    }
+}
+
+/// `clear-harness analyze <workload>|all`: ahead-of-time static analysis
+/// of every AR a workload registers — verdicts, footprint bounds and
+/// lints — without executing anything. Exits non-zero when a lint fires.
+fn analyze(args: &[String]) {
+    let Some(workload) = args.first() else {
+        usage()
+    };
+    let mut rest: Vec<String> = args[1..].to_vec();
+    let as_json = rest
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| rest.remove(i))
+        .is_some();
+    let opts = SuiteOptions::from_arg_slice(&rest);
+    let out = analyze_output(workload, &opts).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    if as_json {
+        println!("{}", out.json.to_pretty());
+    } else {
+        print!("{}", out.text);
+    }
+    if out.failures > 0 {
+        std::process::exit(1);
     }
 }
 

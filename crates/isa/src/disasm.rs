@@ -1,6 +1,9 @@
-//! Disassembly: human-readable rendering of instructions and programs.
+//! Disassembly: human-readable rendering of instructions and programs,
+//! and the inverse parser that reassembles a disassembly listing back
+//! into a [`Program`].
 
-use crate::{AluOp, Cond, Instr, Program};
+use crate::{AluOp, Cond, Instr, Program, ProgramBuilder, Reg};
+use std::collections::HashMap;
 use std::fmt;
 
 impl fmt::Display for AluOp {
@@ -99,6 +102,262 @@ impl Program {
     }
 }
 
+/// Parses one line of [`Program::disassemble`] output back into its
+/// instruction and optional branch-target pc.
+fn parse_line(line: &str) -> Result<(Instr, Option<usize>), String> {
+    let err = |msg: &str| format!("{msg} in {line:?}");
+    let reg = |tok: &str| -> Result<Reg, String> {
+        let n: u8 = tok
+            .strip_prefix('r')
+            .ok_or_else(|| err("expected register"))?
+            .parse()
+            .map_err(|_| err("bad register index"))?;
+        Ok(Reg(n))
+    };
+    // Split off a trailing "-> @N" target, if any.
+    let (body, target) = match line.split_once("->") {
+        Some((body, t)) => {
+            let pc: usize = t
+                .trim()
+                .strip_prefix('@')
+                .ok_or_else(|| err("expected @pc target"))?
+                .parse()
+                .map_err(|_| err("bad target pc"))?;
+            (body.trim(), Some(pc))
+        }
+        None => (line.trim(), None),
+    };
+    let (mnemonic, rest) = body.split_once(' ').unwrap_or((body, ""));
+    let ops: Vec<&str> = rest
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    let alu = |name: &str| -> Option<AluOp> {
+        Some(match name {
+            "add" => AluOp::Add,
+            "sub" => AluOp::Sub,
+            "mul" => AluOp::Mul,
+            "and" => AluOp::And,
+            "or" => AluOp::Or,
+            "xor" => AluOp::Xor,
+            "shl" => AluOp::Shl,
+            "shr" => AluOp::Shr,
+            "rem" => AluOp::Rem,
+            _ => return None,
+        })
+    };
+    let cond = |name: &str| -> Option<Cond> {
+        Some(match name {
+            "beq" => Cond::Eq,
+            "bne" => Cond::Ne,
+            "blt" => Cond::Lt,
+            "bge" => Cond::Ge,
+            _ => return None,
+        })
+    };
+    // "[rN+off]" / "[rN-off]" memory operand.
+    let mem_operand = |tok: &str| -> Result<(Reg, i64), String> {
+        let inner = tok
+            .strip_prefix('[')
+            .and_then(|t| t.strip_suffix(']'))
+            .ok_or_else(|| err("expected [base+offset]"))?;
+        let split = inner[1..]
+            .find(['+', '-'])
+            .map(|i| i + 1)
+            .ok_or_else(|| err("expected signed offset"))?;
+        let base = reg(&inner[..split])?;
+        let offset: i64 = inner[split..].parse().map_err(|_| err("bad byte offset"))?;
+        Ok((base, offset))
+    };
+    let want = |n: usize| -> Result<(), String> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err("wrong operand count"))
+        }
+    };
+    let instr = match mnemonic {
+        "li" => {
+            want(2)?;
+            Instr::Li {
+                rd: reg(ops[0])?,
+                imm: ops[1].parse().map_err(|_| err("bad immediate"))?,
+            }
+        }
+        "mv" => {
+            want(2)?;
+            Instr::Mv {
+                rd: reg(ops[0])?,
+                rs: reg(ops[1])?,
+            }
+        }
+        "ld" => {
+            want(2)?;
+            let (base, offset) = mem_operand(ops[1])?;
+            Instr::Ld {
+                rd: reg(ops[0])?,
+                base,
+                offset,
+            }
+        }
+        "st" => {
+            want(2)?;
+            let (base, offset) = mem_operand(ops[0])?;
+            Instr::St {
+                base,
+                offset,
+                src: reg(ops[1])?,
+            }
+        }
+        "compute" => {
+            want(1)?;
+            Instr::Nop {
+                cycles: ops[0].parse().map_err(|_| err("bad cycle count"))?,
+            }
+        }
+        "xend" => {
+            want(0)?;
+            Instr::XEnd
+        }
+        "xabort" => {
+            want(1)?;
+            Instr::XAbort {
+                code: ops[0].parse().map_err(|_| err("bad abort code"))?,
+            }
+        }
+        "jmp" => {
+            want(0)?;
+            // Target is attached by the caller; emit a placeholder label.
+            return Ok((
+                Instr::Jmp {
+                    target: crate::Label(0),
+                },
+                Some(target.ok_or_else(|| err("jmp without target"))?),
+            ));
+        }
+        m => {
+            if let Some(op) = alu(m) {
+                want(3)?;
+                let rd = reg(ops[0])?;
+                let rs = reg(ops[1])?;
+                if ops[2].starts_with('r') {
+                    Instr::Alu {
+                        op,
+                        rd,
+                        rs1: rs,
+                        rs2: reg(ops[2])?,
+                    }
+                } else {
+                    Instr::AluImm {
+                        op,
+                        rd,
+                        rs,
+                        imm: ops[2].parse().map_err(|_| err("bad immediate"))?,
+                    }
+                }
+            } else if let Some(c) = cond(m) {
+                want(2)?;
+                return Ok((
+                    Instr::Branch {
+                        cond: c,
+                        rs1: reg(ops[0])?,
+                        rs2: reg(ops[1])?,
+                        target: crate::Label(0),
+                    },
+                    Some(target.ok_or_else(|| err("branch without target"))?),
+                ));
+            } else {
+                return Err(err("unknown mnemonic"));
+            }
+        }
+    };
+    if target.is_some() {
+        return Err(err("unexpected target"));
+    }
+    Ok((instr, None))
+}
+
+/// Reassembles a [`Program::disassemble`] listing into a [`Program`].
+///
+/// The parser accepts exactly the surface the disassembler emits: one
+/// `pc: instr` line per instruction, branch and jump targets given as
+/// resolved `@pc` indices. Together with [`Program::disassemble`] this
+/// forms a round-trip (`parse_program(p.disassemble())` disassembles back
+/// to the identical text), which keeps the disassembly a faithful surface
+/// for analyzer diagnostics.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on malformed input,
+/// out-of-range targets, or non-contiguous pc numbering.
+///
+/// # Examples
+///
+/// ```
+/// use clear_isa::{parse_program, ProgramBuilder, Reg};
+///
+/// let mut b = ProgramBuilder::new();
+/// b.li(Reg(1), 7).st(Reg(0), 8, Reg(1)).xend();
+/// let text = b.build().disassemble();
+/// let p = parse_program(&text).unwrap();
+/// assert_eq!(p.disassemble(), text);
+/// ```
+pub fn parse_program(text: &str) -> Result<Program, String> {
+    let mut parsed: Vec<(Instr, Option<usize>)> = Vec::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (pc_str, body) = line
+            .split_once(':')
+            .ok_or_else(|| format!("missing pc prefix in {line:?}"))?;
+        let pc: usize = pc_str
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad pc in {line:?}"))?;
+        if pc != parsed.len() {
+            return Err(format!("non-contiguous pc {pc} in {line:?}"));
+        }
+        parsed.push(parse_line(body.trim())?);
+    }
+    if parsed.is_empty() {
+        return Err("empty listing".into());
+    }
+    let n = parsed.len();
+    let mut b = ProgramBuilder::new();
+    let mut labels: HashMap<usize, crate::Label> = HashMap::new();
+    for target in parsed.iter().filter_map(|(_, t)| *t) {
+        if target > parsed.len() {
+            return Err(format!("target @{target} out of range"));
+        }
+        labels.entry(target).or_insert_with(|| b.label());
+    }
+    for (pc, (instr, target)) in parsed.into_iter().enumerate() {
+        if let Some(l) = labels.get(&pc) {
+            b.bind(*l);
+        }
+        match (instr, target) {
+            (Instr::Jmp { .. }, Some(t)) => {
+                b.jmp(labels[&t]);
+            }
+            (Instr::Branch { cond, rs1, rs2, .. }, Some(t)) => {
+                b.branch(cond, rs1, rs2, labels[&t]);
+            }
+            (i, None) => {
+                b.push(i);
+            }
+            (i, Some(_)) => unreachable!("non-control instruction {i} with target"),
+        }
+    }
+    // A target one past the last instruction is representable (a label
+    // bound after the final emit); bind it so build() succeeds.
+    if let Some(l) = labels.get(&n) {
+        b.bind(*l);
+    }
+    Ok(b.build())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,5 +437,64 @@ mod tests {
         let text = b.build().disassemble();
         assert!(text.contains("beq r1, r2 -> @2"), "{text}");
         assert!(text.lines().count() == 3);
+    }
+
+    #[test]
+    fn parse_round_trips_every_instruction_shape() {
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        let done = b.label();
+        b.bind(top)
+            .li(Reg(0), 7)
+            .mv(Reg(1), Reg(0))
+            .alu(AluOp::Xor, Reg(2), Reg(0), Reg(1))
+            .alui(AluOp::Add, Reg(3), Reg(2), 12)
+            .ld(Reg(4), Reg(0), -8)
+            .st(Reg(0), 16, Reg(4))
+            .branch(Cond::Lt, Reg(1), Reg(2), done)
+            .compute(5)
+            .jmp(top)
+            .bind(done)
+            .xabort(3)
+            .xend();
+        let p = b.build();
+        let text = p.disassemble();
+        let q = parse_program(&text).expect("parses");
+        // Label *numbering* may differ (labels are renamed in order of
+        // first use), so compare the resolved control flow, not structure.
+        assert_eq!(q.len(), p.len());
+        for pc in 0..p.len() {
+            assert_eq!(q.successors(pc), p.successors(pc), "pc {pc}");
+        }
+        assert_eq!(q.disassemble(), text);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_program("").is_err());
+        assert!(parse_program("0: frob r1").is_err());
+        assert!(parse_program("0: li r1").is_err());
+        assert!(parse_program("0: jmp\n1: xend").is_err(), "jmp sans target");
+        assert!(parse_program("1: xend").is_err(), "non-contiguous pc");
+        assert!(
+            parse_program("0: jmp -> @9\n1: xend").is_err(),
+            "oob target"
+        );
+        assert!(parse_program("xend").is_err(), "missing pc prefix");
+        assert!(parse_program("0: ld r1, [r0*4]").is_err(), "bad operand");
+    }
+
+    #[test]
+    fn parse_accepts_end_of_program_target() {
+        // A branch to one-past-the-last-instruction is representable by
+        // the builder; the parser must accept it too.
+        let mut b = ProgramBuilder::new();
+        let end = b.label();
+        b.branch(Cond::Eq, Reg(0), Reg(0), end).xend().bind(end);
+        let p = b.build();
+        let text = p.disassemble();
+        assert!(text.contains("-> @2"), "{text}");
+        let q = parse_program(&text).expect("parses");
+        assert_eq!(q.disassemble(), text);
     }
 }

@@ -203,6 +203,19 @@ pub enum Instr {
     },
 }
 
+impl Instr {
+    /// `true` if control never falls through to the next sequential
+    /// instruction (`XEnd`, `XAbort`, `Jmp`).
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Instr::XEnd | Instr::XAbort { .. } | Instr::Jmp { .. })
+    }
+
+    /// `true` if this instruction ends the atomic region (`XEnd`/`XAbort`).
+    pub fn ends_region(&self) -> bool {
+        matches!(self, Instr::XEnd | Instr::XAbort { .. })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -65,7 +65,8 @@ mod program;
 mod vm;
 mod workload;
 
+pub use disasm::parse_program;
 pub use instr::{AluOp, Cond, Instr, Label, Reg, NUM_REGS};
-pub use program::{Program, ProgramBuilder};
+pub use program::{Program, ProgramBuilder, Successors};
 pub use vm::{Effect, Vm, VmState};
 pub use workload::{ArId, ArInvocation, ArSpec, Mutability, Workload, WorkloadMeta};

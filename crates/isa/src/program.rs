@@ -43,6 +43,65 @@ impl Program {
     pub fn is_empty(&self) -> bool {
         self.instrs.is_empty()
     }
+
+    /// The full instruction stream, in program order.
+    ///
+    /// Branch targets inside the returned instructions are [`Label`]s;
+    /// resolve them with [`Program::resolve`]. Static analyses (CFG
+    /// recovery, dataflow) walk this slice instead of calling
+    /// [`Program::fetch`] per pc.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Control-flow successors of the instruction at `pc`.
+    ///
+    /// A fall-through successor equal to [`Program::len`] means control
+    /// runs off the end of the program — the VM panics on that, and the
+    /// static lint pass reports it as an unbalanced atomic region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    pub fn successors(&self, pc: usize) -> Successors {
+        match self.instrs[pc] {
+            Instr::XEnd | Instr::XAbort { .. } => Successors {
+                fall_through: None,
+                target: None,
+            },
+            Instr::Jmp { target } => Successors {
+                fall_through: None,
+                target: Some(self.resolve(target)),
+            },
+            Instr::Branch { target, .. } => Successors {
+                fall_through: Some(pc + 1),
+                target: Some(self.resolve(target)),
+            },
+            _ => Successors {
+                fall_through: Some(pc + 1),
+                target: None,
+            },
+        }
+    }
+}
+
+/// The (at most two) control-flow successors of one instruction.
+///
+/// Produced by [`Program::successors`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Successors {
+    /// The next sequential pc, when control can fall through. May equal
+    /// the program length for a malformed program that runs off its end.
+    pub fall_through: Option<usize>,
+    /// The resolved branch/jump target, when the instruction has one.
+    pub target: Option<usize>,
+}
+
+impl Successors {
+    /// Iterates the successors in (fall-through, target) order.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        self.fall_through.into_iter().chain(self.target)
+    }
 }
 
 /// Incrementally builds a [`Program`], resolving forward label references.
@@ -275,6 +334,64 @@ mod tests {
         assert_eq!(*p.fetch(1), Instr::XEnd);
         assert_eq!(p.len(), 2);
         assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn successors_cover_all_shapes() {
+        let mut b = ProgramBuilder::new();
+        let done = b.label();
+        b.li(Reg(0), 1) // 0: falls through
+            .branch(Cond::Eq, Reg(0), Reg(1), done) // 1: fall + target
+            .jmp(done) // 2: target only
+            .bind(done)
+            .xend(); // 3: none
+        let p = b.build();
+        assert_eq!(
+            p.successors(0),
+            Successors {
+                fall_through: Some(1),
+                target: None
+            }
+        );
+        assert_eq!(
+            p.successors(1),
+            Successors {
+                fall_through: Some(2),
+                target: Some(3)
+            }
+        );
+        assert_eq!(p.successors(1).iter().collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(
+            p.successors(2),
+            Successors {
+                fall_through: None,
+                target: Some(3)
+            }
+        );
+        assert_eq!(p.successors(3).iter().count(), 0);
+    }
+
+    #[test]
+    fn fall_through_off_end_is_visible() {
+        let mut b = ProgramBuilder::new();
+        b.xabort(1).li(Reg(0), 1);
+        let p = b.build();
+        // The trailing li falls through past the end; the lint pass
+        // reports this (the block is also unreachable).
+        assert_eq!(p.successors(1).fall_through, Some(2));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn instrs_exposes_stream() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(3), 9).xend();
+        let p = b.build();
+        assert_eq!(p.instrs().len(), 2);
+        assert!(matches!(p.instrs()[0], Instr::Li { .. }));
+        assert!(p.instrs()[1].ends_region());
+        assert!(p.instrs()[1].is_terminator());
+        assert!(!p.instrs()[0].is_terminator());
     }
 
     #[test]
