@@ -1,0 +1,123 @@
+//! The reference executor: drives the clear-isa [`Vm`] against a plain
+//! [`Memory`] image with instantly-visible stores. This is the sequential
+//! semantics the differential oracle compares the full machine against.
+
+use clear_isa::{Effect, Program, Reg, Vm};
+use clear_mem::{Addr, Memory, WORD_BYTES};
+use std::sync::Arc;
+
+/// Hard cap on reference steps per invocation; generated programs retire
+/// well under this, so hitting it means the program (or the VM) ran away.
+pub const STEP_CAP: u64 = 200_000;
+
+/// How one reference invocation ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefOutcome {
+    /// The program retired `XEnd`.
+    Committed {
+        /// Instructions retired, including the `XEnd`.
+        steps: u64,
+    },
+    /// The program touched the null line or an unaligned address.
+    Fault {
+        /// The offending byte address.
+        addr: Addr,
+    },
+    /// The program retired `XAbort`.
+    ExplicitAbort {
+        /// The program-supplied abort code.
+        code: u64,
+    },
+    /// The program exceeded [`STEP_CAP`].
+    Runaway,
+}
+
+fn faulty(addr: Addr) -> bool {
+    addr.0 < clear_mem::LINE_BYTES || !addr.0.is_multiple_of(WORD_BYTES)
+}
+
+/// Runs one invocation of `program` to completion against `mem`, applying
+/// stores immediately. Faults are reported, not panicked, so the oracle
+/// can flag a divergence instead of tearing the process down.
+pub fn run_invocation(program: &Arc<Program>, args: &[(Reg, u64)], mem: &mut Memory) -> RefOutcome {
+    let mut vm = Vm::new(Arc::clone(program));
+    for &(r, v) in args {
+        vm.set_reg(r, v);
+    }
+    let mut steps = 0u64;
+    loop {
+        if steps >= STEP_CAP {
+            return RefOutcome::Runaway;
+        }
+        steps += 1;
+        match vm.step() {
+            Effect::Compute { .. } | Effect::Branch { .. } => {}
+            Effect::Load { addr, .. } => {
+                if faulty(addr) {
+                    return RefOutcome::Fault { addr };
+                }
+                vm.finish_load(mem.load_word(addr));
+            }
+            Effect::Store { addr, value, .. } => {
+                if faulty(addr) {
+                    return RefOutcome::Fault { addr };
+                }
+                mem.store_word(addr, value);
+            }
+            Effect::Commit => return RefOutcome::Committed { steps },
+            Effect::Abort { code } => return RefOutcome::ExplicitAbort { code },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::FuzzCase;
+    use crate::workload::initial_image;
+
+    #[test]
+    fn generated_programs_commit_within_the_cap() {
+        for i in 0..16 {
+            let case = Arc::new(FuzzCase::generate(5, i));
+            let (mut mem, layout) = initial_image(&case, 2);
+            let args = case.args(&layout);
+            match run_invocation(&case.program, &args, &mut mem) {
+                RefOutcome::Committed { steps } => assert!(steps < STEP_CAP),
+                other => panic!("case {i}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_invocations_are_deterministic() {
+        let case = Arc::new(FuzzCase::generate(5, 1));
+        let image = || {
+            let (mut mem, layout) = initial_image(&case, 2);
+            let args = case.args(&layout);
+            for _ in 0..3 {
+                assert!(matches!(
+                    run_invocation(&case.program, &args, &mut mem),
+                    RefOutcome::Committed { .. }
+                ));
+            }
+            mem
+        };
+        let (a, b) = (image(), image());
+        assert_eq!(a.words(), b.words());
+    }
+
+    #[test]
+    fn null_access_reports_a_fault() {
+        use clear_isa::ProgramBuilder;
+        let mut b = ProgramBuilder::new();
+        b.li(Reg(4), 0).ld(Reg(5), Reg(4), 0).xend();
+        let p = Arc::new(b.build());
+        let mut mem = Memory::new();
+        mem.alloc_line();
+        assert_eq!(
+            run_invocation(&p, &[], &mut mem),
+            RefOutcome::Fault { addr: Addr(0) }
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Differential fuzzing for the CLEAR reproduction.
+//!
+//! Three independent implementations of atomic-region semantics live in
+//! this workspace: the clear-isa [`Vm`](clear_isa::Vm), the full
+//! [`Machine`](clear_machine::Machine), and the static analyzer in
+//! [`clear_analysis`]. This crate cross-checks them at scale:
+//!
+//! - [`gen`] emits seeded, random-but-lint-clean AR programs (weighted
+//!   instruction mixes, bounded loops, pointer chases up to the ALT
+//!   depth);
+//! - [`exec`] is the sequential reference executor over the VM;
+//! - [`oracle`] runs each program through the machine solo and under
+//!   contention and compares memory images, commit/abort accounting, the
+//!   paper's single-retry bound, and static-verdict soundness;
+//! - [`shrink`] reduces failing cases to minimal reproducers;
+//! - [`litmus`] pins the classic relaxed-memory shapes (SB, LB, MP, IRIW)
+//!   to their atomic outcomes — the harness's `litmus-conformance` gate.
+//!
+//! Everything is a pure function of `(master_seed, index)`: corpus files
+//! persist only those two numbers, and reports are byte-reproducible
+//! across runs and worker counts.
+
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod gen;
+pub mod litmus;
+pub mod oracle;
+pub mod shrink;
+pub mod workload;
+
+pub use exec::{run_invocation, RefOutcome};
+pub use gen::{case_seed, FuzzCase, Shape};
+pub use litmus::{cases as litmus_cases, LitmusCase, LitmusWorkload};
+pub use oracle::{check_case, CaseReport, Divergence};
+pub use shrink::{shrink, shrink_with, Shrunk};
+pub use workload::{initial_image, FuzzWorkload, Layout, SharedSlot};

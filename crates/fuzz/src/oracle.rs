@@ -1,0 +1,504 @@
+//! The differential oracle: one fuzz case, three semantics, one verdict.
+//!
+//! Each case is judged by cross-checking
+//!
+//! 1. **the clear-isa VM** ([`crate::exec`]) as the sequential reference —
+//!    final memory after replaying every committed invocation serially
+//!    must equal the machine's final memory, both solo and contended;
+//! 2. **the full machine** — commit/abort accounting must close (every
+//!    invocation commits exactly once, no explicit or fault aborts), and
+//!    the paper's single-retry bound must hold: an attempt started in a
+//!    mode with [`RetryMode::guarantees_commit`] must commit, never abort;
+//! 3. **the static analyzer** — a `static-immutable` verdict on a program
+//!    whose failed-mode discovery later observes a mutable footprint is a
+//!    soundness violation, full stop.
+//!
+//! Every check reports a structured [`Divergence`] instead of panicking,
+//! so the harness can shrink the case and file a reproducer.
+
+use crate::exec::{run_invocation, RefOutcome};
+use crate::gen::FuzzCase;
+use crate::workload::{initial_image, FuzzWorkload, Layout};
+use clear_analysis::StaticVerdict;
+use clear_core::RetryMode;
+use clear_htm::AbortKind;
+use clear_machine::{Machine, Preset, TraceEvent};
+use clear_mem::{Addr, Memory, WORD_BYTES};
+use std::fmt;
+use std::sync::Arc;
+
+/// Retry budget for oracle runs (the paper's default sweep midpoint).
+const MAX_RETRIES: u32 = 5;
+
+/// One way a fuzz case can fail the oracle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Divergence {
+    /// The run under test never finished.
+    TimedOut {
+        /// `"solo"` or `"contended"`.
+        phase: &'static str,
+    },
+    /// The trace ring dropped events, so the replay order is incomplete.
+    TraceDropped {
+        /// Events lost.
+        dropped: u64,
+    },
+    /// Commit count differs from the invocation count.
+    CommitCount {
+        /// `"solo"` or `"contended"`.
+        phase: &'static str,
+        /// Commits observed.
+        got: u64,
+        /// Commits expected.
+        want: u64,
+    },
+    /// The machine reported explicit aborts for a program with no `XAbort`.
+    ExplicitAbort {
+        /// Explicit aborts counted.
+        count: u64,
+    },
+    /// The machine reported fault-class aborts ([`AbortKind::Other`]).
+    FaultAbort {
+        /// Such aborts counted.
+        count: u64,
+    },
+    /// A guaranteed-commit attempt aborted: the single-retry bound broke.
+    SingleRetryViolated {
+        /// The offending core.
+        core: usize,
+        /// The mode the doomed attempt started in.
+        mode: RetryMode,
+    },
+    /// Final memory differs between machine and reference replay.
+    MemoryMismatch {
+        /// `"solo"` or `"contended"`.
+        phase: &'static str,
+        /// First differing byte address.
+        addr: Addr,
+        /// The machine's word there.
+        machine: u64,
+        /// The reference replay's word there.
+        reference: u64,
+    },
+    /// The reference VM faulted on a lint-clean program.
+    ReferenceFault {
+        /// The offending byte address.
+        addr: Addr,
+    },
+    /// The reference VM retired `XAbort` (the generator never emits one).
+    ReferenceAbort {
+        /// Program-supplied code.
+        code: u64,
+    },
+    /// The reference VM exceeded its step cap.
+    ReferenceRunaway,
+    /// Static `static-immutable` verdict, but discovery observed a mutable
+    /// footprint at runtime.
+    SoundnessViolation {
+        /// Dynamic decisions that contradicted the static verdict.
+        decisions: u64,
+    },
+}
+
+impl Divergence {
+    /// A stable kind tag for JSON reports and histograms.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Divergence::TimedOut { .. } => "timed-out",
+            Divergence::TraceDropped { .. } => "trace-dropped",
+            Divergence::CommitCount { .. } => "commit-count",
+            Divergence::ExplicitAbort { .. } => "explicit-abort",
+            Divergence::FaultAbort { .. } => "fault-abort",
+            Divergence::SingleRetryViolated { .. } => "single-retry-violated",
+            Divergence::MemoryMismatch { .. } => "memory-mismatch",
+            Divergence::ReferenceFault { .. } => "reference-fault",
+            Divergence::ReferenceAbort { .. } => "reference-abort",
+            Divergence::ReferenceRunaway => "reference-runaway",
+            Divergence::SoundnessViolation { .. } => "soundness-violation",
+        }
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::TimedOut { phase } => write!(f, "{phase} run timed out"),
+            Divergence::TraceDropped { dropped } => {
+                write!(f, "trace ring dropped {dropped} events")
+            }
+            Divergence::CommitCount { phase, got, want } => {
+                write!(f, "{phase} run committed {got} ARs, expected {want}")
+            }
+            Divergence::ExplicitAbort { count } => {
+                write!(f, "{count} explicit aborts from a program with no xabort")
+            }
+            Divergence::FaultAbort { count } => {
+                write!(f, "{count} fault-class aborts on a lint-clean program")
+            }
+            Divergence::SingleRetryViolated { core, mode } => {
+                write!(
+                    f,
+                    "core {core}: {mode} attempt aborted (single-retry bound)"
+                )
+            }
+            Divergence::MemoryMismatch {
+                phase,
+                addr,
+                machine,
+                reference,
+            } => write!(
+                f,
+                "{phase} memory diverged at {addr}: machine {machine:#x}, reference {reference:#x}"
+            ),
+            Divergence::ReferenceFault { addr } => {
+                write!(f, "reference VM faulted at {addr}")
+            }
+            Divergence::ReferenceAbort { code } => {
+                write!(f, "reference VM hit xabort({code})")
+            }
+            Divergence::ReferenceRunaway => f.write_str("reference VM exceeded its step cap"),
+            Divergence::SoundnessViolation { decisions } => write!(
+                f,
+                "static-immutable verdict contradicted by {decisions} mutable dynamic decisions"
+            ),
+        }
+    }
+}
+
+/// The oracle's full account of one case.
+#[derive(Clone, Debug)]
+pub struct CaseReport {
+    /// Case index within the run.
+    pub index: u64,
+    /// Per-case seed.
+    pub seed: u64,
+    /// Lowered program length in instructions.
+    pub program_len: usize,
+    /// Drafts the lint filter rejected before this case.
+    pub rejected: u32,
+    /// Static verdict name.
+    pub verdict: &'static str,
+    /// Threads in the contended phase.
+    pub threads: usize,
+    /// Invocations per thread.
+    pub invocations: usize,
+    /// Instructions the machine retired across both phases.
+    pub machine_instructions: u64,
+    /// Steps the reference VM retired across both phases.
+    pub reference_steps: u64,
+    /// Machine commits by mode in the contended phase
+    /// `(speculative, nscl, scl, fallback)`.
+    pub mode_commits: (u64, u64, u64, u64),
+    /// Machine aborts in the contended phase.
+    pub aborts: u64,
+    /// The first divergence found, if any. `None` means the case passed.
+    pub divergence: Option<Divergence>,
+}
+
+/// Replays `n` reference invocations serially on `mem`; returns total
+/// steps or the divergence.
+fn replay(case: &FuzzCase, layout: &Layout, mem: &mut Memory, n: usize) -> Result<u64, Divergence> {
+    let args = case.args(layout);
+    let mut steps = 0;
+    for _ in 0..n {
+        match run_invocation(&case.program, &args, mem) {
+            RefOutcome::Committed { steps: s } => steps += s,
+            RefOutcome::Fault { addr } => return Err(Divergence::ReferenceFault { addr }),
+            RefOutcome::ExplicitAbort { code } => return Err(Divergence::ReferenceAbort { code }),
+            RefOutcome::Runaway => return Err(Divergence::ReferenceRunaway),
+        }
+    }
+    Ok(steps)
+}
+
+/// Compares two memory images from `start` up; missing trailing words read
+/// as zero, matching [`Memory::load_word`].
+fn compare_images(
+    phase: &'static str,
+    start: Addr,
+    machine: &Memory,
+    reference: &Memory,
+) -> Option<Divergence> {
+    let (m, r) = (machine.words(), reference.words());
+    let len = m.len().max(r.len());
+    for w in start.word_index()..len {
+        let mv = m.get(w).copied().unwrap_or(0);
+        let rv = r.get(w).copied().unwrap_or(0);
+        if mv != rv {
+            return Some(Divergence::MemoryMismatch {
+                phase,
+                addr: Addr(w as u64 * WORD_BYTES),
+                machine: mv,
+                reference: rv,
+            });
+        }
+    }
+    None
+}
+
+/// Scans one core's event stream for a guaranteed-commit attempt that
+/// aborted.
+fn single_retry_violation(
+    events: impl Iterator<Item = TraceEvent>,
+    core: usize,
+) -> Option<Divergence> {
+    let mut pending: Option<RetryMode> = None;
+    for e in events {
+        match e {
+            TraceEvent::AttemptStart { mode } => pending = Some(mode),
+            TraceEvent::Commit { .. } => pending = None,
+            TraceEvent::Abort { .. } => {
+                if let Some(mode) = pending.take() {
+                    if mode.guarantees_commit() {
+                        return Some(Divergence::SingleRetryViolated { core, mode });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Runs the full differential oracle on one case.
+pub fn check_case(case: &Arc<FuzzCase>) -> CaseReport {
+    let analysis = case.analysis();
+    let mut report = CaseReport {
+        index: case.index,
+        seed: case.seed,
+        program_len: case.program.len(),
+        rejected: case.rejected,
+        verdict: analysis.verdict.name(),
+        threads: case.threads,
+        invocations: case.invocations,
+        machine_instructions: 0,
+        reference_steps: 0,
+        mode_commits: (0, 0, 0, 0),
+        aborts: 0,
+        divergence: None,
+    };
+
+    // Phase 1: solo — one core, no contention. Any abort at all here is
+    // suspicious, but the binding check is the memory image.
+    {
+        let mut cfg = Preset::C.config(1, MAX_RETRIES);
+        cfg.seed = case.seed;
+        let mut machine = Machine::new(cfg, Box::new(FuzzWorkload::new(Arc::clone(case))));
+        let stats = machine.run();
+        report.machine_instructions += stats.instructions_retired;
+        if stats.timed_out {
+            report.divergence = Some(Divergence::TimedOut { phase: "solo" });
+            return report;
+        }
+        let want = case.invocations as u64;
+        if stats.commits_by_mode.total() != want {
+            report.divergence = Some(Divergence::CommitCount {
+                phase: "solo",
+                got: stats.commits_by_mode.total(),
+                want,
+            });
+            return report;
+        }
+        let (mut ref_mem, layout) = initial_image(case, 1);
+        match replay(case, &layout, &mut ref_mem, case.invocations) {
+            Ok(steps) => report.reference_steps += steps,
+            Err(d) => {
+                report.divergence = Some(d);
+                return report;
+            }
+        }
+        if let Some(d) = compare_images("solo", layout.start, machine.memory(), &ref_mem) {
+            report.divergence = Some(d);
+            return report;
+        }
+    }
+
+    // Phase 2: contended — every thread hammers the same lines, tracing on.
+    let mut cfg = Preset::C.config(case.threads, MAX_RETRIES);
+    cfg.seed = case.seed;
+    let mut machine = Machine::new(cfg, Box::new(FuzzWorkload::new(Arc::clone(case))));
+    machine.enable_tracing();
+    let stats = machine.run();
+    report.machine_instructions += stats.instructions_retired;
+    report.mode_commits = (
+        stats.commits_by_mode.speculative,
+        stats.commits_by_mode.nscl,
+        stats.commits_by_mode.scl,
+        stats.commits_by_mode.fallback,
+    );
+    report.aborts = stats.aborts.total();
+    if stats.timed_out {
+        report.divergence = Some(Divergence::TimedOut { phase: "contended" });
+        return report;
+    }
+    if machine.trace().dropped() > 0 {
+        report.divergence = Some(Divergence::TraceDropped {
+            dropped: machine.trace().dropped(),
+        });
+        return report;
+    }
+    let explicit = stats.aborts.get(AbortKind::Explicit);
+    if explicit > 0 {
+        report.divergence = Some(Divergence::ExplicitAbort { count: explicit });
+        return report;
+    }
+    let faults = stats.aborts.get(AbortKind::Other);
+    if faults > 0 {
+        report.divergence = Some(Divergence::FaultAbort { count: faults });
+        return report;
+    }
+    let want = (case.threads * case.invocations) as u64;
+    let committed = machine.trace().commits().count() as u64;
+    if stats.commits_by_mode.total() != want || committed != want {
+        report.divergence = Some(Divergence::CommitCount {
+            phase: "contended",
+            got: stats.commits_by_mode.total().min(committed),
+            want,
+        });
+        return report;
+    }
+    for core in 0..case.threads {
+        if let Some(d) = single_retry_violation(machine.trace().core_events(core).cloned(), core) {
+            report.divergence = Some(d);
+            return report;
+        }
+    }
+    // Serialization replay: commit-event order is the serialization order
+    // (see `Trace::commits`); every invocation runs the same program with
+    // the same args, so replaying `want` of them serially must land on
+    // exactly the machine's final image if the ARs were atomic.
+    let (mut ref_mem, layout) = initial_image(case, case.threads);
+    match replay(case, &layout, &mut ref_mem, want as usize) {
+        Ok(steps) => report.reference_steps += steps,
+        Err(d) => {
+            report.divergence = Some(d);
+            return report;
+        }
+    }
+    if let Some(d) = compare_images("contended", layout.start, machine.memory(), &ref_mem) {
+        report.divergence = Some(d);
+        return report;
+    }
+
+    // Phase 3: static-verdict soundness against the traced decisions.
+    if analysis.verdict == StaticVerdict::StaticImmutable {
+        let contradicted = machine
+            .trace()
+            .records()
+            .filter(|r| {
+                matches!(
+                    r.event,
+                    TraceEvent::Decision {
+                        immutable: false,
+                        ..
+                    }
+                )
+            })
+            .count() as u64;
+        if contradicted > 0 {
+            report.divergence = Some(Divergence::SoundnessViolation {
+                decisions: contradicted,
+            });
+            return report;
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_batch_of_generated_cases_passes_the_oracle() {
+        for i in 0..12 {
+            let case = Arc::new(FuzzCase::generate(0xFACE, i));
+            let r = check_case(&case);
+            assert!(
+                r.divergence.is_none(),
+                "case {i} diverged: {}",
+                r.divergence.unwrap()
+            );
+            assert!(r.machine_instructions > 0);
+            assert!(r.reference_steps > 0);
+        }
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let case = Arc::new(FuzzCase::generate(0xFACE, 3));
+        let (a, b) = (check_case(&case), check_case(&case));
+        assert_eq!(a.machine_instructions, b.machine_instructions);
+        assert_eq!(a.reference_steps, b.reference_steps);
+        assert_eq!(a.mode_commits, b.mode_commits);
+        assert_eq!(a.aborts, b.aborts);
+    }
+
+    #[test]
+    fn single_retry_scan_flags_nscl_abort() {
+        use clear_htm::AbortKind;
+        let events = vec![
+            TraceEvent::AttemptStart {
+                mode: RetryMode::NsCl,
+            },
+            TraceEvent::Abort {
+                kind: AbortKind::MemoryConflict,
+                span: 10,
+            },
+        ];
+        let d = single_retry_violation(events.into_iter(), 2).expect("violation");
+        assert_eq!(
+            d,
+            Divergence::SingleRetryViolated {
+                core: 2,
+                mode: RetryMode::NsCl
+            }
+        );
+        assert_eq!(d.kind(), "single-retry-violated");
+    }
+
+    #[test]
+    fn single_retry_scan_accepts_speculative_aborts() {
+        use clear_htm::AbortKind;
+        let events = vec![
+            TraceEvent::AttemptStart {
+                mode: RetryMode::SpeculativeRetry,
+            },
+            TraceEvent::Abort {
+                kind: AbortKind::MemoryConflict,
+                span: 10,
+            },
+            TraceEvent::AttemptStart {
+                mode: RetryMode::NsCl,
+            },
+            TraceEvent::Commit {
+                mode: RetryMode::NsCl,
+                retries: 1,
+            },
+        ];
+        assert!(single_retry_violation(events.into_iter(), 0).is_none());
+    }
+
+    #[test]
+    fn image_compare_reports_first_mismatch() {
+        let mut a = Memory::new();
+        let base = a.alloc_words(8);
+        let mut b = a.clone();
+        a.store_word(base.add_words(2), 7);
+        b.store_word(base.add_words(2), 9);
+        let d = compare_images("solo", base, &a, &b).expect("mismatch");
+        match d {
+            Divergence::MemoryMismatch {
+                addr,
+                machine,
+                reference,
+                ..
+            } => {
+                assert_eq!(addr, base.add_words(2));
+                assert_eq!((machine, reference), (7, 9));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

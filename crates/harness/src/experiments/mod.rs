@@ -10,12 +10,14 @@
 
 mod digest;
 mod figures;
+mod fuzz;
 mod perf;
 mod statics;
 mod studies;
 mod tables;
 mod verify;
 
+pub use fuzz::{fuzz_output, parse_seed, replay_output};
 pub use statics::analyze_output;
 
 use crate::golden::Tolerances;
@@ -285,6 +287,16 @@ pub static EXPERIMENTS: &[Experiment] = &[
         }),
     },
     Experiment {
+        name: "litmus-conformance",
+        artifact: "atomicity conformance",
+        about: "SB/LB/MP/IRIW litmus shapes with forbidden outcomes pinned to zero",
+        run: fuzz::litmus_conformance,
+        golden: Some(GoldenSpec {
+            opts: fuzz::litmus_opts,
+            tolerances: GATED_TOLERANCES,
+        }),
+    },
+    Experiment {
         name: "verify",
         artifact: "install check",
         about: "atomicity invariants across the full benchmark grid",
@@ -375,7 +387,8 @@ mod tests {
                 "sle",
                 "sim-throughput",
                 "trace-digest",
-                "static-agreement"
+                "static-agreement",
+                "litmus-conformance"
             ]
         );
     }

@@ -10,7 +10,9 @@
 //! clear-harness check [names...]
 //! ```
 
-use clear_harness::experiments::{analyze_output, find, Experiment, EXPERIMENTS};
+use clear_harness::experiments::{
+    analyze_output, find, fuzz_output, parse_seed, replay_output, Experiment, EXPERIMENTS,
+};
 use clear_harness::json::Json;
 use clear_harness::{golden, trace_export, SuiteOptions};
 use clear_machine::Preset;
@@ -23,6 +25,8 @@ fn usage() -> ! {
          clear-harness trace <workload> [--size ...] [--cores N] [--seeds N]\n      \
          [--chrome FILE] [--events N] [--json]\n  \
          clear-harness analyze <workload>|all [--size ...] [--cores N] [--seeds N] [--json]\n  \
+         clear-harness fuzz [--seed S] [--count N] [--workers N] [--json]\n      \
+         [--out FILE] [--bench-out FILE] [--repro-dir DIR] [--replay FILE]\n  \
          clear-harness golden update [names...]\n  clear-harness check [names...]"
     );
     std::process::exit(2);
@@ -35,10 +39,165 @@ fn main() {
         Some("run") => run(&args[1..]),
         Some("trace") => trace(&args[1..]),
         Some("analyze") => analyze(&args[1..]),
+        Some("fuzz") => fuzz(&args[1..]),
         Some("golden") if args.get(1).map(String::as_str) == Some("update") => update(&args[2..]),
         Some("check") => check(&args[1..]),
         _ => usage(),
     }
+}
+
+/// `clear-harness fuzz`: differential fuzzing of the AR semantics — the
+/// clear-isa VM vs the full machine under contention vs the static
+/// analyzer. The report itself is deterministic; only `BENCH_fuzz.json`
+/// carries wall-clock throughput.
+fn fuzz(args: &[String]) {
+    let mut rest: Vec<String> = args.to_vec();
+    let mut take_value = |flag: &str| -> Option<String> {
+        let i = rest.iter().position(|a| a == flag)?;
+        if i + 1 >= rest.len() {
+            eprintln!("missing value for {flag}");
+            std::process::exit(2);
+        }
+        let v = rest.remove(i + 1);
+        rest.remove(i);
+        Some(v)
+    };
+    let seed_str = take_value("--seed").unwrap_or_else(|| "0xC1EAR".to_string());
+    let count: u64 = take_value("--count")
+        .map(|v| v.parse().expect("--count N"))
+        .unwrap_or(256);
+    let workers: usize = take_value("--workers")
+        .map(|v| v.parse::<usize>().expect("--workers N").max(1))
+        .unwrap_or_else(clear_harness::pool::default_workers);
+    let out_path = take_value("--out");
+    let bench_path = take_value("--bench-out");
+    let repro_dir = take_value("--repro-dir");
+    let replay_path = take_value("--replay");
+    let as_json = rest
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| rest.remove(i))
+        .is_some();
+    if !rest.is_empty() {
+        eprintln!("unknown fuzz option {}", rest[0]);
+        std::process::exit(2);
+    }
+
+    let started = std::time::Instant::now();
+    let (out, cases_run) = match &replay_path {
+        Some(path) => {
+            let entries = read_corpus(path);
+            let n = entries.len() as u64;
+            (replay_output(&entries, workers), n)
+        }
+        None => (fuzz_output(&seed_str, count, workers), count),
+    };
+    let wall = started.elapsed();
+
+    if as_json {
+        println!("{}", out.json.to_pretty());
+    } else {
+        print!("{}", out.text);
+    }
+    if let Some(path) = &out_path {
+        write_file(path, &out.json.to_pretty());
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &bench_path {
+        let steps =
+            int_field(&out.json, "machine_instructions") + int_field(&out.json, "reference_steps");
+        let secs = wall.as_secs_f64().max(1e-9);
+        let bench = Json::obj([
+            ("bench", Json::from("fuzz")),
+            ("seed", Json::from(seed_str.as_str())),
+            ("cases", Json::from(cases_run)),
+            ("workers", Json::from(workers)),
+            ("wall_ns", Json::from(wall.as_nanos() as u64)),
+            ("steps", Json::from(steps)),
+            ("programs_per_sec", Json::Float(cases_run as f64 / secs)),
+            ("steps_per_sec", Json::Float(steps as f64 / secs)),
+        ]);
+        write_file(path, &bench.to_pretty());
+        eprintln!("wrote {path}");
+    }
+    if let Some(dir) = &repro_dir {
+        if let Some(Json::Arr(failures)) = out.json.get("failures") {
+            if !failures.is_empty() {
+                std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                    eprintln!("cannot create {dir}: {e}");
+                    std::process::exit(1);
+                });
+                for f in failures {
+                    let Some(Json::Int(index)) = f.get("index") else {
+                        continue;
+                    };
+                    let path = format!("{dir}/repro-{}-{index}.json", seed_str.replace("0x", ""));
+                    write_file(&path, &f.to_pretty());
+                    eprintln!("wrote reproducer {path}");
+                }
+            }
+        }
+    }
+    if out.failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Reads a regression-corpus JSON file: `{"entries": [{"name", "seed",
+/// "index"}, ...]}`, with seeds in any `parse_seed` spelling.
+fn read_corpus(path: &str) -> Vec<(String, u64, u64)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read corpus {path}: {e}");
+        std::process::exit(2);
+    });
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("corpus {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    });
+    let Some(Json::Arr(entries)) = doc.get("entries") else {
+        eprintln!("corpus {path}: missing entries array");
+        std::process::exit(2);
+    };
+    entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let name = match e.get("name") {
+                Some(Json::Str(s)) => s.clone(),
+                _ => format!("entry-{i}"),
+            };
+            let seed = match e.get("seed") {
+                Some(Json::Str(s)) => parse_seed(s),
+                Some(Json::Int(v)) => *v as u64,
+                _ => {
+                    eprintln!("corpus {path}: entry {i} has no seed");
+                    std::process::exit(2);
+                }
+            };
+            let index = match e.get("index") {
+                Some(Json::Int(v)) => *v as u64,
+                _ => {
+                    eprintln!("corpus {path}: entry {i} has no index");
+                    std::process::exit(2);
+                }
+            };
+            (name, seed, index)
+        })
+        .collect()
+}
+
+fn int_field(doc: &Json, key: &str) -> u64 {
+    match doc.get(key) {
+        Some(Json::Int(v)) => *v as u64,
+        _ => 0,
+    }
+}
+
+fn write_file(path: &str, text: &str) {
+    std::fs::write(path, text).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
 }
 
 /// `clear-harness trace <workload>`: run one benchmark with tracing on,

@@ -160,6 +160,18 @@ impl ProgramBuilder {
         self
     }
 
+    /// Instructions emitted so far. Program generators use this to keep
+    /// drafts within dynamic-footprint budgets while building.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// `true` when nothing has been emitted yet ([`ProgramBuilder::build`]
+    /// would panic).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
     /// `rd <- imm`.
     pub fn li(&mut self, rd: Reg, imm: u64) -> &mut Self {
         self.push(Instr::Li { rd, imm })

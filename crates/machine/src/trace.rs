@@ -256,6 +256,23 @@ impl Trace {
             .map(|r| &r.event)
     }
 
+    /// Commit events in serialization order.
+    ///
+    /// [`crate::Machine`] records a [`TraceEvent::Commit`] at the instant
+    /// an attempt's stores become globally visible (speculative modes
+    /// drain the store queue immediately after; locked and fallback modes
+    /// wrote to memory earlier, but under locks that are only released
+    /// here), so the order of commit events across cores *is* a valid
+    /// serialization of the run's atomic regions. Differential oracles
+    /// replay invocations sequentially in this order. Yields
+    /// `(core, mode, retries)` per commit.
+    pub fn commits(&self) -> impl Iterator<Item = (usize, RetryMode, u32)> + '_ {
+        self.records().filter_map(|r| match r.event {
+            TraceEvent::Commit { mode, retries } => Some((r.core, mode, retries)),
+            _ => None,
+        })
+    }
+
     /// FxHash fingerprint of the stream: every deterministic field of
     /// every retained record plus the recorded/dropped totals. Two runs
     /// with the same options produce the same digest; any reordering of

@@ -94,6 +94,15 @@ impl Memory {
     pub fn allocated_bytes(&self) -> u64 {
         self.next_free
     }
+
+    /// The backing word array, for whole-image comparison (differential
+    /// oracles). Index `i` holds the word at byte address `i * 8`; the
+    /// array may be shorter than [`Memory::allocated_bytes`] implies when
+    /// trailing words were never written — treat missing words as zero,
+    /// exactly as [`Memory::load_word`] does.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
 }
 
 impl Default for Memory {

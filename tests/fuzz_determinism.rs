@@ -1,0 +1,109 @@
+//! End-to-end determinism for the differential fuzzer: the same seed
+//! must produce byte-identical corpora, oracle reports and litmus
+//! conformance documents across repeated runs and across worker-pool
+//! widths, mirroring the contract `tests/determinism.rs` pins for the
+//! experiment suite. Without this, CI replay of the regression corpus
+//! and the `litmus-conformance` golden would both be meaningless.
+
+use clear_fuzz::{case_seed, check_case, FuzzCase};
+use clear_harness::experiments::{find, fuzz_output, parse_seed, replay_output};
+
+const SEED_STR: &str = "0xC1EAR";
+const CASES: u64 = 48;
+
+#[test]
+fn same_seed_generates_byte_identical_corpus() {
+    let master = parse_seed(SEED_STR);
+    for index in 0..16 {
+        let a = FuzzCase::generate(master, index);
+        let b = FuzzCase::generate(master, index);
+        assert_eq!(case_seed(master, index), a.seed, "case seed drifted");
+        assert_eq!(a.shapes, b.shapes, "index {index}: shape IR drifted");
+        assert_eq!(
+            format!("{:?}", a.program.instrs()),
+            format!("{:?}", b.program.instrs()),
+            "index {index}: lowered program drifted"
+        );
+        assert_eq!(a.threads, b.threads, "index {index}: thread count drifted");
+        assert_eq!(
+            a.invocations, b.invocations,
+            "index {index}: invocation count drifted"
+        );
+    }
+}
+
+#[test]
+fn repeated_oracle_runs_render_byte_identical_reports() {
+    let a = fuzz_output(SEED_STR, CASES, 4);
+    let b = fuzz_output(SEED_STR, CASES, 4);
+    assert_eq!(a.json.to_pretty(), b.json.to_pretty(), "report drifted");
+    assert_eq!(a.text, b.text, "report text drifted");
+    assert_eq!(a.failures, 0, "seed corpus must be divergence-free");
+}
+
+#[test]
+fn worker_width_does_not_change_the_report() {
+    let narrow = fuzz_output(SEED_STR, CASES, 1);
+    let wide = fuzz_output(SEED_STR, CASES, 8);
+    assert_eq!(
+        narrow.json.to_pretty(),
+        wide.json.to_pretty(),
+        "fuzz report depends on worker count"
+    );
+    assert_eq!(narrow.text, wide.text, "fuzz text depends on worker count");
+}
+
+#[test]
+fn replay_is_deterministic_across_worker_widths() {
+    let master = parse_seed(SEED_STR);
+    let entries: Vec<(String, u64, u64)> =
+        (0..8).map(|i| (format!("entry-{i}"), master, i)).collect();
+    let narrow = replay_output(&entries, 1);
+    let wide = replay_output(&entries, 8);
+    assert_eq!(
+        narrow.json.to_pretty(),
+        wide.json.to_pretty(),
+        "replay report depends on worker count"
+    );
+    assert_eq!(narrow.failures, 0, "corpus entries must replay clean");
+}
+
+#[test]
+fn oracle_verdict_is_stable_per_case() {
+    let master = parse_seed(SEED_STR);
+    for index in 0..8 {
+        let case = std::sync::Arc::new(FuzzCase::generate(master, index));
+        let a = check_case(&case);
+        let b = check_case(&case);
+        assert_eq!(a.verdict, b.verdict, "index {index}: verdict drifted");
+        assert_eq!(
+            a.mode_commits, b.mode_commits,
+            "index {index}: mode commit split drifted"
+        );
+        assert!(
+            a.divergence.is_none(),
+            "index {index}: seed corpus diverged"
+        );
+    }
+}
+
+#[test]
+fn litmus_conformance_document_is_worker_independent() {
+    let exp = find("litmus-conformance").expect("litmus-conformance registered");
+    let narrow = {
+        let mut opts = (exp.golden.as_ref().expect("gated").opts)();
+        opts.workers = 1;
+        (exp.run)(&opts)
+    };
+    let wide = {
+        let mut opts = (exp.golden.as_ref().expect("gated").opts)();
+        opts.workers = 8;
+        (exp.run)(&opts)
+    };
+    assert_eq!(
+        narrow.json.to_pretty(),
+        wide.json.to_pretty(),
+        "litmus conformance depends on worker count"
+    );
+    assert_eq!(narrow.failures, 0, "litmus conformance must gate clean");
+}
