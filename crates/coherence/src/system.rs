@@ -1,7 +1,26 @@
-//! The central coherence system: private caches + directory.
+//! The central coherence system: private caches + a sharded directory.
+//!
+//! # Sharding (many-core scaling)
+//!
+//! Directory state — per-line sharer sets, owners, lock holders and LLC
+//! presence — is partitioned into [`DirShard`]s by line-address range:
+//! shard `s` covers lines `[s·64, (s+1)·64)`, so each shard's LLC presence
+//! is exactly one `u64` word and a line's shard/slot is a shift/mask.
+//! Per-core state (the private cache, L2 shadow and the tx/lock tracking
+//! lists) is grouped into [`PerCore`], so one core's state and one shard
+//! can be borrowed mutably and independently — the basis of the machine's
+//! deterministic intra-run parallelism (see
+//! [`CoherenceSystem::split_local_views`]).
+//!
+//! Sharer sets are [`CoreBitSet`]s: allocation-free at ≤64 cores, growable
+//! beyond, iterating in the same ascending-core-id order the previous
+//! fixed-width `u64` masks produced.
 
 use crate::{Access, CoherenceConfig, CoreId, LockFail, MesiState, ServedBy, TxTrack};
-use clear_mem::{CacheGeometry, LineAddr, LineBitSet, SetAssocCache};
+use clear_mem::{disjoint_muts, CacheGeometry, CoreBitSet, LineAddr, LineBitSet, SetAssocCache};
+
+/// Lines per directory shard (one `u64` of LLC presence per shard).
+const SHARD_LINES_LOG2: u64 = 6;
 
 /// Per-line metadata in a private cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -22,14 +41,41 @@ impl LineMeta {
 }
 
 /// Directory entry for one line.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 struct DirEntry {
     /// Core holding the line in M/E, if any.
     owner: Option<CoreId>,
-    /// Bitmask of cores holding the line (including the owner).
-    sharers: u64,
+    /// Cores holding the line (including the owner).
+    sharers: CoreBitSet,
     /// Core holding the line *locked*, if any.
     locked_by: Option<CoreId>,
+}
+
+/// One directory shard: the entries and LLC presence bits for a 64-line
+/// address range.
+#[derive(Debug, Default)]
+struct DirShard {
+    /// Entries indexed by `line & 63`, grown on demand.
+    entries: Vec<DirEntry>,
+    /// LLC presence, one bit per line in the shard's range.
+    llc: u64,
+}
+
+/// All coherence state owned by a single core, grouped so a batch of cores
+/// can be borrowed mutably and disjointly for parallel stepping.
+#[derive(Debug)]
+struct PerCore {
+    cache: SetAssocCache<LineMeta>,
+    /// L2 shadow: lines evicted from L1 still "near" the core.
+    l2_shadow: LineBitSet,
+    /// Lines whose transactional bits were set since the last
+    /// [`CoherenceSystem::clear_tx`]: lets commit/abort clear exactly those
+    /// lines instead of sweeping every cache way. May hold stale entries
+    /// for lines since invalidated — clearing skips them.
+    tx_touched: Vec<LineAddr>,
+    /// Lines locked since the last [`CoherenceSystem::unlock_all`] (same
+    /// idea; unlocking a stale or already-released entry is a no-op).
+    locks_held: Vec<LineAddr>,
 }
 
 /// Effect an access would have on one remote core's copy of the line.
@@ -124,31 +170,29 @@ impl CoherenceStats {
     }
 }
 
-/// The coherence substrate: one private cache per core plus a directory.
+/// The coherence substrate: one private cache per core plus a sharded
+/// directory.
 ///
-/// See the [crate docs](crate) for the probe/apply protocol.
+/// See the [crate docs](crate) for the probe/apply protocol and the module
+/// docs for the shard layout.
 #[derive(Debug)]
 pub struct CoherenceSystem {
     config: CoherenceConfig,
-    caches: Vec<SetAssocCache<LineMeta>>,
-    /// Directory entries indexed by line number. [`clear_mem::Memory`]
+    /// Per-core state, indexed by core id.
+    per_core: Vec<PerCore>,
+    /// Directory shards indexed by `line >> 6`. [`clear_mem::Memory`]
     /// bump-allocates, so live lines are a dense prefix and a flat vector
-    /// (grown on demand) beats any hash map on the per-access hot path.
-    directory: Vec<DirEntry>,
-    /// Lines present in the (infinite) shared LLC model.
-    llc: LineBitSet,
-    /// Per-core L2 shadow: lines evicted from L1 still "near" the core.
-    l2_shadow: Vec<LineBitSet>,
-    /// Per-core list of lines whose transactional bits were set since the
-    /// last [`CoherenceSystem::clear_tx`]: lets commit/abort clear exactly
-    /// those lines instead of sweeping every cache way. May hold stale
-    /// entries for lines since invalidated — clearing skips them.
-    tx_touched: Vec<Vec<LineAddr>>,
-    /// Per-core list of lines locked since the last
-    /// [`CoherenceSystem::unlock_all`] (same idea; unlocking a stale or
-    /// already-released entry is a no-op).
-    locks_held: Vec<Vec<LineAddr>>,
+    /// of shards (grown on demand) beats any hash map on the hot path.
+    shards: Vec<DirShard>,
     stats: CoherenceStats,
+}
+
+#[inline]
+fn slot(line: LineAddr) -> (usize, usize) {
+    (
+        (line.0 >> SHARD_LINES_LOG2) as usize,
+        (line.0 & ((1 << SHARD_LINES_LOG2) - 1)) as usize,
+    )
 }
 
 impl CoherenceSystem {
@@ -156,23 +200,20 @@ impl CoherenceSystem {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration has zero cores or more than 64 (the
-    /// sharer bitmask width).
+    /// Panics if the configuration has zero cores.
     pub fn new(config: CoherenceConfig) -> Self {
-        assert!(
-            config.cores > 0 && config.cores <= 64,
-            "1..=64 cores supported"
-        );
+        assert!(config.cores > 0, "at least one core required");
         CoherenceSystem {
             config,
-            caches: (0..config.cores)
-                .map(|_| SetAssocCache::new(config.l1))
+            per_core: (0..config.cores)
+                .map(|_| PerCore {
+                    cache: SetAssocCache::new(config.l1),
+                    l2_shadow: LineBitSet::new(),
+                    tx_touched: Vec::new(),
+                    locks_held: Vec::new(),
+                })
                 .collect(),
-            directory: Vec::new(),
-            llc: LineBitSet::new(),
-            l2_shadow: (0..config.cores).map(|_| LineBitSet::new()).collect(),
-            tx_touched: (0..config.cores).map(|_| Vec::new()).collect(),
-            locks_held: (0..config.cores).map(|_| Vec::new()).collect(),
+            shards: Vec::new(),
             stats: CoherenceStats::default(),
         }
     }
@@ -192,30 +233,79 @@ impl CoherenceSystem {
         self.stats
     }
 
-    fn dir(&self, line: LineAddr) -> DirEntry {
-        self.directory
-            .get(line.0 as usize)
-            .copied()
-            .unwrap_or_default()
+    /// The directory shard covering `line` (lines partition into shards by
+    /// 64-line address ranges).
+    pub fn shard_of(line: LineAddr) -> usize {
+        slot(line).0
+    }
+
+    /// Number of directory shards instantiated so far.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total directory entries instantiated across all shards (shard
+    /// occupancy numerator).
+    pub fn shard_lines(&self) -> u64 {
+        self.shards.iter().map(|s| s.entries.len() as u64).sum()
+    }
+
+    /// Directory entries in the fullest shard (imbalance indicator).
+    pub fn shard_lines_max(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.entries.len() as u64)
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn dir_ref(&self, line: LineAddr) -> Option<&DirEntry> {
+        let (s, i) = slot(line);
+        self.shards.get(s).and_then(|sh| sh.entries.get(i))
+    }
+
+    fn dir_get_mut(&mut self, line: LineAddr) -> Option<&mut DirEntry> {
+        let (s, i) = slot(line);
+        self.shards.get_mut(s).and_then(|sh| sh.entries.get_mut(i))
+    }
+
+    fn ensure_shard(&mut self, s: usize) {
+        if s >= self.shards.len() {
+            self.shards.resize_with(s + 1, DirShard::default);
+        }
     }
 
     fn dir_mut(&mut self, line: LineAddr) -> &mut DirEntry {
-        let i = line.0 as usize;
-        if i >= self.directory.len() {
-            self.directory.resize(i + 1, DirEntry::default());
+        let (s, i) = slot(line);
+        self.ensure_shard(s);
+        let shard = &mut self.shards[s];
+        if i >= shard.entries.len() {
+            shard.entries.resize(i + 1, DirEntry::default());
         }
-        &mut self.directory[i]
+        &mut shard.entries[i]
+    }
+
+    fn llc_insert(&mut self, line: LineAddr) {
+        let (s, i) = slot(line);
+        self.ensure_shard(s);
+        self.shards[s].llc |= 1 << i;
+    }
+
+    fn llc_contains(&self, line: LineAddr) -> bool {
+        let (s, i) = slot(line);
+        self.shards.get(s).is_some_and(|sh| sh.llc & (1 << i) != 0)
     }
 
     /// Which core holds `line` locked, if any.
     pub fn locked_by(&self, line: LineAddr) -> Option<CoreId> {
-        self.dir(line).locked_by
+        self.dir_ref(line).and_then(|e| e.locked_by)
     }
 
     /// `true` if `core` has `line` cached with write permission — the ALT
     /// *Hit*-bit probe used by group locking (§5).
     pub fn has_exclusive(&self, core: CoreId, line: LineAddr) -> bool {
-        self.caches[core.0]
+        self.per_core[core.0]
+            .cache
             .get(line)
             .map(|m| m.mesi.is_exclusive())
             .unwrap_or(false)
@@ -223,18 +313,24 @@ impl CoherenceSystem {
 
     /// `true` if `core` currently caches `line` (any state).
     pub fn is_cached(&self, core: CoreId, line: LineAddr) -> bool {
-        self.caches[core.0].contains(line)
+        self.per_core[core.0].cache.contains(line)
     }
 
     /// Number of lines `core` holds locked.
     pub fn locked_count(&self, core: CoreId) -> usize {
-        self.caches[core.0].iter().filter(|(_, m)| m.locked).count()
+        self.per_core[core.0]
+            .cache
+            .iter()
+            .filter(|(_, m)| m.locked)
+            .count()
     }
 
-    fn classify_miss(&self, core: CoreId, line: LineAddr, dir: &DirEntry) -> ServedBy {
-        if self.l2_shadow[core.0].contains(line) {
+    fn classify_miss(&self, core: CoreId, line: LineAddr) -> ServedBy {
+        if self.per_core[core.0].l2_shadow.contains(line) {
             ServedBy::L2
-        } else if dir.sharers != 0 || self.llc.contains(line) {
+        } else if self.dir_ref(line).is_some_and(|e| !e.sharers.is_empty())
+            || self.llc_contains(line)
+        {
             ServedBy::L3
         } else {
             ServedBy::Memory
@@ -252,15 +348,14 @@ impl CoherenceSystem {
     }
 
     fn collect_impacts(&self, core: CoreId, line: LineAddr, access: Access) -> Vec<RemoteImpact> {
-        let dir = self.dir(line);
+        let Some(dir) = self.dir_ref(line) else {
+            return Vec::new();
+        };
         let mut impacts = Vec::new();
         // Walk only the set sharer bits (ascending core id, same order as
         // the equivalent 0..cores scan) instead of every core.
-        let mut sharers = dir.sharers & !(1 << core.0);
-        while sharers != 0 {
-            let c = sharers.trailing_zeros() as usize;
-            sharers &= sharers - 1;
-            let Some(meta) = self.caches[c].get(line) else {
+        for c in dir.sharers.iter_without(core.0) {
+            let Some(meta) = self.per_core[c].cache.get(line) else {
                 continue;
             };
             match access {
@@ -289,10 +384,12 @@ impl CoherenceSystem {
 
     /// Reports what an access by `core` would do, without changing state.
     pub fn probe(&self, core: CoreId, line: LineAddr, access: Access) -> ProbeResult {
-        let dir = self.dir(line);
-        let locked_by_other = dir.locked_by.filter(|&c| c != core);
-        let own_way = self.caches[core.0].find_way(line);
-        let own = own_way.map(|w| self.caches[core.0].payload_at(w));
+        let locked_by_other = self
+            .dir_ref(line)
+            .and_then(|e| e.locked_by)
+            .filter(|&c| c != core);
+        let own_way = self.per_core[core.0].cache.find_way(line);
+        let own = own_way.map(|w| self.per_core[core.0].cache.payload_at(w));
         let hit = match (own, access) {
             (Some(_), Access::Read) => true,
             (Some(m), Access::Write) => m.mesi.is_exclusive(),
@@ -310,7 +407,7 @@ impl CoherenceSystem {
             // invalidations cost an L3-class transaction.
             ServedBy::L3
         } else {
-            self.classify_miss(core, line, &dir)
+            self.classify_miss(core, line)
         };
         let latency = self.latency_of(served_by, remote_impacts.len());
         ProbeResult {
@@ -332,17 +429,17 @@ impl CoherenceSystem {
     }
 
     fn invalidate_remote(&mut self, victim: CoreId, line: LineAddr) {
-        self.caches[victim.0].remove(line);
-        self.l2_shadow[victim.0].remove(line);
+        self.per_core[victim.0].cache.remove(line);
+        self.per_core[victim.0].l2_shadow.remove(line);
         let e = self.dir_mut(line);
-        e.sharers &= !(1 << victim.0);
+        e.sharers.remove(victim.0);
         if e.owner == Some(victim) {
             e.owner = None;
         }
     }
 
     fn downgrade_remote(&mut self, victim: CoreId, line: LineAddr) {
-        if let Some(m) = self.caches[victim.0].get_mut(line) {
+        if let Some(m) = self.per_core[victim.0].cache.get_mut(line) {
             m.mesi = MesiState::Shared;
         }
         let e = self.dir_mut(line);
@@ -448,10 +545,9 @@ impl CoherenceSystem {
         }
 
         // Update (or install) the requester's copy.
-        let others_share = {
-            let e = self.dir(line);
-            e.sharers & !(1 << core.0) != 0
-        };
+        let others_share = self
+            .dir_ref(line)
+            .is_some_and(|e| e.sharers.contains_other_than(core.0));
         let new_mesi = match access {
             Access::Write => MesiState::Modified,
             Access::Read => {
@@ -463,17 +559,18 @@ impl CoherenceSystem {
             }
         };
         if let Some(w) = own_way {
-            let meta = self.caches[core.0].touch_at(w);
+            let pc = &mut self.per_core[core.0];
+            let meta = pc.cache.touch_at(w);
             meta.mesi = match access {
                 Access::Write => MesiState::Modified,
                 Access::Read => meta.mesi, // keep stronger state on read hit
             };
             if lock && !meta.locked {
                 meta.locked = true;
-                self.locks_held[core.0].push(line);
+                pc.locks_held.push(line);
             }
             if tx != TxTrack::None && !meta.tx_read && !meta.tx_write {
-                self.tx_touched[core.0].push(line);
+                pc.tx_touched.push(line);
             }
             match tx {
                 TxTrack::None => {}
@@ -487,22 +584,26 @@ impl CoherenceSystem {
                 tx_read: tx == TxTrack::Read,
                 tx_write: tx == TxTrack::Write,
             };
-            match self.caches[core.0].insert_respecting(line, meta, LineMeta::pinned) {
+            match self.per_core[core.0]
+                .cache
+                .insert_respecting(line, meta, LineMeta::pinned)
+            {
                 Ok(outcome) => {
                     if let clear_mem::EvictionOutcome::Evicted(victim) = outcome {
                         // Victim drops to the L2 shadow; directory forgets it.
                         let e = self.dir_mut(victim);
-                        e.sharers &= !(1 << core.0);
+                        e.sharers.remove(core.0);
                         if e.owner == Some(core) {
                             e.owner = None;
                         }
-                        self.l2_shadow[core.0].insert(victim);
+                        self.per_core[core.0].l2_shadow.insert(victim);
                     }
+                    let pc = &mut self.per_core[core.0];
                     if lock {
-                        self.locks_held[core.0].push(line);
+                        pc.locks_held.push(line);
                     }
                     if tx != TxTrack::None {
-                        self.tx_touched[core.0].push(line);
+                        pc.tx_touched.push(line);
                     }
                 }
                 Err(clear_mem::PinnedSetFull) => return Err(LockFail::Capacity),
@@ -511,11 +612,11 @@ impl CoherenceSystem {
 
         // Update the directory for the accessed line.
         let e = self.dir_mut(line);
-        e.sharers |= 1 << core.0;
+        e.sharers.insert(core.0);
         match access {
             Access::Write => {
                 e.owner = Some(core);
-                e.sharers = 1 << core.0;
+                e.sharers.set_only(core.0);
             }
             Access::Read => {
                 if !others_share {
@@ -527,8 +628,8 @@ impl CoherenceSystem {
             e.locked_by = Some(core);
         }
 
-        self.llc.insert(line);
-        self.l2_shadow[core.0].remove(line);
+        self.llc_insert(line);
+        self.per_core[core.0].l2_shadow.remove(line);
         self.record_serve(served_by);
         Ok(ApplyOk {
             served_by,
@@ -545,40 +646,50 @@ impl CoherenceSystem {
     /// is what makes the subsequent S-CL lock pass hit the ALT Hit-bit
     /// fast path.
     pub fn read_untracked(&mut self, core: CoreId, line: LineAddr) -> u64 {
-        if self.caches[core.0].contains(line) {
+        if self.per_core[core.0].cache.contains(line) {
             self.record_serve(ServedBy::L1);
             return self.latency_of(ServedBy::L1, 0);
         }
-        let dir = self.dir(line);
-        let served_by = self.classify_miss(core, line, &dir);
-        let remote_exclusive = (0..self.config.cores).any(|c| {
-            c != core.0
-                && self.caches[c]
+        let served_by = self.classify_miss(core, line);
+        // Any remote M/E holder is, by the directory invariant, exactly the
+        // recorded owner — an O(1) check replacing the previous O(cores)
+        // scan of every private cache.
+        let (owner, locked) = self
+            .dir_ref(line)
+            .map(|e| (e.owner, e.locked_by.is_some()))
+            .unwrap_or((None, false));
+        let remote_exclusive = owner.is_some_and(|o| {
+            o != core
+                && self.per_core[o.0]
+                    .cache
                     .get(line)
                     .map(|m| m.mesi.is_exclusive())
                     .unwrap_or(false)
         });
-        if !remote_exclusive && dir.locked_by.is_none() {
+        if !remote_exclusive && !locked {
             let meta = LineMeta {
                 mesi: MesiState::Shared,
                 locked: false,
                 tx_read: false,
                 tx_write: false,
             };
-            if let Ok(outcome) = self.caches[core.0].insert_respecting(line, meta, LineMeta::pinned)
+            if let Ok(outcome) =
+                self.per_core[core.0]
+                    .cache
+                    .insert_respecting(line, meta, LineMeta::pinned)
             {
                 if let clear_mem::EvictionOutcome::Evicted(victim) = outcome {
                     let e = self.dir_mut(victim);
-                    e.sharers &= !(1 << core.0);
+                    e.sharers.remove(core.0);
                     if e.owner == Some(core) {
                         e.owner = None;
                     }
-                    self.l2_shadow[core.0].insert(victim);
+                    self.per_core[core.0].l2_shadow.insert(victim);
                 }
                 let e = self.dir_mut(line);
-                e.sharers |= 1 << core.0;
-                self.llc.insert(line);
-                self.l2_shadow[core.0].remove(line);
+                e.sharers.insert(core.0);
+                self.llc_insert(line);
+                self.per_core[core.0].l2_shadow.remove(line);
             }
         }
         self.record_serve(served_by);
@@ -667,13 +778,13 @@ impl CoherenceSystem {
 
     /// Releases the lock `core` holds on `line`. No-op if not held.
     pub fn unlock_line(&mut self, core: CoreId, line: LineAddr) {
-        if let Some(m) = self.caches[core.0].get_mut(line) {
+        if let Some(m) = self.per_core[core.0].cache.get_mut(line) {
             if m.locked {
                 m.locked = false;
                 self.stats.unlocks += 1;
             }
         }
-        if let Some(e) = self.directory.get_mut(line.0 as usize) {
+        if let Some(e) = self.dir_get_mut(line) {
             if e.locked_by == Some(core) {
                 e.locked_by = None;
             }
@@ -684,11 +795,11 @@ impl CoherenceSystem {
     pub fn unlock_all(&mut self, core: CoreId) {
         // Drain the tracked lock list instead of sweeping every cache way;
         // stale entries (released individually since) unlock as no-ops.
-        let mut held = std::mem::take(&mut self.locks_held[core.0]);
+        let mut held = std::mem::take(&mut self.per_core[core.0].locks_held);
         for l in held.drain(..) {
             self.unlock_line(core, l);
         }
-        self.locks_held[core.0] = held;
+        self.per_core[core.0].locks_held = held;
     }
 
     /// Clears `core`'s transactional read/write bits (commit or abort).
@@ -696,19 +807,20 @@ impl CoherenceSystem {
     pub fn clear_tx(&mut self, core: CoreId) {
         // Only the lines tracked since the last clear can hold tx bits;
         // entries invalidated in the meantime are simply absent.
-        let mut touched = std::mem::take(&mut self.tx_touched[core.0]);
+        let mut touched = std::mem::take(&mut self.per_core[core.0].tx_touched);
         for l in touched.drain(..) {
-            if let Some(m) = self.caches[core.0].get_mut(l) {
+            if let Some(m) = self.per_core[core.0].cache.get_mut(l) {
                 m.tx_read = false;
                 m.tx_write = false;
             }
         }
-        self.tx_touched[core.0] = touched;
+        self.per_core[core.0].tx_touched = touched;
     }
 
     /// Lines currently in `core`'s transactional read or write set.
     pub fn tx_lines(&self, core: CoreId) -> Vec<LineAddr> {
-        self.caches[core.0]
+        self.per_core[core.0]
+            .cache
             .iter()
             .filter(|(_, m)| m.tx_read || m.tx_write)
             .map(|(l, _)| l)
@@ -720,6 +832,140 @@ impl CoherenceSystem {
     /// of §4.1.
     pub fn fits_locked(&self, lines: &[LineAddr]) -> bool {
         SetAssocCache::<LineMeta>::fits_simultaneously(self.config.l1, lines.iter().copied())
+    }
+
+    /// Splits out exclusive views for a batch of cores stepping in
+    /// parallel: each member gets its own per-core state plus (when it will
+    /// perform an L1-hit access) its claimed directory shard.
+    ///
+    /// `members` pairs each core id with its claimed shard, in strictly
+    /// ascending core-id order; claimed shard ids must be pairwise
+    /// distinct. The returned views are `Send`, so the machine can hand
+    /// them to scoped worker threads; L1 hits performed through a view are
+    /// buffered locally and merged back with
+    /// [`CoherenceSystem::merge_local_hits`] at the batch barrier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if core ids are not strictly ascending, a core id is out of
+    /// range, or two members claim the same shard.
+    pub fn split_local_views(&mut self, members: &[(usize, Option<usize>)]) -> Vec<LocalView<'_>> {
+        let mut claims: Vec<usize> = members.iter().filter_map(|&(_, s)| s).collect();
+        claims.sort_unstable();
+        for &s in &claims {
+            self.ensure_shard(s);
+        }
+        let lat_l1 = self.config.lat_l1;
+        let core_ids: Vec<usize> = members.iter().map(|&(c, _)| c).collect();
+        let pcs = disjoint_muts(&mut self.per_core, &core_ids);
+        // `disjoint_muts` rejects duplicates, enforcing distinct claims.
+        let shard_refs = disjoint_muts(&mut self.shards, &claims);
+        let mut shard_slots: Vec<Option<&mut DirShard>> =
+            shard_refs.into_iter().map(Some).collect();
+        members
+            .iter()
+            .zip(pcs)
+            .map(|(&(core, claim), pc)| {
+                let shard = claim.map(|s| {
+                    let pos = claims.binary_search(&s).expect("claim present");
+                    shard_slots[pos].take().expect("claims are distinct")
+                });
+                LocalView {
+                    core: CoreId(core),
+                    pc,
+                    shard,
+                    lat_l1,
+                    l1_hits: 0,
+                }
+            })
+            .collect()
+    }
+
+    /// Merges L1 hits performed through [`LocalView`]s back into the
+    /// global counters (the deterministic batch barrier).
+    pub fn merge_local_hits(&mut self, hits: u64) {
+        self.stats.l1_hits += hits;
+    }
+}
+
+/// Exclusive view of one core's coherence state (plus its claimed
+/// directory shard) during a parallel step batch.
+///
+/// Created by [`CoherenceSystem::split_local_views`]; only supports the
+/// *local* operations the batch classifier admits — an L1-hit load or
+/// store touching the claimed shard.
+#[derive(Debug)]
+pub struct LocalView<'a> {
+    core: CoreId,
+    pc: &'a mut PerCore,
+    shard: Option<&'a mut DirShard>,
+    lat_l1: u64,
+    l1_hits: u64,
+}
+
+impl LocalView<'_> {
+    /// The core this view belongs to.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// L1 hits performed through this view so far (merged into the global
+    /// stats with [`CoherenceSystem::merge_local_hits`] at the barrier).
+    pub fn l1_hits(&self) -> u64 {
+        self.l1_hits
+    }
+
+    /// Applies an L1-hit access for this core, mirroring the sequential
+    /// [`CoherenceSystem::apply_probed`] own-copy path for a
+    /// [`ServedBy::L1`] hit (which by the MESI invariant has no remote
+    /// impacts and no lock involvement). Returns the latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not cached with sufficient permission or the
+    /// view holds no shard claim — both are classifier bugs.
+    pub fn apply_hit(&mut self, line: LineAddr, access: Access, tx: TxTrack) -> u64 {
+        let w = self
+            .pc
+            .cache
+            .find_way(line)
+            .expect("local hit step: line must be cached");
+        let shard = self.shard.as_mut().expect("local hit step claims a shard");
+        let (_, sub) = slot(line);
+        let others_share = shard.entries[sub].sharers.contains_other_than(self.core.0);
+        let meta = self.pc.cache.touch_at(w);
+        debug_assert!(
+            access == Access::Read || meta.mesi.is_exclusive(),
+            "write hit requires M/E"
+        );
+        if access == Access::Write {
+            meta.mesi = MesiState::Modified;
+        }
+        if tx != TxTrack::None && !meta.tx_read && !meta.tx_write {
+            self.pc.tx_touched.push(line);
+        }
+        match tx {
+            TxTrack::None => {}
+            TxTrack::Read => meta.tx_read = true,
+            TxTrack::Write => meta.tx_write = true,
+        }
+        let e = &mut shard.entries[sub];
+        e.sharers.insert(self.core.0);
+        match access {
+            Access::Write => {
+                e.owner = Some(self.core);
+                e.sharers.set_only(self.core.0);
+            }
+            Access::Read => {
+                if !others_share {
+                    e.owner = Some(self.core);
+                }
+            }
+        }
+        shard.llc |= 1 << sub;
+        self.pc.l2_shadow.remove(line);
+        self.l1_hits += 1;
+        self.lat_l1
     }
 }
 
@@ -1007,5 +1253,121 @@ mod tests {
         let l = LineAddr(6);
         s.lock_line(CoreId(0), l).unwrap();
         let _ = s.apply(CoreId(1), l, Access::Read, TxTrack::None);
+    }
+
+    #[test]
+    fn wide_machines_support_more_than_64_cores() {
+        let mut s = sys(100);
+        let l = LineAddr(4);
+        // Sharers across both bitset words, including beyond core 63.
+        for c in [0usize, 63, 64, 99] {
+            s.apply(CoreId(c), l, Access::Read, TxTrack::Read).unwrap();
+        }
+        let p = s.probe(CoreId(70), l, Access::Write);
+        assert_eq!(p.remote_impacts.len(), 4);
+        let victims: Vec<usize> = p.remote_impacts.iter().map(|i| i.core.0).collect();
+        assert_eq!(victims, vec![0, 63, 64, 99], "ascending core-id order");
+        s.apply(CoreId(70), l, Access::Write, TxTrack::Write)
+            .unwrap();
+        for c in [0usize, 63, 64, 99] {
+            assert!(!s.is_cached(CoreId(c), l));
+        }
+        assert!(s.has_exclusive(CoreId(70), l));
+    }
+
+    #[test]
+    fn read_untracked_owner_check_sees_wide_owners() {
+        let mut s = sys(80);
+        let l = LineAddr(9);
+        s.apply(CoreId(77), l, Access::Write, TxTrack::Write)
+            .unwrap();
+        let lat = s.read_untracked(CoreId(2), l);
+        assert!(lat >= 45);
+        assert!(
+            !s.is_cached(CoreId(2), l),
+            "remote M/E (held beyond core 64) must suppress the install"
+        );
+        assert!(s.has_exclusive(CoreId(77), l));
+    }
+
+    #[test]
+    fn shards_partition_by_line_range() {
+        let mut s = sys(2);
+        assert_eq!(CoherenceSystem::shard_of(LineAddr(0)), 0);
+        assert_eq!(CoherenceSystem::shard_of(LineAddr(63)), 0);
+        assert_eq!(CoherenceSystem::shard_of(LineAddr(64)), 1);
+        assert_eq!(CoherenceSystem::shard_of(LineAddr(200)), 3);
+        for l in [LineAddr(0), LineAddr(63), LineAddr(64), LineAddr(200)] {
+            s.apply(CoreId(0), l, Access::Read, TxTrack::None).unwrap();
+        }
+        assert_eq!(s.shard_count(), 4);
+        assert!(s.shard_lines() >= 4);
+        assert!(s.shard_lines_max() <= s.shard_lines());
+        // A line in an untouched shard range is still classified correctly.
+        assert_eq!(
+            s.probe(CoreId(1), LineAddr(500), Access::Read).served_by,
+            ServedBy::Memory
+        );
+    }
+
+    #[test]
+    fn local_view_hit_matches_sequential_apply() {
+        // Two identically warmed systems: one applies a read hit and a
+        // write hit sequentially, the other through split LocalViews.
+        let build = || {
+            let mut s = sys(4);
+            s.apply(CoreId(0), LineAddr(3), Access::Read, TxTrack::Read)
+                .unwrap();
+            s.apply(CoreId(1), LineAddr(70), Access::Write, TxTrack::Write)
+                .unwrap();
+            s
+        };
+        let mut seq = build();
+        let a = seq
+            .apply(CoreId(0), LineAddr(3), Access::Read, TxTrack::Read)
+            .unwrap();
+        let b = seq
+            .apply(CoreId(1), LineAddr(70), Access::Write, TxTrack::Write)
+            .unwrap();
+        assert_eq!(a.served_by, ServedBy::L1);
+        assert_eq!(b.served_by, ServedBy::L1);
+
+        let mut par = build();
+        let members = [
+            (0usize, Some(CoherenceSystem::shard_of(LineAddr(3)))),
+            (1usize, Some(CoherenceSystem::shard_of(LineAddr(70)))),
+        ];
+        let mut views = par.split_local_views(&members);
+        let lat0 = views[0].apply_hit(LineAddr(3), Access::Read, TxTrack::Read);
+        let lat1 = views[1].apply_hit(LineAddr(70), Access::Write, TxTrack::Write);
+        assert_eq!(lat0, a.latency);
+        assert_eq!(lat1, b.latency);
+        let hits: u64 = views.iter().map(|v| v.l1_hits()).sum();
+        drop(views);
+        par.merge_local_hits(hits);
+
+        assert_eq!(seq.stats(), par.stats());
+        for l in [LineAddr(3), LineAddr(70)] {
+            for c in 0..4 {
+                assert_eq!(
+                    seq.per_core[c].cache.get(l),
+                    par.per_core[c].cache.get(l),
+                    "core {c} line {l:?}"
+                );
+            }
+            let (se, pe) = (seq.dir_ref(l).unwrap(), par.dir_ref(l).unwrap());
+            assert_eq!(se.owner, pe.owner);
+            assert_eq!(se.sharers, pe.sharers);
+            assert_eq!(se.locked_by, pe.locked_by);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn split_rejects_duplicate_shard_claims() {
+        let mut s = sys(2);
+        s.apply(CoreId(0), LineAddr(1), Access::Read, TxTrack::None)
+            .unwrap();
+        let _ = s.split_local_views(&[(0, Some(0)), (1, Some(0))]);
     }
 }

@@ -31,7 +31,9 @@ pub mod workload;
 
 pub use exec::{run_invocation, RefOutcome};
 pub use gen::{case_seed, FuzzCase, Shape};
-pub use litmus::{cases as litmus_cases, LitmusCase, LitmusWorkload};
-pub use oracle::{check_case, CaseReport, Divergence};
+pub use litmus::{
+    cases as litmus_cases, wide_cases as litmus_wide_cases, LitmusCase, LitmusWorkload,
+};
+pub use oracle::{check_case, check_case_at, CaseReport, Divergence};
 pub use shrink::{shrink, shrink_with, Shrunk};
 pub use workload::{initial_image, FuzzWorkload, Layout, SharedSlot};

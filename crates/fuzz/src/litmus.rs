@@ -192,6 +192,50 @@ pub fn cases() -> Vec<LitmusCase> {
     ]
 }
 
+/// Reader count of the wide IRIW variant: 126 readers plus the two
+/// writers give a 128-thread case, past the inline width of every
+/// per-core bitset and across many directory shards.
+pub const IRIW_WIDE_READERS: usize = 126;
+
+/// Wide litmus variants exercising the many-core machine. Kept out of
+/// [`cases`] so the golden-gated `litmus-conformance` corpus and its
+/// baseline stay byte-identical; the harness and unit tests run these
+/// directly at 128 simulated cores.
+///
+/// `IRIW-wide` scales IRIW to [`IRIW_WIDE_READERS`] readers: threads 0
+/// and 1 write `x` and `y`, then readers alternate observation order —
+/// even reader indices load `(x, y)`, odd ones `(y, x)`. Any even reader
+/// seeing `x=1,y=0` while any odd reader sees `y=1,x=0` means two
+/// readers disagreed on the write order, which AR atomicity forbids.
+pub fn wide_cases() -> Vec<LitmusCase> {
+    let mut threads = vec![
+        writer_thread((Var::X, Var::Y)),
+        writer_thread((Var::Y, Var::X)),
+    ];
+    for r in 0..IRIW_WIDE_READERS {
+        threads.push(if r % 2 == 0 {
+            reader_thread((Var::X, Var::Y))
+        } else {
+            reader_thread((Var::Y, Var::X))
+        });
+    }
+    vec![LitmusCase {
+        name: "IRIW-wide",
+        about: "any two of 126 independent readers disagreeing on the write order is forbidden",
+        threads,
+        result_words: 2,
+        forbidden: |r| {
+            let saw_first = |parity: usize| {
+                r.iter()
+                    .enumerate()
+                    .skip(2)
+                    .any(|(t, words)| t % 2 == parity && words == &[1, 0])
+            };
+            saw_first(0) && saw_first(1)
+        },
+    }]
+}
+
 /// Runtime addresses of a litmus run's shared variables and result lines.
 #[derive(Clone, Debug)]
 pub struct LitmusLayout {
@@ -370,6 +414,31 @@ mod tests {
                 run(case, seed);
             }
         }
+    }
+
+    #[test]
+    fn wide_iriw_runs_clean_on_a_128_core_machine() {
+        let mut wide = wide_cases();
+        assert_eq!(wide.len(), 1);
+        let case = wide.pop().unwrap();
+        assert_eq!(case.threads.len(), 2 + IRIW_WIDE_READERS);
+        let (outcome, _) = run(case, 5);
+        // Both writers committed, so every reader saw a final 1 somewhere.
+        assert!(outcome
+            .iter()
+            .skip(2)
+            .all(|words| words.contains(&1) || words == &[0, 0]));
+    }
+
+    #[test]
+    fn wide_iriw_forbidden_predicate_needs_disagreeing_parities() {
+        let case = wide_cases().pop().unwrap();
+        let mut outcome = vec![vec![0, 0]; 2 + IRIW_WIDE_READERS];
+        assert!(!(case.forbidden)(&outcome));
+        outcome[2] = vec![1, 0]; // even reader: x before y
+        assert!(!(case.forbidden)(&outcome), "one parity alone is allowed");
+        outcome[7] = vec![1, 0]; // odd reader: y before x
+        assert!((case.forbidden)(&outcome), "disagreeing readers forbidden");
     }
 
     #[test]

@@ -260,8 +260,24 @@ fn single_retry_violation(
     None
 }
 
-/// Runs the full differential oracle on one case.
+/// Runs the full differential oracle on one case at the case's own
+/// contended-phase thread count.
 pub fn check_case(case: &Arc<FuzzCase>) -> CaseReport {
+    check_case_at(case, case.threads)
+}
+
+/// [`check_case`] with the contended phase widened (or narrowed) to an
+/// explicit core count. The workload hands every machine thread the full
+/// `invocations` quota, so the expected commit count scales to
+/// `cores * invocations` — this is how the oracle and the single-retry
+/// bound are exercised beyond the generator's native thread range (e.g.
+/// on 128-core sharded-directory configurations).
+///
+/// # Panics
+///
+/// Panics if `cores` is zero.
+pub fn check_case_at(case: &Arc<FuzzCase>, cores: usize) -> CaseReport {
+    assert!(cores > 0, "contended phase needs at least one core");
     let analysis = case.analysis();
     let mut report = CaseReport {
         index: case.index,
@@ -269,7 +285,7 @@ pub fn check_case(case: &Arc<FuzzCase>) -> CaseReport {
         program_len: case.program.len(),
         rejected: case.rejected,
         verdict: analysis.verdict.name(),
-        threads: case.threads,
+        threads: cores,
         invocations: case.invocations,
         machine_instructions: 0,
         reference_steps: 0,
@@ -314,7 +330,7 @@ pub fn check_case(case: &Arc<FuzzCase>) -> CaseReport {
     }
 
     // Phase 2: contended — every thread hammers the same lines, tracing on.
-    let mut cfg = Preset::C.config(case.threads, MAX_RETRIES);
+    let mut cfg = Preset::C.config(cores, MAX_RETRIES);
     cfg.seed = case.seed;
     let mut machine = Machine::new(cfg, Box::new(FuzzWorkload::new(Arc::clone(case))));
     machine.enable_tracing();
@@ -347,7 +363,7 @@ pub fn check_case(case: &Arc<FuzzCase>) -> CaseReport {
         report.divergence = Some(Divergence::FaultAbort { count: faults });
         return report;
     }
-    let want = (case.threads * case.invocations) as u64;
+    let want = (cores * case.invocations) as u64;
     let committed = machine.trace().commits().count() as u64;
     if stats.commits_by_mode.total() != want || committed != want {
         report.divergence = Some(Divergence::CommitCount {
@@ -357,7 +373,7 @@ pub fn check_case(case: &Arc<FuzzCase>) -> CaseReport {
         });
         return report;
     }
-    for core in 0..case.threads {
+    for core in 0..cores {
         if let Some(d) = single_retry_violation(machine.trace().core_events(core).cloned(), core) {
             report.divergence = Some(d);
             return report;
@@ -367,7 +383,7 @@ pub fn check_case(case: &Arc<FuzzCase>) -> CaseReport {
     // (see `Trace::commits`); every invocation runs the same program with
     // the same args, so replaying `want` of them serially must land on
     // exactly the machine's final image if the ARs were atomic.
-    let (mut ref_mem, layout) = initial_image(case, case.threads);
+    let (mut ref_mem, layout) = initial_image(case, cores);
     match replay(case, &layout, &mut ref_mem, want as usize) {
         Ok(steps) => report.reference_steps += steps,
         Err(d) => {
@@ -422,6 +438,27 @@ mod tests {
             );
             assert!(r.machine_instructions > 0);
             assert!(r.reference_steps > 0);
+        }
+    }
+
+    #[test]
+    fn wide_contention_upholds_oracle_and_single_retry_bound() {
+        // 128 cores exceeds the inline width of every per-core bitset and
+        // spans many directory shards: the oracle, the commit accounting
+        // and the single-retry bound must all survive the wide machine.
+        for i in 0..2 {
+            let case = Arc::new(FuzzCase::generate(0xFACE, i));
+            let r = check_case_at(&case, 128);
+            assert!(
+                r.divergence.is_none(),
+                "wide case {i} diverged: {}",
+                r.divergence.unwrap()
+            );
+            assert_eq!(r.threads, 128);
+            assert_eq!(
+                r.mode_commits.0 + r.mode_commits.1 + r.mode_commits.2 + r.mode_commits.3,
+                128 * case.invocations as u64
+            );
         }
     }
 

@@ -14,7 +14,7 @@ use crate::json::Json;
 use crate::pool;
 use crate::suite::SuiteOptions;
 use clear_fuzz::litmus::{cases, outcome_from, LitmusWorkload};
-use clear_fuzz::{check_case, shrink, CaseReport, FuzzCase, Shrunk};
+use clear_fuzz::{check_case, check_case_at, shrink, CaseReport, FuzzCase, Shrunk};
 use clear_machine::{Machine, Preset};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -53,9 +53,16 @@ struct CaseOutcome {
     shrunk: Option<Shrunk>,
 }
 
-fn run_case(master_seed: u64, index: u64) -> CaseOutcome {
+/// Runs one generated case; `cores = 0` keeps the case's own
+/// contended-phase thread count, anything else overrides it (the
+/// `fuzz --cores` flag — wide-machine oracle runs).
+fn run_case(master_seed: u64, index: u64, cores: usize) -> CaseOutcome {
     let case = Arc::new(FuzzCase::generate(master_seed, index));
-    let report = check_case(&case);
+    let report = if cores == 0 {
+        check_case(&case)
+    } else {
+        check_case_at(&case, cores)
+    };
     let shrunk = report.divergence.is_some().then(|| shrink(case));
     CaseOutcome { report, shrunk }
 }
@@ -225,11 +232,19 @@ fn aggregate(
 
 /// Runs `count` seeded cases through the differential oracle in parallel
 /// and renders the deterministic fuzz report. Failing cases are shrunk to
-/// minimal reproducers embedded in the `failures` array.
-pub fn fuzz_output(seed_str: &str, count: u64, workers: usize) -> ExperimentOutput {
+/// minimal reproducers embedded in the `failures` array. `cores = 0` runs
+/// each case at its own generated thread count; a nonzero value widens
+/// every contended phase to that many simulated cores (`fuzz --cores`).
+pub fn fuzz_output(seed_str: &str, count: u64, workers: usize, cores: usize) -> ExperimentOutput {
     let master_seed = parse_seed(seed_str);
-    let outcomes = pool::run_indexed(count as usize, workers, |i| run_case(master_seed, i as u64));
-    aggregate("fuzz", seed_str, master_seed, &outcomes)
+    let outcomes = pool::run_indexed(count as usize, workers, |i| {
+        run_case(master_seed, i as u64, cores)
+    });
+    let mut out = aggregate("fuzz", seed_str, master_seed, &outcomes);
+    if let Json::Obj(fields) = &mut out.json {
+        fields.insert(3, ("cores_override".to_string(), Json::from(cores)));
+    }
+    out
 }
 
 /// Replays an explicit `(master_seed, index)` list — the checked-in
@@ -238,7 +253,9 @@ pub fn fuzz_output(seed_str: &str, count: u64, workers: usize) -> ExperimentOutp
 pub fn replay_output(entries: &[(String, u64, u64)], workers: usize) -> ExperimentOutput {
     let outcomes = pool::run_indexed(entries.len(), workers, |i| {
         let (_, master_seed, index) = &entries[i];
-        run_case(*master_seed, *index)
+        // Corpus entries replay at their original thread counts: a pinned
+        // regression must reproduce the machine shape it was found on.
+        run_case(*master_seed, *index, 0)
     });
     let mut out = aggregate("replay", "corpus", 0, &outcomes);
     // Name each replayed entry in the text so CI logs read well.
@@ -268,6 +285,7 @@ pub(super) fn litmus_opts() -> SuiteOptions {
         retry_sweep: vec![5],
         benchmarks: vec![],
         workers: pool::default_workers(),
+        sim_threads: 1,
     }
 }
 
@@ -411,12 +429,30 @@ mod tests {
 
     #[test]
     fn small_fuzz_run_is_clean_and_deterministic() {
-        let a = fuzz_output("0xC1EAR", 24, 4);
+        let a = fuzz_output("0xC1EAR", 24, 4, 0);
         assert_eq!(a.failures, 0, "{}", a.text);
-        let b = fuzz_output("0xC1EAR", 24, 1);
+        let b = fuzz_output("0xC1EAR", 24, 1, 0);
         assert_eq!(a.json.to_pretty(), b.json.to_pretty());
         assert_eq!(a.text, b.text);
         assert!(a.text.contains("all 24 cases agree"));
+    }
+
+    #[test]
+    fn wide_cores_override_scales_the_contended_phase() {
+        let out = fuzz_output("0xC1EAR", 4, 4, 128);
+        assert_eq!(out.failures, 0, "{}", out.text);
+        assert_eq!(out.json.get("cores_override"), Some(&Json::Int(128)));
+        // 4 cases x 128 threads x >= 1 invocation each, all committed in
+        // some mode: total contended commits must be at least 512.
+        let commits = out.json.get("contended_commits").expect("commits");
+        let total: i64 = ["speculative", "nscl", "scl", "fallback"]
+            .iter()
+            .map(|k| match commits.get(k) {
+                Some(Json::Int(v)) => *v,
+                _ => 0,
+            })
+            .sum();
+        assert!(total >= 512, "expected >=512 wide commits, got {total}");
     }
 
     #[test]

@@ -113,6 +113,33 @@ fn tiny_perf() -> SuiteOptions {
     }
 }
 
+/// `scaling-wide` tolerances: per-run schedule counters are exact; the
+/// wall-clock columns and the throughput-retention ratio derived from them
+/// are host-dependent and skipped.
+const SCALING_TOLERANCES: Tolerances = Tolerances {
+    default_rel: 1e-9,
+    overrides: &[],
+    ignored: &["wall_ns", "steps_per_sec", "ratio"],
+};
+
+/// Pinned options for the `scaling-wide` golden: the full 64→1024 core
+/// ladder on a benchmark whose footprint spans many directory shards
+/// (genome reaches ~23 shards and ~12k parallel batches at 1024 cores),
+/// with intra-run parallel stepping pinned *on* (`sim_threads: 2`) so the
+/// gate also locks down the batch-formation counters. The simulation is
+/// byte-identical for any `sim_threads`, so the deterministic row fields
+/// would match a sequential run too.
+fn wide_opts() -> SuiteOptions {
+    SuiteOptions {
+        size: Size::Tiny,
+        cores: 1024,
+        seeds: vec![1],
+        benchmarks: vec!["genome"],
+        sim_threads: 2,
+        ..SuiteOptions::default()
+    }
+}
+
 /// Every registered experiment, in documentation order.
 pub static EXPERIMENTS: &[Experiment] = &[
     Experiment {
@@ -238,6 +265,16 @@ pub static EXPERIMENTS: &[Experiment] = &[
         about: "execution cycles vs core count",
         run: studies::scaling,
         golden: None,
+    },
+    Experiment {
+        name: "scaling-wide",
+        artifact: "simulator engineering",
+        about: "commit throughput and shard/batch counters at 64-1024 cores",
+        run: perf::scaling_wide,
+        golden: Some(GoldenSpec {
+            opts: wide_opts,
+            tolerances: SCALING_TOLERANCES,
+        }),
     },
     Experiment {
         name: "sle",
@@ -384,6 +421,7 @@ mod tests {
                 "report",
                 "table1-measured",
                 "ablation",
+                "scaling-wide",
                 "sle",
                 "sim-throughput",
                 "trace-digest",
@@ -391,6 +429,40 @@ mod tests {
                 "litmus-conformance"
             ]
         );
+    }
+
+    #[test]
+    fn scaling_wide_golden_pins_the_full_ladder_with_batching_on() {
+        let spec = find("scaling-wide").unwrap().golden.unwrap();
+        let opts = (spec.opts)();
+        assert_eq!(opts.cores, 1024);
+        assert_eq!(opts.sim_threads, 2);
+        assert_eq!(opts.benchmarks, ["genome"]);
+        for frag in ["wall_ns", "steps_per_sec", "ratio"] {
+            assert!(spec.tolerances.ignored.contains(&frag), "{frag}");
+        }
+        assert_eq!(spec.tolerances.default_rel, 1e-9);
+    }
+
+    #[test]
+    fn scaling_wide_clips_the_ladder_to_requested_cores() {
+        let opts = SuiteOptions {
+            size: Size::Tiny,
+            cores: 16,
+            seeds: vec![1],
+            benchmarks: vec!["arrayswap"],
+            ..SuiteOptions::default()
+        };
+        let out = (find("scaling-wide").unwrap().run)(&opts);
+        assert_eq!(out.failures, 0);
+        let Some(Json::Arr(rows)) = out.json.get("rows") else {
+            panic!("rows missing");
+        };
+        // 16 < 64: the ladder degenerates to the requested width.
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("cores"), Some(&Json::Int(16)));
+        assert!(rows[0].get("shards").is_some());
+        assert!(rows[0].get("par_batches").is_some());
     }
 
     #[test]
@@ -411,6 +483,7 @@ mod tests {
             retry_sweep: vec![5],
             benchmarks: vec!["mwobject"],
             workers: 4,
+            sim_threads: 1,
         };
         for name in ["fig01", "table1", "table2", "sle", "verify", "trace"] {
             let exp = find(name).expect(name);

@@ -427,6 +427,7 @@ mod tests {
             retry_sweep: vec![5],
             benchmarks: vec!["mwobject"],
             workers: 2,
+            sim_threads: 1,
         }
     }
 

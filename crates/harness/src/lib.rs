@@ -33,6 +33,6 @@ pub mod suite;
 pub mod trace_export;
 
 pub use suite::{
-    bar, format_table, geomean, print_table, run_cell, run_once, run_suite, trimmed_mean,
-    CellResult, SuiteOptions,
+    bar, format_table, geomean, print_table, run_cell, run_once, run_once_threaded, run_suite,
+    split_threads, trimmed_mean, CellResult, SuiteOptions,
 };

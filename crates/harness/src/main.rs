@@ -21,11 +21,12 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  clear-harness list\n  clear-harness run <name>|all \
          [--size tiny|small|medium] [--cores N] [--seeds N]\n      \
-         [--sweep full|quick|none] [--bench NAME] [--workers N] [--json]\n  \
+         [--sweep full|quick|none] [--bench NAME] [--workers N] [--threads N]\n      \
+         [--bench-out FILE] [--json]\n  \
          clear-harness trace <workload> [--size ...] [--cores N] [--seeds N]\n      \
          [--chrome FILE] [--events N] [--json]\n  \
          clear-harness analyze <workload>|all [--size ...] [--cores N] [--seeds N] [--json]\n  \
-         clear-harness fuzz [--seed S] [--count N] [--workers N] [--json]\n      \
+         clear-harness fuzz [--seed S] [--count N] [--cores N] [--workers N] [--json]\n      \
          [--out FILE] [--bench-out FILE] [--repro-dir DIR] [--replay FILE]\n  \
          clear-harness golden update [names...]\n  clear-harness check [names...]"
     );
@@ -69,6 +70,11 @@ fn fuzz(args: &[String]) {
     let workers: usize = take_value("--workers")
         .map(|v| v.parse::<usize>().expect("--workers N").max(1))
         .unwrap_or_else(clear_harness::pool::default_workers);
+    // 0 (the default) keeps each case's own contended thread count; a
+    // positive value widens every contended phase to that many cores.
+    let cores: usize = take_value("--cores")
+        .map(|v| v.parse::<usize>().expect("--cores N"))
+        .unwrap_or(0);
     let out_path = take_value("--out");
     let bench_path = take_value("--bench-out");
     let repro_dir = take_value("--repro-dir");
@@ -90,7 +96,7 @@ fn fuzz(args: &[String]) {
             let n = entries.len() as u64;
             (replay_output(&entries, workers), n)
         }
-        None => (fuzz_output(&seed_str, count, workers), count),
+        None => (fuzz_output(&seed_str, count, workers, cores), count),
     };
     let wall = started.elapsed();
 
@@ -316,6 +322,17 @@ fn list() {
 fn run(args: &[String]) {
     let Some(name) = args.first() else { usage() };
     let mut rest: Vec<String> = args[1..].to_vec();
+    let mut take_value = |flag: &str| -> Option<String> {
+        let i = rest.iter().position(|a| a == flag)?;
+        if i + 1 >= rest.len() {
+            eprintln!("missing value for {flag}");
+            std::process::exit(2);
+        }
+        let v = rest.remove(i + 1);
+        rest.remove(i);
+        Some(v)
+    };
+    let bench_path = take_value("--bench-out");
     let as_json = rest
         .iter()
         .position(|a| a == "--json")
@@ -331,6 +348,7 @@ fn run(args: &[String]) {
         })]
     };
     let mut failures = 0;
+    let mut curve: Vec<Json> = Vec::new();
     for e in selected {
         let out = (e.run)(&opts);
         if as_json {
@@ -338,11 +356,43 @@ fn run(args: &[String]) {
         } else {
             print!("{}", out.text);
         }
+        curve.extend(throughput_curve(&out.json));
         failures += out.failures;
+    }
+    if let Some(path) = &bench_path {
+        let bench = Json::obj([
+            ("bench", Json::from("sim")),
+            ("experiment", Json::from(name.as_str())),
+            ("rows", Json::Arr(curve)),
+        ]);
+        write_file(path, &bench.to_pretty());
+        eprintln!("wrote {path}");
     }
     if failures > 0 {
         std::process::exit(1);
     }
+}
+
+/// Extracts a steps-per-second-by-core-count curve from an experiment
+/// document for `BENCH_sim.json`: every row carrying both a `cores` and a
+/// `steps_per_sec` field contributes one point (today that is the
+/// `scaling-wide` ladder; other experiments simply contribute nothing).
+fn throughput_curve(doc: &Json) -> Vec<Json> {
+    let Some(Json::Arr(rows)) = doc.get("rows") else {
+        return Vec::new();
+    };
+    rows.iter()
+        .filter(|r| r.get("cores").is_some() && r.get("steps_per_sec").is_some())
+        .map(|r| {
+            let f = |k: &str| r.get(k).cloned().unwrap_or(Json::Null);
+            Json::obj([
+                ("cores", f("cores")),
+                ("steps", f("steps")),
+                ("wall_ns", f("wall_ns")),
+                ("steps_per_sec", f("steps_per_sec")),
+            ])
+        })
+        .collect()
 }
 
 /// Resolves the gated experiments named on the command line (all of them

@@ -28,6 +28,11 @@ pub struct SuiteOptions {
     /// Worker threads for the parallel grid (≥ 1; default: all cores, at
     /// least 4).
     pub workers: usize,
+    /// Intra-run stepping threads per simulated machine (1 = strictly
+    /// sequential, 0 = all host cores, n ≥ 2 = capped). Results are
+    /// byte-identical for every value; only the `par_batch_*` perf
+    /// counters reveal whether batching was on.
+    pub sim_threads: usize,
 }
 
 impl Default for SuiteOptions {
@@ -39,8 +44,38 @@ impl Default for SuiteOptions {
             retry_sweep: vec![2, 5, 8],
             benchmarks: BENCHMARK_NAMES.to_vec(),
             workers: pool::default_workers(),
+            sim_threads: default_sim_threads(),
         }
     }
+}
+
+/// The default intra-run thread count: the `CLEAR_SIM_THREADS` environment
+/// variable if set to an integer (`0` meaning all host cores), otherwise 1
+/// (sequential stepping). Precedence, lowest to highest: built-in defaults,
+/// then the environment (`CLEAR_WORKERS` seeds the grid share,
+/// `CLEAR_SIM_THREADS` the intra-run share), then CLI flags in order —
+/// `--threads N` reassigns both shares from one budget, a later `--workers`
+/// or another `--threads` rewrites its share again.
+fn default_sim_threads() -> usize {
+    std::env::var("CLEAR_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(1)
+}
+
+/// Splits a total thread budget between the experiment grid and intra-run
+/// stepping. Grid parallelism is embarrassingly parallel and scales
+/// near-linearly, so it is funded first: the intra-run share is at most the
+/// integer square root of the budget and the grid takes the quotient, so
+/// `workers * sim_threads` never exceeds the budget. Returns
+/// `(workers, sim_threads)`.
+pub fn split_threads(total: usize) -> (usize, usize) {
+    let total = total.max(1);
+    let mut sim = 1usize;
+    while (sim + 1) * (sim + 1) <= total {
+        sim += 1;
+    }
+    ((total / sim).max(1), sim)
 }
 
 impl SuiteOptions {
@@ -101,10 +136,16 @@ impl SuiteOptions {
                     picked.push(known);
                 }
                 "--workers" => o.workers = val().parse::<usize>().expect("--workers N").max(1),
+                "--threads" => {
+                    let total: usize = val().parse().expect("--threads N");
+                    let (workers, sim) = split_threads(total);
+                    o.workers = workers;
+                    o.sim_threads = sim;
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --size tiny|small|medium --cores N --seeds N \
-                         --sweep full|quick|none --bench NAME --workers N"
+                         --sweep full|quick|none --bench NAME --workers N --threads N"
                     );
                     std::process::exit(0);
                 }
@@ -133,9 +174,30 @@ pub fn run_once(
     size: Size,
     seed: u64,
 ) -> RunStats {
+    run_once_threaded(name, preset, cores, max_retries, size, seed, 1)
+}
+
+/// [`run_once`] with an explicit intra-run thread count. Stats are
+/// byte-identical for every `sim_threads` value except the `par_batch_*`
+/// perf counters, which record whether batching was active.
+///
+/// # Panics
+///
+/// As [`run_once`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_once_threaded(
+    name: &str,
+    preset: Preset,
+    cores: usize,
+    max_retries: u32,
+    size: Size,
+    seed: u64,
+    sim_threads: usize,
+) -> RunStats {
     let workload = by_name(name, size, seed).unwrap_or_else(|| panic!("unknown benchmark {name}"));
     let mut cfg: MachineConfig = preset.config(cores, max_retries);
     cfg.seed = seed;
+    cfg.sim_threads = sim_threads;
     let mut machine = Machine::new(cfg, workload);
     let stats = machine.run();
     assert!(!stats.timed_out, "{name}/{preset}: run timed out");
@@ -226,7 +288,17 @@ pub fn run_cell(name: &str, preset: Preset, opts: &SuiteOptions) -> CellResult {
         .map(|&retries| {
             opts.seeds
                 .iter()
-                .map(|&s| run_once(name, preset, opts.cores, retries, opts.size, s))
+                .map(|&s| {
+                    run_once_threaded(
+                        name,
+                        preset,
+                        opts.cores,
+                        retries,
+                        opts.size,
+                        s,
+                        opts.sim_threads,
+                    )
+                })
                 .collect()
         })
         .collect();
@@ -253,13 +325,14 @@ pub fn run_suite(opts: &SuiteOptions) -> Vec<[CellResult; 4]> {
         let r = (i / ns) % nr;
         let p = (i / (ns * nr)) % np;
         let b = i / (ns * nr * np);
-        run_once(
+        run_once_threaded(
             opts.benchmarks[b],
             presets[p],
             opts.cores,
             opts.retry_sweep[r],
             opts.size,
             opts.seeds[s],
+            opts.sim_threads,
         )
     });
     let mut iter = stats.into_iter();
@@ -394,6 +467,34 @@ mod tests {
     }
 
     #[test]
+    fn split_threads_funds_the_grid_first() {
+        assert_eq!(split_threads(0), (1, 1));
+        assert_eq!(split_threads(1), (1, 1));
+        assert_eq!(split_threads(2), (2, 1));
+        assert_eq!(split_threads(4), (2, 2));
+        assert_eq!(split_threads(8), (4, 2));
+        assert_eq!(split_threads(16), (4, 4));
+        for total in 1..=64 {
+            let (w, s) = split_threads(total);
+            assert!(w * s <= total.max(1), "budget exceeded at {total}");
+            assert!(w >= s, "grid is funded first at {total}");
+        }
+    }
+
+    #[test]
+    fn threads_flag_splits_and_later_workers_overrides() {
+        let args: Vec<String> = ["--threads", "8"].iter().map(|s| s.to_string()).collect();
+        let o = SuiteOptions::from_arg_slice(&args);
+        assert_eq!((o.workers, o.sim_threads), (4, 2));
+        let args: Vec<String> = ["--threads", "8", "--workers", "1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = SuiteOptions::from_arg_slice(&args);
+        assert_eq!((o.workers, o.sim_threads), (1, 2));
+    }
+
+    #[test]
     fn run_once_produces_valid_stats() {
         let s = run_once("arrayswap", Preset::B, 4, 5, Size::Tiny, 1);
         assert!(s.commits() > 0);
@@ -424,6 +525,7 @@ mod tests {
             retry_sweep: vec![2, 5],
             benchmarks: vec!["arrayswap", "mwobject"],
             workers: 4,
+            sim_threads: 1,
         };
         let suite = run_suite(&opts);
         for (name, cells) in opts.benchmarks.iter().zip(&suite) {

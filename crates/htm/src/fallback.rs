@@ -1,7 +1,7 @@
 //! The global fallback lock.
 
 use clear_coherence::CoreId;
-use clear_mem::LineAddr;
+use clear_mem::{CoreBitSet, LineAddr};
 
 /// The fallback mutex of SLE/HTM (§2.1, §4.3).
 ///
@@ -37,7 +37,7 @@ use clear_mem::LineAddr;
 pub struct FallbackLock {
     line: LineAddr,
     writer: Option<CoreId>,
-    readers: u64,
+    readers: CoreBitSet,
 }
 
 impl FallbackLock {
@@ -46,7 +46,7 @@ impl FallbackLock {
         FallbackLock {
             line,
             writer: None,
-            readers: 0,
+            readers: CoreBitSet::new(),
         }
     }
 
@@ -62,18 +62,18 @@ impl FallbackLock {
 
     /// `true` if any core holds the read lock.
     pub fn has_readers(&self) -> bool {
-        self.readers != 0
+        !self.readers.is_empty()
     }
 
     /// `true` if `core` holds the read lock.
     pub fn is_reader(&self, core: CoreId) -> bool {
-        self.readers & (1 << core.0) != 0
+        self.readers.contains(core.0)
     }
 
     /// Attempts to write-lock (fallback path entry). Fails while any reader
     /// or another writer holds the lock.
     pub fn try_write(&mut self, core: CoreId) -> bool {
-        if self.writer.is_none() && self.readers == 0 {
+        if self.writer.is_none() && self.readers.is_empty() {
             self.writer = Some(core);
             true
         } else {
@@ -96,13 +96,13 @@ impl FallbackLock {
         if self.writer.is_some() {
             return false;
         }
-        self.readers |= 1 << core.0;
+        self.readers.insert(core.0);
         true
     }
 
     /// Releases `core`'s read lock (idempotent).
     pub fn release_read(&mut self, core: CoreId) {
-        self.readers &= !(1 << core.0);
+        self.readers.remove(core.0);
     }
 }
 
@@ -152,6 +152,16 @@ mod tests {
         let mut fl = FallbackLock::new(LineAddr(1));
         fl.release_read(CoreId(3));
         assert!(!fl.has_readers());
+    }
+
+    #[test]
+    fn readers_beyond_64_cores_block_the_writer() {
+        let mut fl = FallbackLock::new(LineAddr(1));
+        assert!(fl.try_read(CoreId(900)));
+        assert!(fl.is_reader(CoreId(900)));
+        assert!(!fl.try_write(CoreId(0)));
+        fl.release_read(CoreId(900));
+        assert!(fl.try_write(CoreId(0)));
     }
 
     #[test]

@@ -91,6 +91,12 @@ pub struct MachineConfig {
     pub seed: u64,
     /// Hard stop after this many cycles on any core (deadlock guard).
     pub max_cycles: u64,
+    /// Host worker threads for deterministic intra-run parallel stepping:
+    /// `1` (the default) steps strictly sequentially, `0` uses all host
+    /// cores, `n ≥ 2` uses at most `n`. Results are byte-identical for
+    /// every value — only the `par_batch_*` perf counters differ between
+    /// `1` and `≥ 2`.
+    pub sim_threads: usize,
 }
 
 impl MachineConfig {
@@ -112,6 +118,7 @@ impl MachineConfig {
             energy: EnergyConfig::default(),
             seed: 1,
             max_cycles: 2_000_000_000,
+            sim_threads: 1,
         }
     }
 }

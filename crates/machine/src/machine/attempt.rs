@@ -15,24 +15,24 @@ impl Machine {
                     self.abort_victims(c, line, &impacts, AbortKind::OtherFallback);
                     self.arm_vm(c);
                     self.cores[c].mode = ExecMode::Fallback;
-                    self.cores[c].attempt_started_at = self.cores[c].clock;
+                    self.cores[c].attempt_started_at = self.clocks[c];
                     self.trace.record(
-                        self.cores[c].clock,
+                        self.clocks[c],
                         c,
                         TraceEvent::AttemptStart {
                             mode: RetryMode::Fallback,
                         },
                     );
-                    self.cores[c].phase = Phase::Running;
-                    self.cores[c].clock += self.config.timing.xbegin_cost;
+                    self.phases[c] = Phase::Running;
+                    self.clocks[c] += self.config.timing.xbegin_cost;
                 } else {
-                    self.cores[c].clock += spin;
+                    self.clocks[c] += spin;
                     self.stats.fallback_wait_cycles += spin;
                 }
             }
             RetryMode::NsCl | RetryMode::SCl => {
                 if self.fallback.writer().is_some() || !self.fallback.try_read(CoreId(c)) {
-                    self.cores[c].clock += spin;
+                    self.clocks[c] += spin;
                     self.stats.fallback_wait_cycles += spin;
                     return;
                 }
@@ -63,9 +63,9 @@ impl Machine {
                     alt.lock_list_into(&mut lock_list);
                 }
                 self.arm_vm(c);
-                self.cores[c].attempt_started_at = self.cores[c].clock;
+                self.cores[c].attempt_started_at = self.clocks[c];
                 self.trace.record(
-                    self.cores[c].clock,
+                    self.clocks[c],
                     c,
                     TraceEvent::AttemptStart {
                         mode: if mode == ExecMode::NsCl {
@@ -79,9 +79,9 @@ impl Machine {
                 core.mode = mode;
                 core.lock_list = lock_list;
                 core.lock_wait_acc = 0;
-                core.phase = Phase::LockAcquire { idx: 0 };
+                self.phases[c] = Phase::LockAcquire { idx: 0 };
                 // S-CL checkpoints like a transaction; NS-CL does not.
-                core.clock += if mode == ExecMode::SCl {
+                self.clocks[c] += if mode == ExecMode::SCl {
                     self.config.timing.xbegin_cost
                 } else {
                     1
@@ -93,16 +93,16 @@ impl Machine {
                         self.stats.aborts.record(AbortKind::ExplicitFallback);
                         self.cores[c].explicit_fb_recorded = true;
                     }
-                    self.cores[c].clock += spin;
+                    self.clocks[c] += spin;
                     self.stats.fallback_wait_cycles += spin;
                     return;
                 }
                 self.cores[c].explicit_fb_recorded = false;
                 self.arm_vm(c);
                 self.cores[c].mode = ExecMode::Speculative;
-                self.cores[c].attempt_started_at = self.cores[c].clock;
+                self.cores[c].attempt_started_at = self.clocks[c];
                 self.trace.record(
-                    self.cores[c].clock,
+                    self.clocks[c],
                     c,
                     TraceEvent::AttemptStart {
                         mode: RetryMode::SpeculativeRetry,
@@ -129,8 +129,8 @@ impl Machine {
                 } else {
                     self.cores[c].discovery = None;
                 }
-                self.cores[c].phase = Phase::Running;
-                self.cores[c].clock += self.config.timing.xbegin_cost;
+                self.phases[c] = Phase::Running;
+                self.clocks[c] += self.config.timing.xbegin_cost;
             }
         }
     }
@@ -143,11 +143,9 @@ impl Machine {
         // is a *victim* of the core being stepped: tell the scheduler so
         // the heap re-keys this core after the current step.
         self.sched_touched.push(c);
-        let span = self.cores[c]
-            .clock
-            .saturating_sub(self.cores[c].attempt_started_at);
+        let span = self.clocks[c].saturating_sub(self.cores[c].attempt_started_at);
         self.trace
-            .record(self.cores[c].clock, c, TraceEvent::Abort { kind, span });
+            .record(self.clocks[c], c, TraceEvent::Abort { kind, span });
         self.stats.aborts.record(kind);
         if let Some(inv) = self.cores[c].inv.as_ref() {
             self.stats.ar_stats.entry(inv.ar.0).or_default().aborts += 1;
@@ -211,8 +209,8 @@ impl Machine {
         }
 
         let penalty = self.config.timing.abort_penalty + self.jitter();
-        self.cores[c].clock += penalty;
-        self.cores[c].phase = Phase::StartAttempt;
+        self.clocks[c] += penalty;
+        self.phases[c] = Phase::StartAttempt;
     }
 
     /// Fig. 1 instrumentation: called at the end of every attempt.
@@ -254,7 +252,7 @@ impl Machine {
             }
             let mode = decide(&assessment);
             self.trace.record(
-                self.cores[c].clock,
+                self.clocks[c],
                 c,
                 TraceEvent::Decision {
                     ar: clear_isa::ArId(ar),
@@ -296,7 +294,7 @@ impl Machine {
         self.note_attempt_end(c, false);
         let mode = self.cores[c].mode;
         self.trace.record(
-            self.cores[c].clock,
+            self.clocks[c],
             c,
             TraceEvent::Commit {
                 mode: mode.commit_bucket(),
@@ -349,8 +347,8 @@ impl Machine {
         core.alt = None;
         core.inv = None;
         core.vm = None;
-        core.phase = Phase::Idle;
-        core.clock += self.config.timing.commit_cost;
+        self.phases[c] = Phase::Idle;
+        self.clocks[c] += self.config.timing.commit_cost;
     }
 
     /// The learned footprint exceeded the ALT (assessment 1, §4.1): mark

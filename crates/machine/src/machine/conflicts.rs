@@ -13,7 +13,7 @@ impl Machine {
     ) -> Vec<RemoteImpact> {
         match self.coherence.apply(CoreId(c), line, access, tx) {
             Ok(ok) => {
-                self.cores[c].clock += ok.latency;
+                self.clocks[c] += ok.latency;
                 ok.remote_impacts
             }
             Err(LockFail::Capacity) => {
@@ -22,7 +22,7 @@ impl Machine {
                 // access as bypassing the L1 (uncached), which cannot
                 // conflict because the impacted copies were already handled
                 // by probe-time policy. Charge memory latency.
-                self.cores[c].clock += self.config.coherence.lat_mem;
+                self.clocks[c] += self.config.coherence.lat_mem;
                 Vec::new()
             }
             Err(LockFail::LockedBy(_)) => unreachable!("caller routed locked lines"),
@@ -87,8 +87,8 @@ impl Machine {
     ) {
         let core = &mut self.cores[v];
         match core.mode {
-            ExecMode::Speculative if core.phase == Phase::Running => {
-                let clock = core.clock;
+            ExecMode::Speculative if self.phases[v] == Phase::Running => {
+                let clock = self.clocks[v];
                 self.trace
                     .record(clock, v, TraceEvent::ConflictReceived { line, aggressor });
                 let core = &mut self.cores[v];
@@ -106,9 +106,9 @@ impl Machine {
                 }
                 self.perform_abort(v, kind);
             }
-            ExecMode::SCl if core.phase == Phase::Running => {
+            ExecMode::SCl if self.phases[v] == Phase::Running => {
                 self.trace.record(
-                    core.clock,
+                    self.clocks[v],
                     v,
                     TraceEvent::ConflictReceived { line, aggressor },
                 );

@@ -5,7 +5,7 @@ use super::*;
 impl Machine {
     pub(super) fn lock_step(&mut self, c: usize, idx: usize) {
         if idx >= self.cores[c].lock_list.len() {
-            self.cores[c].phase = Phase::Running;
+            self.phases[c] = Phase::Running;
             return;
         }
         // Lexicographical conflict groups (same directory set) are locked
@@ -55,7 +55,7 @@ impl Machine {
         };
         self.scratch_victims = victims;
         if spin {
-            self.cores[c].clock += self.config.timing.spin_interval;
+            self.clocks[c] += self.config.timing.spin_interval;
             self.cores[c].lock_wait_acc += self.config.timing.spin_interval;
             self.stats.lock_spin_cycles += self.config.timing.spin_interval;
             self.scratch_group = group;
@@ -80,7 +80,7 @@ impl Machine {
         };
         match result {
             Ok(ok) => {
-                self.cores[c].clock += ok.latency;
+                self.clocks[c] += ok.latency;
                 let impacts = ok.remote_impacts;
                 // The accumulated spin wait paid for the whole group; it is
                 // attributed to the group's first lock to keep per-line
@@ -91,7 +91,7 @@ impl Machine {
                         alt.mark_locked(line);
                     }
                     self.trace.record(
-                        self.cores[c].clock,
+                        self.clocks[c],
                         c,
                         TraceEvent::LockAcquired { line, wait_cycles },
                     );
@@ -101,12 +101,12 @@ impl Machine {
                 // attribution uses the first group line, which is exact for
                 // single-line groups and conservative otherwise.
                 self.abort_victims_tagged(c, group[0], &impacts, AbortKind::MemoryConflict, true);
-                self.cores[c].phase = Phase::LockAcquire {
+                self.phases[c] = Phase::LockAcquire {
                     idx: idx + group.len(),
                 };
             }
             Err(LockFail::LockedBy(_)) => {
-                self.cores[c].clock += self.config.timing.spin_interval;
+                self.clocks[c] += self.config.timing.spin_interval;
                 self.cores[c].lock_wait_acc += self.config.timing.spin_interval;
                 self.stats.lock_spin_cycles += self.config.timing.spin_interval;
             }

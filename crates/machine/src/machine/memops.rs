@@ -13,7 +13,7 @@ impl Machine {
     }
 
     pub(super) fn run_step(&mut self, c: usize) {
-        let before = self.cores[c].clock;
+        let before = self.clocks[c];
         // Retry a stalled memory operation first.
         if let Some(p) = self.cores[c].pending.take() {
             match p {
@@ -62,10 +62,10 @@ impl Machine {
             let effect = self.cores[c].vm.as_mut().expect("vm armed").step();
             match effect {
                 Effect::Compute { cycles } => {
-                    self.cores[c].clock += cycles.max(1) as u64;
+                    self.clocks[c] += cycles.max(1) as u64;
                 }
                 Effect::Branch { cond_indirect, .. } => {
-                    self.cores[c].clock += 1;
+                    self.clocks[c] += 1;
                     if let Some(d) = self.cores[c].discovery.as_mut() {
                         d.on_branch(cond_indirect);
                     }
@@ -81,7 +81,7 @@ impl Machine {
                     addr_indirect,
                 } => self.do_store(c, addr, value, addr_indirect),
                 Effect::Commit => {
-                    self.cores[c].clock += 1;
+                    self.clocks[c] += 1;
                     if self.cores[c].held_abort.is_some() {
                         self.decision_abort(c);
                     } else {
@@ -90,7 +90,7 @@ impl Machine {
                     return;
                 }
                 Effect::Abort { .. } => {
-                    self.cores[c].clock += 1;
+                    self.clocks[c] += 1;
                     let kind = self.cores[c]
                         .held_abort
                         .take()
@@ -102,7 +102,7 @@ impl Machine {
         }
         // Account failed-mode execution time (Fig. 8 overlay).
         if self.in_failed_mode(c) {
-            let spent = self.cores[c].clock - before;
+            let spent = self.clocks[c] - before;
             self.stats.discovery_failed_cycles += spent;
         }
     }
@@ -135,7 +135,7 @@ impl Machine {
             d.on_access(line, false, indirect);
             if d.overflowed() {
                 self.on_discovery_overflow(c);
-                if self.cores[c].phase != Phase::Running {
+                if self.phases[c] != Phase::Running {
                     return;
                 }
             }
@@ -145,7 +145,7 @@ impl Machine {
         // emptiness check skips the hash for the common no-prior-store case).
         if !self.cores[c].sq.is_empty() {
             if let Some(&v) = self.cores[c].sq.get(&addr.0) {
-                self.cores[c].clock += 1;
+                self.clocks[c] += 1;
                 self.cores[c].vm.as_mut().unwrap().finish_load(v);
                 return;
             }
@@ -159,19 +159,19 @@ impl Machine {
                     "NS-CL accessed an unlocked line: immutability violated"
                 );
                 let v = self.memory.load_word(addr);
-                self.cores[c].clock += 1;
+                self.clocks[c] += 1;
                 self.cores[c].vm.as_mut().unwrap().finish_load(v);
             }
             ExecMode::SCl if self.coherence.locked_by(line) == Some(CoreId(c)) => {
                 let v = self.memory.load_word(addr);
-                self.cores[c].clock += 1;
+                self.clocks[c] += 1;
                 self.cores[c].vm.as_mut().unwrap().finish_load(v);
             }
             ExecMode::Speculative if self.in_failed_mode(c) => {
                 // Non-aborting read: no coherence state change (§5.1).
                 let lat = self.coherence.read_untracked(CoreId(c), line);
                 let v = self.memory.load_word(addr);
-                self.cores[c].clock += lat;
+                self.clocks[c] += lat;
                 self.cores[c].vm.as_mut().unwrap().finish_load(v);
             }
             mode => {
@@ -184,7 +184,7 @@ impl Machine {
                     } else {
                         // Retried request (Fig. 6): requester re-sends.
                         self.cores[c].pending = Some(PendingOp::Load { addr, indirect });
-                        self.cores[c].clock += self.config.timing.spin_interval;
+                        self.clocks[c] += self.config.timing.spin_interval;
                         self.stats.pending_stall_cycles += self.config.timing.spin_interval;
                     }
                     return;
@@ -225,7 +225,7 @@ impl Machine {
                     .apply_probed(CoreId(c), line, Access::Read, tx, probe)
                 {
                     Ok(ok) => {
-                        self.cores[c].clock += ok.latency;
+                        self.clocks[c] += ok.latency;
                         // Read conflicts: remote write-set holders abort.
                         // Filtered in place — the apply result is consumed,
                         // not copied.
@@ -241,7 +241,7 @@ impl Machine {
                     Err(LockFail::Capacity) => {
                         if mode == ExecMode::Fallback {
                             // Uncached access; cannot abort.
-                            self.cores[c].clock += self.config.coherence.lat_mem;
+                            self.clocks[c] += self.config.coherence.lat_mem;
                             let v = self.memory.load_word(addr);
                             self.cores[c].vm.as_mut().unwrap().finish_load(v);
                         } else {
@@ -277,7 +277,7 @@ impl Machine {
             }
             if d.overflowed() {
                 self.on_discovery_overflow(c);
-                if self.cores[c].phase != Phase::Running {
+                if self.phases[c] != Phase::Running {
                     return;
                 }
             }
@@ -292,7 +292,7 @@ impl Machine {
                         value,
                         indirect,
                     });
-                    self.cores[c].clock += self.config.timing.spin_interval;
+                    self.clocks[c] += self.config.timing.spin_interval;
                     self.stats.pending_stall_cycles += self.config.timing.spin_interval;
                     return;
                 }
@@ -311,18 +311,18 @@ impl Machine {
                     "NS-CL stored to an unlocked line: immutability violated"
                 );
                 self.memory.store_word(addr, value);
-                self.cores[c].clock += 1;
+                self.clocks[c] += 1;
             }
             ExecMode::SCl if self.coherence.locked_by(line) == Some(CoreId(c)) => {
                 // Locked line: conflict-free, but S-CL stays speculative, so
                 // the data waits in the store buffer.
                 self.cores[c].sq.insert(addr.0, value);
-                self.cores[c].clock += 1;
+                self.clocks[c] += 1;
             }
             ExecMode::Speculative if self.in_failed_mode(c) => {
                 // Failed mode: stores stay in the SQ, no coherence traffic.
                 self.cores[c].sq.insert(addr.0, value);
-                self.cores[c].clock += 1;
+                self.clocks[c] += 1;
             }
             mode => {
                 let probe = self.coherence.probe(CoreId(c), line, Access::Write);
@@ -335,7 +335,7 @@ impl Machine {
                             value,
                             indirect,
                         });
-                        self.cores[c].clock += self.config.timing.spin_interval;
+                        self.clocks[c] += self.config.timing.spin_interval;
                         self.stats.pending_stall_cycles += self.config.timing.spin_interval;
                     }
                     return;
@@ -370,7 +370,7 @@ impl Machine {
                     probe,
                 ) {
                     Ok(ok) => {
-                        self.cores[c].clock += ok.latency;
+                        self.clocks[c] += ok.latency;
                         let mut conflicts = ok.remote_impacts;
                         if !conflicts.is_empty() {
                             self.perf.allocs_avoided += 1;

@@ -80,9 +80,12 @@ enum PendingOp {
     },
 }
 
+/// Bulk per-core state. The two hottest fields — the clock (the scheduler
+/// key, read every step for every re-key and the debug cross-check scan)
+/// and the phase (scanned for liveness) — live in dedicated
+/// struct-of-arrays vectors on [`Machine`] (`clocks` / `phases`) so the
+/// scheduler walks dense arrays instead of striding over this struct.
 struct Core {
-    clock: u64,
-    phase: Phase,
     vm: Option<Vm>,
     inv: Option<ArInvocation>,
     mode: ExecMode,
@@ -119,8 +122,6 @@ impl Core {
     fn new(clear: &Option<clear_core::ClearConfig>) -> Self {
         let cc = clear.unwrap_or_default();
         Core {
-            clock: 0,
-            phase: Phase::Idle,
             vm: None,
             inv: None,
             mode: ExecMode::Speculative,
@@ -154,6 +155,14 @@ impl Core {
 pub struct Machine {
     config: MachineConfig,
     cores: Vec<Core>,
+    /// Per-core clocks, indexed by core id (SoA twin of `cores`; see
+    /// [`Core`]).
+    clocks: Vec<u64>,
+    /// Per-core phases, indexed by core id (SoA twin of `cores`).
+    phases: Vec<Phase>,
+    /// Resolved intra-run worker budget (from
+    /// [`MachineConfig::sim_threads`]; `1` disables parallel stepping).
+    sim_threads: usize,
     coherence: CoherenceSystem,
     fallback: FallbackLock,
     power_token: PowerToken,
@@ -193,6 +202,12 @@ impl Machine {
             .map(|_| Core::new(&config.clear))
             .collect();
         let rng = Xoshiro256PlusPlus::seed_from_u64(config.seed);
+        let sim_threads = match config.sim_threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        };
         Machine {
             coherence: CoherenceSystem::new(config.coherence),
             fallback: FallbackLock::new(fallback_line),
@@ -200,6 +215,9 @@ impl Machine {
             memory,
             workload,
             cores,
+            clocks: vec![0; config.cores],
+            phases: vec![Phase::Idle; config.cores],
+            sim_threads,
             stats: RunStats::default(),
             rng,
             trace: Trace::new(),
@@ -248,34 +266,47 @@ impl Machine {
     /// Core selection uses an indexed min-heap keyed on `(clock, core_id)`
     /// — a total order, so every step advances the exact same core a
     /// linear `min_by_key` scan would pick, in O(log cores).
+    ///
+    /// With [`MachineConfig::sim_threads`] ≥ 2 (or `0` = auto), cores tied
+    /// at the minimum clock whose next step is provably local — an L1 hit
+    /// in a distinct directory shard, a compute/branch step, or think time
+    /// — are stepped as one parallel batch (see the `batch` module). The
+    /// batch path is byte-identical to sequential stepping: only the
+    /// `par_batch_*` perf counters reveal it ran.
     pub fn run(&mut self) -> RunStats {
         let started = std::time::Instant::now();
+        let batching = self.batching_viable();
         let mut sched = CoreHeap::new(self.cores.len());
-        for (i, core) in self.cores.iter().enumerate() {
-            if core.phase != Phase::Finished {
-                sched.push(i, core.clock);
+        for (i, &phase) in self.phases.iter().enumerate() {
+            if phase != Phase::Finished {
+                sched.push(i, self.clocks[i]);
             }
         }
         self.sched_touched.clear();
         while let Some(c) = sched.peek() {
             #[cfg(debug_assertions)]
             self.debug_assert_heap_min(c);
-            if self.cores[c].clock > self.config.max_cycles {
+            if self.clocks[c] > self.config.max_cycles {
                 self.stats.timed_out = true;
                 break;
             }
+            if batching && self.try_parallel_batch(&mut sched) {
+                // Batch members were re-keyed inside; local steps never
+                // touch `sched_touched` or finish a core.
+                continue;
+            }
             self.step_core(c);
             self.perf.steps += 1;
-            if self.cores[c].phase == Phase::Finished {
+            if self.phases[c] == Phase::Finished {
                 sched.remove(c);
-            } else if sched.update(c, self.cores[c].clock) {
+            } else if sched.update(c, self.clocks[c]) {
                 self.perf.sched_updates += 1;
             }
             // Remote aborts pushed victim clocks forward; re-key them.
             if !self.sched_touched.is_empty() {
                 for i in 0..self.sched_touched.len() {
                     let v = self.sched_touched[i];
-                    if v != c && sched.update(v, self.cores[v].clock) {
+                    if v != c && sched.update(v, self.clocks[v]) {
                         self.perf.sched_updates += 1;
                     }
                 }
@@ -292,19 +323,23 @@ impl Machine {
     #[cfg(debug_assertions)]
     fn debug_assert_heap_min(&self, picked: usize) {
         let scan = self
-            .cores
+            .phases
             .iter()
+            .zip(&self.clocks)
             .enumerate()
-            .filter(|(_, c)| c.phase != Phase::Finished)
-            .min_by_key(|(i, c)| (c.clock, *i))
+            .filter(|(_, (&p, _))| p != Phase::Finished)
+            .min_by_key(|(i, (_, &clock))| (clock, *i))
             .map(|(i, _)| i);
         debug_assert_eq!(scan, Some(picked), "heap disagrees with linear scan");
     }
 
     fn finalize_stats(&mut self) {
-        self.stats.total_cycles = self.cores.iter().map(|c| c.clock).max().unwrap_or(0);
+        self.stats.total_cycles = self.clocks.iter().copied().max().unwrap_or(0);
         self.stats.coherence = self.coherence.stats();
         self.perf.coherence_requests = self.stats.coherence.requests();
+        self.perf.shards = self.coherence.shard_count() as u64;
+        self.perf.shard_lines = self.coherence.shard_lines();
+        self.perf.shard_lines_max = self.coherence.shard_lines_max();
         self.perf.trace_events_recorded = self.trace.recorded();
         self.perf.trace_events_dropped = self.trace.dropped();
         self.stats.perf = self.perf;
@@ -337,20 +372,17 @@ impl Machine {
             core: CoreId(c),
             power: self.cores[c].power,
             scl: self.cores[c].mode == ExecMode::SCl
-                && matches!(
-                    self.cores[c].phase,
-                    Phase::Running | Phase::LockAcquire { .. }
-                ),
+                && matches!(self.phases[c], Phase::Running | Phase::LockAcquire { .. }),
         }
     }
 
     fn step_core(&mut self, c: usize) {
-        match self.cores[c].phase {
+        match self.phases[c] {
             Phase::Finished => {}
             Phase::Idle => self.fetch_next(c),
             Phase::Think { until } => {
-                self.cores[c].clock = until;
-                self.cores[c].phase = Phase::StartAttempt;
+                self.clocks[c] = until;
+                self.phases[c] = Phase::StartAttempt;
             }
             Phase::StartAttempt => self.start_attempt(c),
             Phase::LockAcquire { idx } => self.lock_step(c, idx),
@@ -360,11 +392,11 @@ impl Machine {
 
     fn fetch_next(&mut self, c: usize) {
         match self.workload.next_ar(c, &self.memory) {
-            None => self.cores[c].phase = Phase::Finished,
+            None => self.phases[c] = Phase::Finished,
             Some(inv) => {
                 self.trace
-                    .record(self.cores[c].clock, c, TraceEvent::ArFetched { ar: inv.ar });
-                let until = self.cores[c].clock + inv.think_cycles;
+                    .record(self.clocks[c], c, TraceEvent::ArFetched { ar: inv.ar });
+                let until = self.clocks[c] + inv.think_cycles;
                 // A-priori locking (§2.2 comparator): eligible ARs start in
                 // NS-CL with their statically-known footprint, bypassing
                 // speculation entirely.
@@ -397,7 +429,7 @@ impl Machine {
                 core.retries_counted = 0;
                 core.retries_total = 0;
                 core.fp_first = None;
-                core.phase = Phase::Think { until };
+                self.phases[c] = Phase::Think { until };
             }
         }
     }
@@ -418,6 +450,7 @@ impl Machine {
 }
 
 mod attempt;
+mod batch;
 mod conflicts;
 mod locking;
 mod memops;

@@ -31,6 +31,23 @@ pub struct PerfCounters {
     /// Trace records evicted by ring-buffer overflow; also deterministic
     /// and golden-gated.
     pub trace_events_dropped: u64,
+    /// Directory shards instantiated by the run (each shard covers a
+    /// 64-line address range).
+    pub shards: u64,
+    /// Directory entries instantiated across all shards (occupancy).
+    pub shard_lines: u64,
+    /// Directory entries in the fullest shard (imbalance indicator; equal
+    /// to `shard_lines / shards` only for a perfectly uniform footprint).
+    pub shard_lines_max: u64,
+    /// Parallel step batches formed (≥ 2 same-clock cores with provably
+    /// local, shard-disjoint next steps). Zero when `sim_threads` is 1.
+    /// Batch counters are a function of the thread *mode* (off vs on), not
+    /// the worker count, so any two multi-threaded runs agree on them.
+    pub par_batches: u64,
+    /// Scheduler steps executed inside parallel batches.
+    pub par_batch_steps: u64,
+    /// Largest batch formed.
+    pub par_batch_max: u64,
     /// Wall-clock nanoseconds spent inside `Machine::run`. Host-dependent:
     /// never compared against goldens.
     pub run_wall_ns: u64,

@@ -1,0 +1,82 @@
+//! Determinism of intra-run parallel stepping: any `sim_threads` setting
+//! must produce byte-identical simulation results; only the `par_batch_*`
+//! counters may reveal whether batching was on, and even those must not
+//! depend on the worker count.
+
+use clear_machine::{Machine, MachineConfig, Preset, RunStats};
+use clear_workloads::{by_name, Size};
+
+fn run_with(cfg: MachineConfig, bench: &str) -> (RunStats, bool) {
+    let w = by_name(bench, Size::Tiny, 7).expect("known benchmark");
+    let mut m = Machine::new(cfg, w);
+    let stats = m.run();
+    let valid = m.workload().validate(m.memory()).is_ok();
+    (stats, valid)
+}
+
+fn config(preset: Preset, cores: usize, threads: usize) -> MachineConfig {
+    let mut cfg = preset.config(cores, 5);
+    cfg.sim_threads = threads;
+    cfg
+}
+
+/// Debug-render the stats with host-dependent wall time and the
+/// mode-revealing batch counters zeroed.
+fn normalized(mut s: RunStats) -> String {
+    s.perf.run_wall_ns = 0;
+    s.perf.par_batches = 0;
+    s.perf.par_batch_steps = 0;
+    s.perf.par_batch_max = 0;
+    format!("{s:?}")
+}
+
+#[test]
+fn parallel_stepping_matches_sequential_across_benches_and_widths() {
+    for bench in ["arrayswap", "hashmap", "genome"] {
+        for cores in [8usize, 80] {
+            for preset in [Preset::B, Preset::C] {
+                let (seq, seq_ok) = run_with(config(preset, cores, 1), bench);
+                let (par, par_ok) = run_with(config(preset, cores, 2), bench);
+                assert!(seq_ok && par_ok, "{bench}/{cores}/{preset}: invalid result");
+                assert_eq!(
+                    normalized(seq),
+                    normalized(par),
+                    "{bench} at {cores} cores ({preset}): threads=2 diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_anything_including_batch_counters() {
+    let (mut a, _) = run_with(config(Preset::C, 80, 2), "arrayswap");
+    let (mut b, _) = run_with(config(Preset::C, 80, 8), "arrayswap");
+    a.perf.run_wall_ns = 0;
+    b.perf.run_wall_ns = 0;
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}
+
+#[test]
+fn batches_form_on_wide_low_contention_runs() {
+    let (par, ok) = run_with(config(Preset::C, 80, 2), "arrayswap");
+    assert!(ok);
+    assert!(
+        par.perf.par_batches > 0,
+        "an 80-core run should form at least one parallel batch"
+    );
+    assert!(par.perf.par_batch_steps >= 2 * par.perf.par_batches);
+    assert!(par.perf.par_batch_max >= 2);
+    let (seq, _) = run_with(config(Preset::C, 80, 1), "arrayswap");
+    assert_eq!(seq.perf.par_batches, 0, "threads=1 must not batch");
+    assert_eq!(seq.perf.steps, par.perf.steps, "step counts must mirror");
+}
+
+#[test]
+fn shard_counters_surface_directory_occupancy() {
+    let (s, _) = run_with(config(Preset::C, 8, 1), "hashmap");
+    assert!(s.perf.shards > 0);
+    assert!(s.perf.shard_lines >= s.perf.shards, "entries fill shards");
+    assert!(s.perf.shard_lines_max <= s.perf.shard_lines);
+    assert!(s.perf.shard_lines_max * s.perf.shards >= s.perf.shard_lines);
+}

@@ -1,0 +1,280 @@
+//! [`CoreBitSet`]: a growable set of core ids that stays allocation-free
+//! for machines of up to 64 cores.
+//!
+//! The coherence directory keeps one sharer set per cacheline and the
+//! fallback lock keeps one reader set; both were fixed-width `u64` masks,
+//! which capped the simulator at 64 cores. `CoreBitSet` keeps the first
+//! word inline (so the ≤64-core hot path allocates nothing and stays as
+//! cheap as the raw mask) and spills additional words into a `Vec` only
+//! when a core id of 64 or above is actually inserted.
+//!
+//! Iteration order is always ascending core id — the same order the old
+//! `trailing_zeros` walks produced — which the simulator's determinism
+//! depends on.
+
+/// A set of core ids, allocation-free below 64 cores.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CoreBitSet {
+    /// Cores 0..64.
+    head: u64,
+    /// Cores 64.. in 64-core words; empty until a wide id is inserted.
+    spill: Vec<u64>,
+}
+
+impl CoreBitSet {
+    /// Creates an empty set.
+    #[inline]
+    pub const fn new() -> CoreBitSet {
+        CoreBitSet {
+            head: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Creates a set holding exactly `core`.
+    #[inline]
+    pub fn only(core: usize) -> CoreBitSet {
+        let mut s = CoreBitSet::new();
+        s.insert(core);
+        s
+    }
+
+    #[inline]
+    fn split(core: usize) -> (usize, u64) {
+        (core >> 6, 1u64 << (core & 63))
+    }
+
+    /// Inserts `core`; returns `true` when it was newly added.
+    #[inline]
+    pub fn insert(&mut self, core: usize) -> bool {
+        let (w, bit) = Self::split(core);
+        let word = if w == 0 {
+            &mut self.head
+        } else {
+            if self.spill.len() < w {
+                self.spill.resize(w, 0);
+            }
+            &mut self.spill[w - 1]
+        };
+        let fresh = *word & bit == 0;
+        *word |= bit;
+        fresh
+    }
+
+    /// Removes `core`; returns `true` when it was present.
+    #[inline]
+    pub fn remove(&mut self, core: usize) -> bool {
+        let (w, bit) = Self::split(core);
+        let word = if w == 0 {
+            &mut self.head
+        } else {
+            match self.spill.get_mut(w - 1) {
+                Some(word) => word,
+                None => return false,
+            }
+        };
+        let had = *word & bit != 0;
+        *word &= !bit;
+        had
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, core: usize) -> bool {
+        let (w, bit) = Self::split(core);
+        let word = if w == 0 {
+            self.head
+        } else {
+            self.spill.get(w - 1).copied().unwrap_or(0)
+        };
+        word & bit != 0
+    }
+
+    /// `true` when no core is in the set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.head == 0 && self.spill.iter().all(|&w| w == 0)
+    }
+
+    /// Number of cores in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.head.count_ones() as usize
+            + self
+                .spill
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>()
+    }
+
+    /// Empties the set, keeping any spill capacity for reuse.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.head = 0;
+        for w in &mut self.spill {
+            *w = 0;
+        }
+    }
+
+    /// Collapses the set to exactly `core` (the directory's write-takeover
+    /// update: the writer becomes the sole sharer).
+    #[inline]
+    pub fn set_only(&mut self, core: usize) {
+        self.clear();
+        self.insert(core);
+    }
+
+    /// `true` when any core other than `exclude` is in the set.
+    #[inline]
+    pub fn contains_other_than(&self, exclude: usize) -> bool {
+        let (w, bit) = Self::split(exclude);
+        if w == 0 {
+            if self.head & !bit != 0 {
+                return true;
+            }
+            self.spill.iter().any(|&word| word != 0)
+        } else {
+            if self.head != 0 {
+                return true;
+            }
+            self.spill.iter().enumerate().any(|(i, &word)| {
+                if i + 1 == w {
+                    word & !bit != 0
+                } else {
+                    word != 0
+                }
+            })
+        }
+    }
+
+    /// Iterates the members in ascending core-id order.
+    #[inline]
+    pub fn iter(&self) -> CoreBitIter<'_> {
+        CoreBitIter {
+            word: self.head,
+            word_index: 0,
+            spill: &self.spill,
+        }
+    }
+
+    /// Iterates the members except `exclude`, in ascending core-id order
+    /// (the directory's "every sharer but the requester" walk).
+    #[inline]
+    pub fn iter_without(&self, exclude: usize) -> impl Iterator<Item = usize> + '_ {
+        self.iter().filter(move |&c| c != exclude)
+    }
+}
+
+/// Ascending-id iterator over a [`CoreBitSet`].
+#[derive(Clone, Debug)]
+pub struct CoreBitIter<'a> {
+    word: u64,
+    word_index: usize,
+    spill: &'a [u64],
+}
+
+impl Iterator for CoreBitIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.word != 0 {
+                let bit = self.word.trailing_zeros() as usize;
+                self.word &= self.word - 1;
+                return Some(self.word_index * 64 + bit);
+            }
+            if self.word_index >= self.spill.len() {
+                return None;
+            }
+            self.word = self.spill[self.word_index];
+            self.word_index += 1;
+        }
+    }
+}
+
+impl FromIterator<usize> for CoreBitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> CoreBitSet {
+        let mut s = CoreBitSet::new();
+        for c in iter {
+            s.insert(c);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops_inline_and_spilled() {
+        let mut s = CoreBitSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(!s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(511));
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(511));
+        assert!(!s.contains(1) && !s.contains(65) && !s.contains(512));
+        assert!(s.remove(63));
+        assert!(!s.remove(63));
+        assert!(!s.remove(1000));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 64, 511]);
+    }
+
+    #[test]
+    fn stays_allocation_free_below_64() {
+        let mut s = CoreBitSet::new();
+        for c in 0..64 {
+            s.insert(c);
+        }
+        assert!(s.spill.is_empty(), "≤64-core sets must not allocate");
+        assert_eq!(s.len(), 64);
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let s: CoreBitSet = [700usize, 3, 64, 0, 127, 65].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3, 64, 65, 127, 700]);
+        assert_eq!(
+            s.iter_without(64).collect::<Vec<_>>(),
+            vec![0, 3, 65, 127, 700]
+        );
+    }
+
+    #[test]
+    fn contains_other_than_matches_iter_without() {
+        let cases: &[&[usize]] = &[&[], &[5], &[5, 9], &[70], &[5, 70], &[64, 65], &[0, 1000]];
+        for lines in cases {
+            let s: CoreBitSet = lines.iter().copied().collect();
+            for probe in [0usize, 5, 9, 63, 64, 65, 70, 999, 1000] {
+                assert_eq!(
+                    s.contains_other_than(probe),
+                    s.iter_without(probe).next().is_some(),
+                    "{lines:?} probe {probe}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_only_collapses() {
+        let mut s: CoreBitSet = [1usize, 2, 100].into_iter().collect();
+        s.set_only(77);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![77]);
+        s.set_only(3);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn clear_retains_spill_capacity() {
+        let mut s = CoreBitSet::only(900);
+        let cap = s.spill.capacity();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.spill.capacity(), cap);
+    }
+}

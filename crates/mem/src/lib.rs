@@ -32,17 +32,21 @@
 
 mod addr;
 mod cache;
+mod corebitset;
 mod geometry;
 pub mod hash;
 mod lex;
 mod lineset;
 mod memory;
 pub mod rng;
+mod util;
 
 pub use addr::{Addr, LineAddr, LINE_BYTES, WORD_BYTES};
 pub use cache::{EvictionOutcome, PinnedSetFull, SetAssocCache};
+pub use corebitset::{CoreBitIter, CoreBitSet};
 pub use geometry::CacheGeometry;
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use lex::{lock_order, LexKey};
 pub use lineset::{LineBitSet, LineSet};
 pub use memory::Memory;
+pub use util::disjoint_muts;

@@ -1,0 +1,73 @@
+//! Small allocation-conscious utilities shared by the simulator crates.
+
+/// Splits `slice` into simultaneous `&mut` borrows of the elements at
+/// `sorted_ids`, which must be strictly ascending and in bounds.
+///
+/// This is the safe disjoint-borrow primitive behind deterministic
+/// intra-run parallelism: the machine borrows each batch member's per-core
+/// state (and each claimed directory shard) mutably at the same time, then
+/// hands the references to scoped worker threads.
+///
+/// # Panics
+///
+/// Panics if `sorted_ids` is not strictly ascending or indexes out of
+/// bounds.
+///
+/// # Examples
+///
+/// ```
+/// let mut v = vec![0u32; 5];
+/// let mut refs = clear_mem::disjoint_muts(&mut v, &[1, 4]);
+/// *refs[0] = 10;
+/// *refs[1] = 40;
+/// assert_eq!(v, vec![0, 10, 0, 0, 40]);
+/// ```
+pub fn disjoint_muts<'a, T>(slice: &'a mut [T], sorted_ids: &[usize]) -> Vec<&'a mut T> {
+    let mut out = Vec::with_capacity(sorted_ids.len());
+    let mut rest = slice;
+    let mut base = 0usize;
+    for &i in sorted_ids {
+        assert!(i >= base, "ids must be strictly ascending");
+        let (head, tail) = rest.split_at_mut(i - base + 1);
+        out.push(&mut head[i - base]);
+        rest = tail;
+        base = i + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn borrows_are_disjoint_and_ordered() {
+        let mut v: Vec<usize> = (0..8).collect();
+        let refs = disjoint_muts(&mut v, &[0, 3, 7]);
+        assert_eq!(refs.len(), 3);
+        for r in refs {
+            *r += 100;
+        }
+        assert_eq!(v, vec![100, 1, 2, 103, 4, 5, 6, 107]);
+    }
+
+    #[test]
+    fn empty_ids_borrow_nothing() {
+        let mut v = vec![1, 2];
+        assert!(disjoint_muts(&mut v, &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_ids_panic() {
+        let mut v = vec![1, 2, 3];
+        let _ = disjoint_muts(&mut v, &[2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn duplicate_ids_panic() {
+        let mut v = vec![1, 2, 3];
+        let _ = disjoint_muts(&mut v, &[1, 1]);
+    }
+}

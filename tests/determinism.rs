@@ -74,3 +74,98 @@ fn worker_pool_width_does_not_change_results() {
         );
     }
 }
+
+/// `scaling-wide` options scaled down for debug-mode test runs: a 64/128
+/// ladder instead of the golden's full 64→1024 sweep.
+fn wide(workers: usize, sim_threads: usize) -> SuiteOptions {
+    SuiteOptions {
+        size: Size::Tiny,
+        cores: 128,
+        seeds: vec![1],
+        benchmarks: vec!["arrayswap"],
+        workers,
+        sim_threads,
+        ..SuiteOptions::default()
+    }
+}
+
+/// Strips the wall-clock columns (the only host-dependent fields) plus
+/// the top-level `sim_threads` echo (which records the requested thread
+/// count by design) so the remaining document — every simulated counter —
+/// can be compared byte-for-byte.
+fn deterministic_part(json: &clear_harness::json::Json) -> String {
+    json.to_pretty()
+        .lines()
+        .filter(|l| {
+            !l.contains("wall_ns")
+                && !l.contains("steps_per_sec")
+                && !l.contains("ratio")
+                && !l.contains("\"sim_threads\"")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn scaling_wide_reproduces_byte_identically_across_runs() {
+    let exp = find("scaling-wide").expect("scaling-wide registered");
+    let a = (exp.run)(&wide(4, 2));
+    let b = (exp.run)(&wide(4, 2));
+    assert_eq!(
+        deterministic_part(&a.json),
+        deterministic_part(&b.json),
+        "scaling-wide drifted between identical runs"
+    );
+    assert_eq!(a.failures, 0);
+}
+
+#[test]
+fn scaling_wide_is_independent_of_grid_workers() {
+    let exp = find("scaling-wide").expect("scaling-wide registered");
+    let serial = (exp.run)(&wide(1, 2));
+    let parallel = (exp.run)(&wide(8, 2));
+    assert_eq!(
+        deterministic_part(&serial.json),
+        deterministic_part(&parallel.json),
+        "scaling-wide: 1-worker vs 8-worker run drifted"
+    );
+}
+
+#[test]
+fn scaling_wide_is_independent_of_intra_run_worker_count() {
+    // Both runs have batching ON (sim_threads >= 2), so even the
+    // par_batch_* counters in the rows must agree: batch formation is a
+    // function of the thread mode, never of the worker count.
+    let exp = find("scaling-wide").expect("scaling-wide registered");
+    let two = (exp.run)(&wide(4, 2));
+    let eight = (exp.run)(&wide(4, 8));
+    assert_eq!(
+        deterministic_part(&two.json),
+        deterministic_part(&eight.json),
+        "scaling-wide: sim_threads=2 vs 8 drifted"
+    );
+}
+
+#[test]
+fn intra_run_threads_do_not_change_gated_documents() {
+    // The legacy gated experiments carry no batch counters in their JSON,
+    // so sequential vs parallel intra-run stepping must render the exact
+    // same bytes — the guarantee that keeps all pre-existing goldens
+    // valid under any thread count.
+    for name in ["fig01", "sim-throughput"] {
+        let exp = find(name).expect(name);
+        let seq = (exp.run)(&SuiteOptions {
+            sim_threads: 1,
+            ..tiny(4)
+        });
+        let par = (exp.run)(&SuiteOptions {
+            sim_threads: 4,
+            ..tiny(4)
+        });
+        assert_eq!(
+            deterministic_part(&seq.json),
+            deterministic_part(&par.json),
+            "{name}: sequential vs parallel intra-run stepping drifted"
+        );
+    }
+}

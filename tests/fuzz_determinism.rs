@@ -34,8 +34,8 @@ fn same_seed_generates_byte_identical_corpus() {
 
 #[test]
 fn repeated_oracle_runs_render_byte_identical_reports() {
-    let a = fuzz_output(SEED_STR, CASES, 4);
-    let b = fuzz_output(SEED_STR, CASES, 4);
+    let a = fuzz_output(SEED_STR, CASES, 4, 0);
+    let b = fuzz_output(SEED_STR, CASES, 4, 0);
     assert_eq!(a.json.to_pretty(), b.json.to_pretty(), "report drifted");
     assert_eq!(a.text, b.text, "report text drifted");
     assert_eq!(a.failures, 0, "seed corpus must be divergence-free");
@@ -43,8 +43,8 @@ fn repeated_oracle_runs_render_byte_identical_reports() {
 
 #[test]
 fn worker_width_does_not_change_the_report() {
-    let narrow = fuzz_output(SEED_STR, CASES, 1);
-    let wide = fuzz_output(SEED_STR, CASES, 8);
+    let narrow = fuzz_output(SEED_STR, CASES, 1, 0);
+    let wide = fuzz_output(SEED_STR, CASES, 8, 0);
     assert_eq!(
         narrow.json.to_pretty(),
         wide.json.to_pretty(),

@@ -143,6 +143,74 @@ fn alt_order_and_stickiness() {
     }
 }
 
+/// CoreBitSet agrees with a BTreeSet model for any operation sequence over
+/// core ids spanning the inline word and the spilled words (0..~1000), and
+/// its iterators always yield ascending ids.
+#[test]
+fn corebitset_matches_set_model_across_inline_and_spill() {
+    use clear_mem::CoreBitSet;
+    use std::collections::BTreeSet;
+
+    for case in 0..CASES {
+        let mut rng = case_rng(0xb175e7, case);
+        let mut set = CoreBitSet::new();
+        let mut model: BTreeSet<usize> = BTreeSet::new();
+        let nops = 1 + rng.index(120);
+        for _ in 0..nops {
+            let id = rng.below(1000) as usize;
+            match rng.below(4) {
+                0 => {
+                    set.insert(id);
+                    model.insert(id);
+                }
+                1 => {
+                    set.remove(id);
+                    model.remove(&id);
+                }
+                2 => {
+                    set.set_only(id);
+                    model.clear();
+                    model.insert(id);
+                }
+                _ => {
+                    // Pure queries between mutations.
+                    assert_eq!(set.contains(id), model.contains(&id), "case {case}");
+                }
+            }
+            assert_eq!(set.len(), model.len(), "case {case}");
+            assert_eq!(set.is_empty(), model.is_empty(), "case {case}");
+            let probe = rng.below(1000) as usize;
+            assert_eq!(
+                set.contains_other_than(probe),
+                model.iter().any(|&m| m != probe),
+                "case {case}"
+            );
+            assert_eq!(
+                set.iter().collect::<Vec<_>>(),
+                model.iter().copied().collect::<Vec<_>>(),
+                "case {case}: iteration must be ascending and exact"
+            );
+            assert_eq!(
+                set.iter_without(probe).collect::<Vec<_>>(),
+                model
+                    .iter()
+                    .copied()
+                    .filter(|&m| m != probe)
+                    .collect::<Vec<_>>(),
+                "case {case}"
+            );
+        }
+        let rebuilt: CoreBitSet = model.iter().copied().collect();
+        assert_eq!(
+            rebuilt.iter().collect::<Vec<_>>(),
+            model.iter().copied().collect::<Vec<_>>(),
+            "case {case}: FromIterator round-trip"
+        );
+        set.clear();
+        assert!(set.is_empty(), "case {case}: clear must empty the set");
+    }
+}
+
 /// ERT is bounded and sq-full counters saturate within [0, 3].
 #[test]
 fn ert_bounded_and_saturating() {
