@@ -20,18 +20,12 @@ pub enum RetryMode {
     Fallback,
 }
 
-impl RetryMode {
-    /// `true` for modes whose attempts cannot abort once started — the
-    /// paper's single-retry bound. NS-CL holds every footprint line locked
-    /// and executes non-speculatively, so the attempt after the one failed
-    /// speculative try always commits; conformance oracles assert that an
-    /// `AttemptStart` in such a mode is followed by a commit, never an
-    /// abort. (Fallback also runs to completion, but it is a retry-policy
-    /// escape hatch, not a discovery-guaranteed bound.)
-    pub fn guarantees_commit(self) -> bool {
-        matches!(self, RetryMode::NsCl)
-    }
-}
+// Whether a mode's attempts are guaranteed to commit once started (the
+// paper's single-retry bound) is a property of the *backend*, not of the
+// mode name: NS-CL only carries the guarantee when CLEAR's discovery built
+// it. Conformance oracles therefore ask
+// `SpeculationBackend::guarantees_commit(mode)` in `clear-machine` instead
+// of an enum check here.
 
 impl fmt::Display for RetryMode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

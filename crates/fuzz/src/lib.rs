@@ -9,9 +9,11 @@
 //!   instruction mixes, bounded loops, pointer chases up to the ALT
 //!   depth);
 //! - [`exec`] is the sequential reference executor over the VM;
-//! - [`oracle`] runs each program through the machine solo and under
-//!   contention and compares memory images, commit/abort accounting, the
-//!   paper's single-retry bound, and static-verdict soundness;
+//! - [`oracle`] runs each program through the machine solo, under
+//!   contention, and across every built-in speculation backend
+//!   ([`check_case_matrix`]) and compares memory images, commit/abort
+//!   accounting, the paper's single-retry bound, capacity-abort
+//!   accounting, and static-verdict soundness;
 //! - [`shrink`] reduces failing cases to minimal reproducers;
 //! - [`litmus`] pins the classic relaxed-memory shapes (SB, LB, MP, IRIW)
 //!   to their atomic outcomes — the harness's `litmus-conformance` gate.
@@ -34,6 +36,9 @@ pub use gen::{case_seed, FuzzCase, Shape};
 pub use litmus::{
     cases as litmus_cases, wide_cases as litmus_wide_cases, LitmusCase, LitmusWorkload,
 };
-pub use oracle::{check_case, check_case_at, CaseReport, Divergence};
+pub use oracle::{
+    check_case, check_case_at, check_case_matrix, BackendOutcome, CaseReport, Divergence,
+    MatrixReport,
+};
 pub use shrink::{shrink, shrink_with, Shrunk};
 pub use workload::{initial_image, FuzzWorkload, Layout, SharedSlot};

@@ -8,10 +8,20 @@
 //! 2. **the full machine** — commit/abort accounting must close (every
 //!    invocation commits exactly once, no explicit or fault aborts), and
 //!    the paper's single-retry bound must hold: an attempt started in a
-//!    mode with [`RetryMode::guarantees_commit`] must commit, never abort;
+//!    mode the backend's
+//!    [`SpeculationBackend::guarantees_commit`](clear_machine::SpeculationBackend::guarantees_commit)
+//!    vouches for must commit, never abort;
 //! 3. **the static analyzer** — a `static-immutable` verdict on a program
 //!    whose failed-mode discovery later observes a mutable footprint is a
 //!    soundness violation, full stop.
+//!
+//! [`check_case_matrix`] widens check 1 and 2 across every built-in
+//! [`BackendId`]: the same case runs under all five speculation backends
+//! and each final memory image is cross-checked against the serial VM
+//! replay. The single-retry scan rides the backend's own
+//! `guarantees_commit` answer (only CLEAR promises the bound), and the
+//! limited-R/W-set backend's capacity-abort counters must reconcile with
+//! the abort taxonomy.
 //!
 //! Every check reports a structured [`Divergence`] instead of panicking,
 //! so the harness can shrink the case and file a reproducer.
@@ -22,7 +32,7 @@ use crate::workload::{initial_image, FuzzWorkload, Layout};
 use clear_analysis::StaticVerdict;
 use clear_core::RetryMode;
 use clear_htm::AbortKind;
-use clear_machine::{Machine, Preset, TraceEvent};
+use clear_machine::{BackendId, Machine, Preset, TraceEvent};
 use clear_mem::{Addr, Memory, WORD_BYTES};
 use std::fmt;
 use std::sync::Arc;
@@ -98,6 +108,18 @@ pub enum Divergence {
         /// Dynamic decisions that contradicted the static verdict.
         decisions: u64,
     },
+    /// Limited-R/W-set buffer counters disagree with the abort taxonomy:
+    /// either a backend without bounded buffers reported buffer overflows,
+    /// or the buffers overflowed more often than capacity aborts were
+    /// recorded.
+    CapacityAccounting {
+        /// The offending backend's name.
+        backend: &'static str,
+        /// Buffer-overflow capacity aborts the tracker counted.
+        lrws: u64,
+        /// Capacity aborts in the taxonomy.
+        capacity: u64,
+    },
 }
 
 impl Divergence {
@@ -115,6 +137,7 @@ impl Divergence {
             Divergence::ReferenceAbort { .. } => "reference-abort",
             Divergence::ReferenceRunaway => "reference-runaway",
             Divergence::SoundnessViolation { .. } => "soundness-violation",
+            Divergence::CapacityAccounting { .. } => "capacity-accounting",
         }
     }
 }
@@ -160,6 +183,14 @@ impl fmt::Display for Divergence {
             Divergence::SoundnessViolation { decisions } => write!(
                 f,
                 "static-immutable verdict contradicted by {decisions} mutable dynamic decisions"
+            ),
+            Divergence::CapacityAccounting {
+                backend,
+                lrws,
+                capacity,
+            } => write!(
+                f,
+                "{backend}: {lrws} R/W-set overflows vs {capacity} capacity aborts"
             ),
         }
     }
@@ -236,11 +267,15 @@ fn compare_images(
     None
 }
 
-/// Scans one core's event stream for a guaranteed-commit attempt that
-/// aborted.
+/// Scans one core's event stream for an attempt that aborted despite
+/// starting in a mode `guarantees` vouches for. The predicate is the
+/// machine backend's `guarantees_commit`, so the scan is armed exactly
+/// where the design promises the bound (CLEAR's NS-CL) and can never
+/// silently pass for a backend that promises nothing.
 fn single_retry_violation(
     events: impl Iterator<Item = TraceEvent>,
     core: usize,
+    guarantees: impl Fn(RetryMode) -> bool,
 ) -> Option<Divergence> {
     let mut pending: Option<RetryMode> = None;
     for e in events {
@@ -249,7 +284,7 @@ fn single_retry_violation(
             TraceEvent::Commit { .. } => pending = None,
             TraceEvent::Abort { .. } => {
                 if let Some(mode) = pending.take() {
-                    if mode.guarantees_commit() {
+                    if guarantees(mode) {
                         return Some(Divergence::SingleRetryViolated { core, mode });
                     }
                 }
@@ -374,7 +409,11 @@ pub fn check_case_at(case: &Arc<FuzzCase>, cores: usize) -> CaseReport {
         return report;
     }
     for core in 0..cores {
-        if let Some(d) = single_retry_violation(machine.trace().core_events(core).cloned(), core) {
+        if let Some(d) =
+            single_retry_violation(machine.trace().core_events(core).cloned(), core, |m| {
+                machine.backend().guarantees_commit(m)
+            })
+        {
             report.divergence = Some(d);
             return report;
         }
@@ -420,6 +459,156 @@ pub fn check_case_at(case: &Arc<FuzzCase>, cores: usize) -> CaseReport {
     }
 
     report
+}
+
+/// One backend's verdict on a matrix case.
+#[derive(Clone, Debug)]
+pub struct BackendOutcome {
+    /// The backend's stable name.
+    pub backend: &'static str,
+    /// Commits in the contended run.
+    pub commits: u64,
+    /// Aborts of any kind in the contended run.
+    pub aborts: u64,
+    /// Capacity aborts in the taxonomy.
+    pub capacity_aborts: u64,
+    /// Capacity aborts charged to the limited R/W-set buffers.
+    pub lrws_capacity_aborts: u64,
+    /// The first divergence under this backend; `None` means it passed.
+    pub divergence: Option<Divergence>,
+}
+
+/// The backend-matrix oracle's account of one case: one
+/// [`BackendOutcome`] per built-in backend, in [`BackendId::ALL`] order.
+#[derive(Clone, Debug)]
+pub struct MatrixReport {
+    /// Case index within the run.
+    pub index: u64,
+    /// Per-case seed.
+    pub seed: u64,
+    /// Threads in every contended run.
+    pub threads: usize,
+    /// Invocations per thread.
+    pub invocations: usize,
+    /// Per-backend verdicts.
+    pub outcomes: Vec<BackendOutcome>,
+}
+
+impl MatrixReport {
+    /// The first diverging backend, if any.
+    pub fn divergence(&self) -> Option<(&'static str, &Divergence)> {
+        self.outcomes
+            .iter()
+            .find_map(|o| o.divergence.as_ref().map(|d| (o.backend, d)))
+    }
+
+    /// `true` when every backend passed every check.
+    pub fn passed(&self) -> bool {
+        self.divergence().is_none()
+    }
+}
+
+/// Runs one fuzz case under every built-in speculation backend
+/// ([`BackendId::ALL`]) at the case's own thread count, cross-checking
+/// each backend's final memory image against the serial VM replay.
+///
+/// Per backend: the run must finish, trace nothing away, commit exactly
+/// `threads * invocations` ARs (both by the statistics and by the trace),
+/// raise no explicit or fault-class aborts, uphold the single-retry bound
+/// wherever its own `guarantees_commit` promises one, and reconcile the
+/// limited-R/W-set buffer counters with the Capacity bucket of the abort
+/// taxonomy (non-bounded backends must report zero buffer overflows).
+pub fn check_case_matrix(case: &Arc<FuzzCase>) -> MatrixReport {
+    let mut report = MatrixReport {
+        index: case.index,
+        seed: case.seed,
+        threads: case.threads,
+        invocations: case.invocations,
+        outcomes: Vec::with_capacity(BackendId::ALL.len()),
+    };
+    for id in BackendId::ALL {
+        report.outcomes.push(check_backend(case, id));
+    }
+    report
+}
+
+/// One backend's leg of the matrix: contended run + full check battery.
+fn check_backend(case: &Arc<FuzzCase>, id: BackendId) -> BackendOutcome {
+    let name = id.name();
+    let mut cfg = id.config(case.threads, MAX_RETRIES);
+    cfg.seed = case.seed;
+    let mut machine = Machine::new(cfg, Box::new(FuzzWorkload::new(Arc::clone(case))));
+    debug_assert_eq!(machine.backend().name(), name);
+    machine.enable_tracing();
+    let stats = machine.run();
+    let mut outcome = BackendOutcome {
+        backend: name,
+        commits: stats.commits_by_mode.total(),
+        aborts: stats.aborts.total(),
+        capacity_aborts: stats.aborts.get(AbortKind::Capacity),
+        lrws_capacity_aborts: stats.lrws_capacity_aborts(),
+        divergence: None,
+    };
+    if stats.timed_out {
+        outcome.divergence = Some(Divergence::TimedOut { phase: name });
+        return outcome;
+    }
+    if machine.trace().dropped() > 0 {
+        outcome.divergence = Some(Divergence::TraceDropped {
+            dropped: machine.trace().dropped(),
+        });
+        return outcome;
+    }
+    let explicit = stats.aborts.get(AbortKind::Explicit);
+    if explicit > 0 {
+        outcome.divergence = Some(Divergence::ExplicitAbort { count: explicit });
+        return outcome;
+    }
+    let faults = stats.aborts.get(AbortKind::Other);
+    if faults > 0 {
+        outcome.divergence = Some(Divergence::FaultAbort { count: faults });
+        return outcome;
+    }
+    let want = (case.threads * case.invocations) as u64;
+    let committed = machine.trace().commits().count() as u64;
+    if stats.commits_by_mode.total() != want || committed != want {
+        outcome.divergence = Some(Divergence::CommitCount {
+            phase: name,
+            got: stats.commits_by_mode.total().min(committed),
+            want,
+        });
+        return outcome;
+    }
+    // Capacity accounting: buffer overflows are a subset of the Capacity
+    // bucket, and only the bounded backend may report any.
+    let lrws = stats.lrws_capacity_aborts();
+    let capacity = stats.aborts.get(AbortKind::Capacity);
+    let bounded = machine.backend().rw_limits().is_some();
+    if (bounded && lrws > capacity) || (!bounded && lrws > 0) {
+        outcome.divergence = Some(Divergence::CapacityAccounting {
+            backend: name,
+            lrws,
+            capacity,
+        });
+        return outcome;
+    }
+    for core in 0..case.threads {
+        if let Some(d) =
+            single_retry_violation(machine.trace().core_events(core).cloned(), core, |m| {
+                machine.backend().guarantees_commit(m)
+            })
+        {
+            outcome.divergence = Some(d);
+            return outcome;
+        }
+    }
+    let (mut ref_mem, layout) = initial_image(case, case.threads);
+    if let Err(d) = replay(case, &layout, &mut ref_mem, want as usize) {
+        outcome.divergence = Some(d);
+        return outcome;
+    }
+    outcome.divergence = compare_images(name, layout.start, machine.memory(), &ref_mem);
+    outcome
 }
 
 #[cfg(test)]
@@ -484,7 +673,8 @@ mod tests {
                 span: 10,
             },
         ];
-        let d = single_retry_violation(events.into_iter(), 2).expect("violation");
+        let d = single_retry_violation(events.into_iter(), 2, |m| m == RetryMode::NsCl)
+            .expect("violation");
         assert_eq!(
             d,
             Divergence::SingleRetryViolated {
@@ -514,7 +704,63 @@ mod tests {
                 retries: 1,
             },
         ];
-        assert!(single_retry_violation(events.into_iter(), 0).is_none());
+        assert!(single_retry_violation(events.into_iter(), 0, |m| m == RetryMode::NsCl).is_none());
+    }
+
+    #[test]
+    fn single_retry_scan_is_disarmed_for_non_bounding_backends() {
+        use clear_htm::AbortKind;
+        // The same NS-CL abort that flags CLEAR passes when the backend
+        // guarantees nothing (the scan asks the backend, not the mode).
+        let events = vec![
+            TraceEvent::AttemptStart {
+                mode: RetryMode::NsCl,
+            },
+            TraceEvent::Abort {
+                kind: AbortKind::MemoryConflict,
+                span: 10,
+            },
+        ];
+        assert!(single_retry_violation(events.into_iter(), 0, |_| false).is_none());
+    }
+
+    #[test]
+    fn a_batch_of_generated_cases_passes_the_backend_matrix() {
+        for i in 0..4 {
+            let case = Arc::new(FuzzCase::generate(0xFACE, i));
+            let r = check_case_matrix(&case);
+            assert_eq!(r.outcomes.len(), BackendId::ALL.len());
+            for (o, id) in r.outcomes.iter().zip(BackendId::ALL) {
+                assert_eq!(o.backend, id.name());
+                assert_eq!(
+                    o.commits,
+                    (case.threads * case.invocations) as u64,
+                    "{} commit count",
+                    o.backend
+                );
+                if id != BackendId::Lrws {
+                    assert_eq!(o.lrws_capacity_aborts, 0, "{}", o.backend);
+                }
+            }
+            assert!(
+                r.passed(),
+                "case {i} diverged under {:?}",
+                r.divergence().map(|(b, d)| format!("{b}: {d}"))
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_reports_are_deterministic() {
+        let case = Arc::new(FuzzCase::generate(0xFACE, 5));
+        let (a, b) = (check_case_matrix(&case), check_case_matrix(&case));
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.backend, y.backend);
+            assert_eq!(x.commits, y.commits);
+            assert_eq!(x.aborts, y.aborts);
+            assert_eq!(x.capacity_aborts, y.capacity_aborts);
+            assert_eq!(x.lrws_capacity_aborts, y.lrws_capacity_aborts);
+        }
     }
 
     #[test]

@@ -3,19 +3,25 @@
 //! `fuzz_output` drives the clear-fuzz differential oracle over a seeded
 //! case range, shrinks every failure to a minimal reproducer, and renders
 //! a fully deterministic report (no wall-clock fields — `main` measures
-//! throughput separately for `BENCH_fuzz.json`). `replay_output` re-runs
+//! throughput separately for `BENCH_fuzz.json`). `matrix_output`
+//! (`fuzz --matrix`) runs the same case range through every speculation
+//! backend via the backend-differential oracle. `replay_output` re-runs
 //! a checked-in regression corpus. `litmus_conformance` is the ninth
 //! gated experiment: the classic SB/LB/MP/IRIW shapes across every
 //! machine preset and a seed sweep, with each forbidden relaxed outcome
-//! pinned to zero in the golden.
+//! pinned to zero in the golden; `litmus_backends` is its sibling gate
+//! sweeping the speculation backends instead of the presets.
 
 use super::{opts_json, ExperimentOutput};
 use crate::json::Json;
 use crate::pool;
 use crate::suite::SuiteOptions;
 use clear_fuzz::litmus::{cases, outcome_from, LitmusWorkload};
-use clear_fuzz::{check_case, check_case_at, shrink, CaseReport, FuzzCase, Shrunk};
-use clear_machine::{Machine, Preset};
+use clear_fuzz::{
+    check_case, check_case_at, check_case_matrix, shrink, shrink_with, CaseReport, FuzzCase,
+    MatrixReport, Shrunk,
+};
+use clear_machine::{BackendId, Machine, Preset};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -286,6 +292,7 @@ pub(super) fn litmus_opts() -> SuiteOptions {
         benchmarks: vec![],
         workers: pool::default_workers(),
         sim_threads: 1,
+        backends: BackendId::ALL.iter().map(|b| b.name()).collect(),
     }
 }
 
@@ -411,6 +418,307 @@ pub(super) fn litmus_conformance(opts: &SuiteOptions) -> ExperimentOutput {
     out
 }
 
+/// Pinned options for the `litmus-backends` golden: every speculation
+/// backend, six seeds, retry threshold 5. As with `litmus-conformance`,
+/// each run uses the case's own thread count.
+pub(super) fn litmus_backends_opts() -> SuiteOptions {
+    SuiteOptions {
+        size: clear_workloads::Size::Tiny,
+        cores: 4,
+        seeds: (1..=6).collect(),
+        retry_sweep: vec![5],
+        benchmarks: vec![],
+        workers: pool::default_workers(),
+        sim_threads: 1,
+        backends: BackendId::ALL.iter().map(|b| b.name()).collect(),
+    }
+}
+
+/// The `litmus-backends` experiment: SB, LB, MP and IRIW across every
+/// speculation backend × seed (the `--backend` flag restricts the sweep),
+/// with the forbidden relaxed outcome of each shape pinned to zero. The
+/// preset-sweep sibling is [`litmus_conformance`]; this gate proves the
+/// atomicity argument is backend-independent — including under the
+/// limited-R/W-set backend's capacity aborts.
+pub(super) fn litmus_backends(opts: &SuiteOptions) -> ExperimentOutput {
+    let catalogue = cases();
+    let backends: Vec<BackendId> = opts
+        .backends
+        .iter()
+        .map(|n| BackendId::from_name(n).expect("SuiteOptions validated the backend names"))
+        .collect();
+    let grid: Vec<(usize, BackendId, u64)> = catalogue
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, _)| {
+            backends
+                .iter()
+                .flat_map(move |&b| opts.seeds.iter().map(move |&s| (ci, b, s)))
+        })
+        .collect();
+
+    let results = pool::run_indexed(grid.len(), opts.workers, |g| {
+        let (ci, backend, seed) = grid[g];
+        let case = Arc::new(cases().swap_remove(ci));
+        let threads = case.threads.len();
+        let workload = LitmusWorkload::new(Arc::clone(&case), seed);
+        let layout = workload.layout_handle();
+        let mut cfg = backend.config(threads, opts.retry_sweep[0]);
+        cfg.seed = seed;
+        let mut machine = Machine::new(cfg, Box::new(workload));
+        let stats = machine.run();
+        let layout = layout.get().expect("setup published the layout");
+        let outcome = outcome_from(&case, &layout, machine.memory());
+        let label = case.label(&outcome);
+        let forbidden = (case.forbidden)(&outcome);
+        let committed = stats.commits_by_mode.total() == threads as u64;
+        (ci, backend, stats.timed_out, committed, forbidden, label)
+    });
+
+    // (case, backend) -> outcome histogram + violation counters.
+    type RowAccum = (BTreeMap<String, u64>, u64, u64);
+    let mut rows: BTreeMap<(usize, &'static str), RowAccum> = BTreeMap::new();
+    for (ci, backend, timed_out, committed, forbidden, label) in &results {
+        let slot = rows.entry((*ci, backend.name())).or_default();
+        *slot.0.entry(label.clone()).or_default() += 1;
+        if *forbidden {
+            slot.1 += 1;
+        }
+        if *timed_out || !committed {
+            slot.2 += 1;
+        }
+    }
+
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "=== litmus-backends: atomic outcomes across speculation backends ==="
+    );
+    let _ = writeln!(
+        text,
+        "{:6} {:8} {:>6} {:>10} {:>7}  outcomes",
+        "case", "backend", "runs", "forbidden", "broken"
+    );
+    let mut row_json = Vec::new();
+    let mut total_forbidden = 0u64;
+    let mut total_broken = 0u64;
+    for ((ci, backend), (hist, forbidden, broken)) in &rows {
+        let case = &catalogue[*ci];
+        let runs: u64 = hist.values().sum();
+        total_forbidden += forbidden;
+        total_broken += broken;
+        let outcomes = hist
+            .iter()
+            .map(|(l, n)| format!("{l} x{n}"))
+            .collect::<Vec<_>>()
+            .join("; ");
+        let _ = writeln!(
+            text,
+            "{:6} {:8} {:>6} {:>10} {:>7}  {outcomes}",
+            case.name, backend, runs, forbidden, broken
+        );
+        row_json.push(Json::obj([
+            ("case", Json::from(case.name)),
+            ("backend", Json::from(*backend)),
+            ("runs", Json::from(runs)),
+            ("forbidden", Json::from(*forbidden)),
+            ("broken_runs", Json::from(*broken)),
+            (
+                "outcomes",
+                Json::Obj(
+                    hist.iter()
+                        .map(|(l, n)| (l.clone(), Json::from(*n)))
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+    let _ = writeln!(
+        text,
+        "\ntotal forbidden outcomes: {total_forbidden}   broken runs: {total_broken}"
+    );
+    let _ = writeln!(
+        text,
+        "(serializability is a backend contract: no backend may admit a relaxed outcome)"
+    );
+
+    let json = Json::obj([
+        ("experiment", Json::from("litmus-backends")),
+        ("options", opts_json(opts)),
+        (
+            "backends",
+            Json::arr(backends.iter().map(|b| Json::from(b.name()))),
+        ),
+        (
+            "cases",
+            Json::arr(catalogue.iter().map(|c| {
+                Json::obj([
+                    ("name", Json::from(c.name)),
+                    ("threads", Json::from(c.threads.len())),
+                    ("about", Json::from(c.about)),
+                ])
+            })),
+        ),
+        ("rows", Json::Arr(row_json)),
+        ("forbidden_outcomes", Json::from(total_forbidden)),
+        ("broken_runs", Json::from(total_broken)),
+    ]);
+    let mut out = ExperimentOutput::new(text, json);
+    out.failures = (total_forbidden + total_broken) as usize;
+    out
+}
+
+/// One backend-matrix case's outcome as the report keeps it.
+struct MatrixOutcome {
+    report: MatrixReport,
+    shrunk: Option<Shrunk>,
+}
+
+fn run_matrix_case(master_seed: u64, index: u64) -> MatrixOutcome {
+    let case = Arc::new(FuzzCase::generate(master_seed, index));
+    let report = check_case_matrix(&case);
+    let shrunk = (!report.passed()).then(|| shrink_with(case, |c| !check_case_matrix(c).passed()));
+    MatrixOutcome { report, shrunk }
+}
+
+fn matrix_failure_json(o: &MatrixOutcome) -> Json {
+    let (backend, d) = o.report.divergence().expect("failing case");
+    let mut fields = vec![
+        ("index", Json::from(o.report.index)),
+        ("seed", hex(o.report.seed)),
+        ("backend", Json::from(backend)),
+        ("kind", Json::from(d.kind())),
+        ("detail", Json::from(d.to_string())),
+    ];
+    if let Some(s) = &o.shrunk {
+        let program: Vec<Json> = s
+            .case
+            .program
+            .instrs()
+            .iter()
+            .map(|i| Json::from(i.to_string()))
+            .collect();
+        fields.push((
+            "shrunk",
+            Json::obj([
+                ("threads", Json::from(s.case.threads)),
+                ("invocations", Json::from(s.case.invocations)),
+                ("shapes", Json::from(s.case.shapes.len())),
+                ("attempts", Json::from(s.attempts)),
+                ("program", Json::Arr(program)),
+            ]),
+        ));
+    }
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Runs `count` seeded cases through the backend-differential matrix
+/// oracle (`fuzz --matrix`): each case executes once per built-in
+/// speculation backend, and every backend must agree with the serial VM
+/// replay and its own accounting contract. Failing cases are shrunk
+/// against the matrix predicate. The report is byte-deterministic across
+/// runs and worker counts.
+pub fn matrix_output(seed_str: &str, count: u64, workers: usize) -> ExperimentOutput {
+    let master_seed = parse_seed(seed_str);
+    let outcomes = pool::run_indexed(count as usize, workers, |i| {
+        run_matrix_case(master_seed, i as u64)
+    });
+
+    // Per-backend aggregates: commits, aborts, capacity, R/W-set
+    // overflows, divergences.
+    let mut per_backend: BTreeMap<&'static str, (u64, u64, u64, u64, u64)> = BTreeMap::new();
+    let mut kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut failures = Vec::new();
+    for o in &outcomes {
+        for b in &o.report.outcomes {
+            let slot = per_backend.entry(b.backend).or_default();
+            slot.0 += b.commits;
+            slot.1 += b.aborts;
+            slot.2 += b.capacity_aborts;
+            slot.3 += b.lrws_capacity_aborts;
+            if b.divergence.is_some() {
+                slot.4 += 1;
+            }
+        }
+        if let Some((_, d)) = o.report.divergence() {
+            *kinds.entry(d.kind()).or_default() += 1;
+            failures.push(matrix_failure_json(o));
+        }
+    }
+    let diverged = failures.len();
+    let cases = outcomes.len();
+    let n_backends = BackendId::ALL.len();
+
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "=== fuzz --matrix: {cases} cases x {n_backends} backends, seed {seed_str} \
+         ({master_seed:#x}) ==="
+    );
+    let _ = writeln!(
+        text,
+        "{:8} {:>9} {:>8} {:>9} {:>9} {:>10}",
+        "backend", "commits", "aborts", "capacity", "rw-ovfl", "diverged"
+    );
+    // BackendId::ALL order, not BTreeMap order: the table reads in the
+    // same sequence as every other backend sweep.
+    for id in BackendId::ALL {
+        let (commits, aborts, capacity, lrws, div) =
+            per_backend.get(id.name()).copied().unwrap_or_default();
+        let _ = writeln!(
+            text,
+            "{:8} {:>9} {:>8} {:>9} {:>9} {:>10}",
+            id.name(),
+            commits,
+            aborts,
+            capacity,
+            lrws,
+            div
+        );
+    }
+    if diverged == 0 {
+        let _ = writeln!(
+            text,
+            "matrix: all {cases} cases agree across {n_backends} backends (0 divergences)"
+        );
+    } else {
+        let _ = writeln!(text, "matrix: {diverged} DIVERGENCES:");
+        for (kind, n) in &kinds {
+            let _ = writeln!(text, "  {kind}: {n}");
+        }
+    }
+
+    let backend_json = Json::arr(BackendId::ALL.iter().map(|id| {
+        let (commits, aborts, capacity, lrws, div) =
+            per_backend.get(id.name()).copied().unwrap_or_default();
+        Json::obj([
+            ("backend", Json::from(id.name())),
+            ("commits", Json::from(commits)),
+            ("aborts", Json::from(aborts)),
+            ("capacity_aborts", Json::from(capacity)),
+            ("lrws_capacity_aborts", Json::from(lrws)),
+            ("diverged_cases", Json::from(div)),
+        ])
+    }));
+    let json = Json::obj([
+        ("command", Json::from("fuzz-matrix")),
+        ("seed", Json::from(seed_str)),
+        ("seed_value", hex(master_seed)),
+        ("cases", Json::from(cases)),
+        ("divergences", Json::from(diverged)),
+        ("backends", backend_json),
+        ("failures", Json::Arr(failures)),
+    ]);
+    let mut out = ExperimentOutput::new(text, json);
+    out.failures = diverged;
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -479,5 +787,62 @@ mod tests {
         assert!(out.json.get("forbidden_outcomes").is_some());
         // 4 cases x 4 presets x 2 seeds.
         assert!(out.text.contains("IRIW"));
+    }
+
+    #[test]
+    fn litmus_backends_gate_pins_forbidden_outcomes_to_zero() {
+        let opts = SuiteOptions {
+            seeds: vec![1, 2],
+            workers: 4,
+            ..litmus_backends_opts()
+        };
+        let out = litmus_backends(&opts);
+        assert_eq!(out.failures, 0, "{}", out.text);
+        // Every backend shows up as a row label.
+        for id in BackendId::ALL {
+            assert!(out.text.contains(id.name()), "missing {id}:\n{}", out.text);
+        }
+        assert!(out.text.contains("IRIW"));
+    }
+
+    #[test]
+    fn backend_flag_restricts_the_litmus_backend_sweep() {
+        let opts = SuiteOptions {
+            seeds: vec![1],
+            workers: 2,
+            backends: vec!["tsx", "lrws"],
+            ..litmus_backends_opts()
+        };
+        let out = litmus_backends(&opts);
+        assert_eq!(out.failures, 0, "{}", out.text);
+        let backends = out.json.get("backends").expect("backends array");
+        assert_eq!(
+            backends.to_pretty(),
+            Json::arr(["tsx", "lrws"].iter().map(|b| Json::from(*b))).to_pretty()
+        );
+        assert!(!out.text.contains("powertm"));
+    }
+
+    #[test]
+    fn small_matrix_run_is_clean_and_deterministic() {
+        let a = matrix_output("0xC1EAR", 8, 4);
+        assert_eq!(a.failures, 0, "{}", a.text);
+        let b = matrix_output("0xC1EAR", 8, 1);
+        assert_eq!(a.json.to_pretty(), b.json.to_pretty());
+        assert_eq!(a.text, b.text);
+        assert!(a.text.contains("all 8 cases agree across 5 backends"));
+        // Every backend committed work; only lrws may overflow buffers.
+        let backends = match a.json.get("backends") {
+            Some(Json::Arr(rows)) => rows.clone(),
+            other => panic!("expected backends array, got {other:?}"),
+        };
+        assert_eq!(backends.len(), 5);
+        for row in &backends {
+            let commits = row.get("commits").cloned();
+            assert!(matches!(commits, Some(Json::Int(c)) if c > 0), "{row:?}");
+            if row.get("backend") != Some(&Json::from("lrws")) {
+                assert_eq!(row.get("lrws_capacity_aborts"), Some(&Json::Int(0)));
+            }
+        }
     }
 }

@@ -12,12 +12,13 @@ mod digest;
 mod figures;
 mod fuzz;
 mod perf;
+mod shootout;
 mod statics;
 mod studies;
 mod tables;
 mod verify;
 
-pub use fuzz::{fuzz_output, parse_seed, replay_output};
+pub use fuzz::{fuzz_output, matrix_output, parse_seed, replay_output};
 pub use statics::analyze_output;
 
 use crate::golden::Tolerances;
@@ -334,6 +335,26 @@ pub static EXPERIMENTS: &[Experiment] = &[
         }),
     },
     Experiment {
+        name: "litmus-backends",
+        artifact: "atomicity conformance",
+        about: "SB/LB/MP/IRIW litmus shapes across every speculation backend",
+        run: fuzz::litmus_backends,
+        golden: Some(GoldenSpec {
+            opts: fuzz::litmus_backends_opts,
+            tolerances: GATED_TOLERANCES,
+        }),
+    },
+    Experiment {
+        name: "backend-shootout",
+        artifact: "backend comparison study",
+        about: "commit throughput, abort taxonomy and fallback occupancy per backend",
+        run: shootout::backend_shootout,
+        golden: Some(GoldenSpec {
+            opts: shootout::shootout_opts,
+            tolerances: GATED_TOLERANCES,
+        }),
+    },
+    Experiment {
         name: "verify",
         artifact: "install check",
         about: "atomicity invariants across the full benchmark grid",
@@ -426,7 +447,9 @@ mod tests {
                 "sim-throughput",
                 "trace-digest",
                 "static-agreement",
-                "litmus-conformance"
+                "litmus-conformance",
+                "litmus-backends",
+                "backend-shootout"
             ]
         );
     }
@@ -484,8 +507,17 @@ mod tests {
             benchmarks: vec!["mwobject"],
             workers: 4,
             sim_threads: 1,
+            backends: vec!["tsx", "clear"],
         };
-        for name in ["fig01", "table1", "table2", "sle", "verify", "trace"] {
+        for name in [
+            "fig01",
+            "table1",
+            "table2",
+            "sle",
+            "verify",
+            "trace",
+            "backend-shootout",
+        ] {
             let exp = find(name).expect(name);
             let out = (exp.run)(&opts);
             assert!(!out.text.is_empty(), "{name} produced no text");

@@ -428,6 +428,7 @@ mod tests {
             benchmarks: vec!["mwobject"],
             workers: 2,
             sim_threads: 1,
+            ..SuiteOptions::default()
         }
     }
 

@@ -11,7 +11,8 @@
 //! ```
 
 use clear_harness::experiments::{
-    analyze_output, find, fuzz_output, parse_seed, replay_output, Experiment, EXPERIMENTS,
+    analyze_output, find, fuzz_output, matrix_output, parse_seed, replay_output, Experiment,
+    EXPERIMENTS,
 };
 use clear_harness::json::Json;
 use clear_harness::{golden, trace_export, SuiteOptions};
@@ -27,7 +28,7 @@ fn usage() -> ! {
          [--chrome FILE] [--events N] [--json]\n  \
          clear-harness analyze <workload>|all [--size ...] [--cores N] [--seeds N] [--json]\n  \
          clear-harness fuzz [--seed S] [--count N] [--cores N] [--workers N] [--json]\n      \
-         [--out FILE] [--bench-out FILE] [--repro-dir DIR] [--replay FILE]\n  \
+         [--matrix] [--out FILE] [--bench-out FILE] [--repro-dir DIR] [--replay FILE]\n  \
          clear-harness golden update [names...]\n  clear-harness check [names...]"
     );
     std::process::exit(2);
@@ -84,8 +85,19 @@ fn fuzz(args: &[String]) {
         .position(|a| a == "--json")
         .map(|i| rest.remove(i))
         .is_some();
+    // `--matrix`: run each case through every speculation backend via the
+    // backend-differential oracle instead of the single-config oracle.
+    let matrix = rest
+        .iter()
+        .position(|a| a == "--matrix")
+        .map(|i| rest.remove(i))
+        .is_some();
     if !rest.is_empty() {
         eprintln!("unknown fuzz option {}", rest[0]);
+        std::process::exit(2);
+    }
+    if matrix && (replay_path.is_some() || cores != 0) {
+        eprintln!("--matrix runs cases at their own thread counts; drop --replay/--cores");
         std::process::exit(2);
     }
 
@@ -96,6 +108,7 @@ fn fuzz(args: &[String]) {
             let n = entries.len() as u64;
             (replay_output(&entries, workers), n)
         }
+        None if matrix => (matrix_output(&seed_str, count, workers), count),
         None => (fuzz_output(&seed_str, count, workers, cores), count),
     };
     let wall = started.elapsed();
@@ -114,7 +127,10 @@ fn fuzz(args: &[String]) {
             int_field(&out.json, "machine_instructions") + int_field(&out.json, "reference_steps");
         let secs = wall.as_secs_f64().max(1e-9);
         let bench = Json::obj([
-            ("bench", Json::from("fuzz")),
+            (
+                "bench",
+                Json::from(if matrix { "fuzz-matrix" } else { "fuzz" }),
+            ),
             ("seed", Json::from(seed_str.as_str())),
             ("cases", Json::from(cases_run)),
             ("workers", Json::from(workers)),

@@ -9,7 +9,7 @@
 //! the sequential one.
 
 use crate::pool;
-use clear_machine::{Machine, MachineConfig, Preset, RunStats};
+use clear_machine::{BackendId, Machine, MachineConfig, Preset, RunStats};
 use clear_workloads::{by_name, Size, BENCHMARK_NAMES};
 
 /// Parsed harness options.
@@ -33,6 +33,11 @@ pub struct SuiteOptions {
     /// byte-identical for every value; only the `par_batch_*` perf
     /// counters reveal whether batching was on.
     pub sim_threads: usize,
+    /// Speculation backends for backend-sweep experiments (stable
+    /// [`BackendId`] names). Defaults to all five; `--backend NAME`
+    /// restricts the sweep, repeatable. Preset-grid experiments ignore
+    /// this field.
+    pub backends: Vec<&'static str>,
 }
 
 impl Default for SuiteOptions {
@@ -45,6 +50,7 @@ impl Default for SuiteOptions {
             benchmarks: BENCHMARK_NAMES.to_vec(),
             workers: pool::default_workers(),
             sim_threads: default_sim_threads(),
+            backends: BackendId::ALL.iter().map(|b| b.name()).collect(),
         }
     }
 }
@@ -98,6 +104,7 @@ impl SuiteOptions {
     pub fn from_arg_slice(args: &[String]) -> Self {
         let mut o = SuiteOptions::default();
         let mut picked: Vec<&'static str> = Vec::new();
+        let mut picked_backends: Vec<&'static str> = Vec::new();
         let mut args = args.iter();
         while let Some(a) = args.next() {
             let mut val = || {
@@ -135,6 +142,12 @@ impl SuiteOptions {
                         .unwrap_or_else(|| panic!("unknown benchmark {name}"));
                     picked.push(known);
                 }
+                "--backend" => {
+                    let name = val();
+                    let known = BackendId::from_name(&name)
+                        .unwrap_or_else(|| panic!("unknown backend {name}"));
+                    picked_backends.push(known.name());
+                }
                 "--workers" => o.workers = val().parse::<usize>().expect("--workers N").max(1),
                 "--threads" => {
                     let total: usize = val().parse().expect("--threads N");
@@ -145,7 +158,8 @@ impl SuiteOptions {
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --size tiny|small|medium --cores N --seeds N \
-                         --sweep full|quick|none --bench NAME --workers N --threads N"
+                         --sweep full|quick|none --bench NAME --backend NAME \
+                         --workers N --threads N"
                     );
                     std::process::exit(0);
                 }
@@ -154,6 +168,9 @@ impl SuiteOptions {
         }
         if !picked.is_empty() {
             o.benchmarks = picked;
+        }
+        if !picked_backends.is_empty() {
+            o.backends = picked_backends;
         }
         o
     }
@@ -205,6 +222,36 @@ pub fn run_once_threaded(
         .workload()
         .validate(machine.memory())
         .unwrap_or_else(|e| panic!("{name}/{preset}: invariant violated: {e}"));
+    stats
+}
+
+/// Runs one benchmark once under an explicit speculation backend's
+/// Table 2 configuration (see [`BackendId::config`]).
+///
+/// # Panics
+///
+/// As [`run_once`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_once_backend(
+    name: &str,
+    backend: BackendId,
+    cores: usize,
+    max_retries: u32,
+    size: Size,
+    seed: u64,
+    sim_threads: usize,
+) -> RunStats {
+    let workload = by_name(name, size, seed).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let mut cfg: MachineConfig = backend.config(cores, max_retries);
+    cfg.seed = seed;
+    cfg.sim_threads = sim_threads;
+    let mut machine = Machine::new(cfg, workload);
+    let stats = machine.run();
+    assert!(!stats.timed_out, "{name}/{backend}: run timed out");
+    machine
+        .workload()
+        .validate(machine.memory())
+        .unwrap_or_else(|e| panic!("{name}/{backend}: invariant violated: {e}"));
     stats
 }
 
@@ -501,6 +548,29 @@ mod tests {
     }
 
     #[test]
+    fn backend_flag_restricts_the_sweep() {
+        let o = SuiteOptions::default();
+        assert_eq!(o.backends, vec!["tsx", "powertm", "sle", "clear", "lrws"]);
+        let args: Vec<String> = ["--backend", "lrws", "--backend", "clear"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let o = SuiteOptions::from_arg_slice(&args);
+        assert_eq!(o.backends, vec!["lrws", "clear"]);
+    }
+
+    #[test]
+    fn run_once_backend_covers_every_backend() {
+        for id in BackendId::ALL {
+            let s = run_once_backend("arrayswap", id, 4, 5, Size::Tiny, 1, 1);
+            assert!(s.commits() > 0, "{id} produced no commits");
+            if id != BackendId::Lrws {
+                assert_eq!(s.lrws_capacity_aborts(), 0, "{id}");
+            }
+        }
+    }
+
+    #[test]
     fn run_cell_picks_some_threshold() {
         let opts = SuiteOptions {
             size: Size::Tiny,
@@ -526,6 +596,7 @@ mod tests {
             benchmarks: vec!["arrayswap", "mwobject"],
             workers: 4,
             sim_threads: 1,
+            backends: vec!["clear"],
         };
         let suite = run_suite(&opts);
         for (name, cells) in opts.benchmarks.iter().zip(&suite) {

@@ -15,7 +15,9 @@
 //! * [`resolve_conflict`] — requester-wins conflict resolution with the
 //!   PowerTM and S-CL NACK enhancements of §5.2;
 //! * [`RetryPolicy`] — the bounded-retries-then-fallback policy (the paper
-//!   sweeps best-of-1..10 per application).
+//!   sweeps best-of-1..10 per application);
+//! * [`RwSetTracker`] — the FORTH limited read/write-set scheme's bounded
+//!   per-attempt line buffers, whose overflow is a capacity abort.
 //!
 //! Read/write *sets* themselves are tracked by `clear-coherence` as
 //! per-line transactional bits; this crate is pure policy and holds no
@@ -26,10 +28,12 @@
 
 mod abort;
 mod fallback;
+mod lrws;
 mod policy;
 
 pub use abort::AbortKind;
 pub use fallback::FallbackLock;
+pub use lrws::{LrwsConfig, RwSetOverflow, RwSetTracker};
 pub use policy::{resolve_conflict, HtmFlavor, Resolution, RetryPolicy, TxInfo};
 
 mod power;

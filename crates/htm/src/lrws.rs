@@ -1,0 +1,189 @@
+//! Limited read/write-set HTM: bounded per-attempt access tracking.
+//!
+//! Models the FORTH "Limited Read/Write-Set HTM without modifying the ISA
+//! or the Coherence Protocol" scheme: each core owns two small dedicated
+//! buffers — a read-set and a write-set of cacheline addresses — filled by
+//! the speculative attempt as it executes. The buffers are the *only*
+//! hardware added; conflict detection still rides the unmodified coherence
+//! protocol, and an attempt whose footprint outgrows either buffer raises
+//! a **capacity abort** (the retry policy then bounds how often that can
+//! happen before the non-speculative fallback path guarantees progress).
+//!
+//! A line held in the write-set never charges the read-set: the store
+//! already pinned it, so a subsequent load is served from the same buffer
+//! entry. This matches the usual hardware organisation (the write-set is
+//! checked first) and keeps the two bounds independent.
+
+use clear_mem::{LineAddr, LineSet};
+
+/// Capacity bounds of the limited read/write-set backend, in cachelines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LrwsConfig {
+    /// Maximum distinct lines the read-set buffer holds.
+    pub read_lines: usize,
+    /// Maximum distinct lines the write-set buffer holds.
+    pub write_lines: usize,
+}
+
+impl Default for LrwsConfig {
+    /// A small dedicated buffer pair (32 read / 8 write lines): large
+    /// enough that most of the paper's ARs fit (Fig. 1 observes footprints
+    /// of ≤ 32 lines), small enough that the write-heavy benchmarks
+    /// actually exercise capacity aborts.
+    fn default() -> Self {
+        LrwsConfig {
+            read_lines: 32,
+            write_lines: 8,
+        }
+    }
+}
+
+/// Which buffer overflowed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RwSetOverflow {
+    /// The read-set buffer is full.
+    Reads,
+    /// The write-set buffer is full.
+    Writes,
+}
+
+/// Per-attempt read/write-set tracker: the two bounded buffers of one
+/// core, cleared at the start of every attempt.
+///
+/// # Examples
+///
+/// ```
+/// use clear_htm::{LrwsConfig, RwSetOverflow, RwSetTracker};
+/// use clear_mem::LineAddr;
+///
+/// let mut t = RwSetTracker::new(LrwsConfig { read_lines: 2, write_lines: 1 });
+/// assert!(t.track(LineAddr(1), true).is_ok());
+/// // A line in the write-set reads for free.
+/// assert!(t.track(LineAddr(1), false).is_ok());
+/// // A second written line exceeds the one-entry write buffer.
+/// assert_eq!(t.track(LineAddr(2), true), Err(RwSetOverflow::Writes));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RwSetTracker {
+    cfg: LrwsConfig,
+    reads: LineSet,
+    writes: LineSet,
+}
+
+impl RwSetTracker {
+    /// Creates an empty tracker with the given bounds.
+    pub fn new(cfg: LrwsConfig) -> Self {
+        RwSetTracker {
+            cfg,
+            reads: LineSet::new(),
+            writes: LineSet::new(),
+        }
+    }
+
+    /// Records one speculative access. Returns the overflowing buffer if
+    /// admitting the line would exceed its bound; the tracker is left
+    /// unchanged in that case (the attempt aborts, the buffers are
+    /// cleared at the next attempt).
+    pub fn track(&mut self, line: LineAddr, is_write: bool) -> Result<(), RwSetOverflow> {
+        if is_write {
+            if self.writes.contains(line) {
+                return Ok(());
+            }
+            if self.writes.len() >= self.cfg.write_lines {
+                return Err(RwSetOverflow::Writes);
+            }
+            self.writes.insert(line);
+            Ok(())
+        } else {
+            // The write-set pins the line already; reads of it are free.
+            if self.writes.contains(line) || self.reads.contains(line) {
+                return Ok(());
+            }
+            if self.reads.len() >= self.cfg.read_lines {
+                return Err(RwSetOverflow::Reads);
+            }
+            self.reads.insert(line);
+            Ok(())
+        }
+    }
+
+    /// Empties both buffers (attempt boundary).
+    pub fn clear(&mut self) {
+        self.reads.clear();
+        self.writes.clear();
+    }
+
+    /// Lines currently in the read-set buffer.
+    pub fn read_lines(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Lines currently in the write-set buffer.
+    pub fn write_lines(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// The configured bounds.
+    pub fn config(&self) -> LrwsConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_set_lines_read_for_free() {
+        let mut t = RwSetTracker::new(LrwsConfig {
+            read_lines: 1,
+            write_lines: 2,
+        });
+        assert!(t.track(LineAddr(10), true).is_ok());
+        assert!(t.track(LineAddr(11), true).is_ok());
+        // Reads of written lines never charge the read budget.
+        assert!(t.track(LineAddr(10), false).is_ok());
+        assert!(t.track(LineAddr(11), false).is_ok());
+        assert_eq!(t.read_lines(), 0);
+        // One fresh read fits, the second overflows.
+        assert!(t.track(LineAddr(20), false).is_ok());
+        assert_eq!(t.track(LineAddr(21), false), Err(RwSetOverflow::Reads));
+        assert_eq!(t.read_lines(), 1);
+    }
+
+    #[test]
+    fn overflow_leaves_tracker_unchanged_and_clear_resets() {
+        let mut t = RwSetTracker::new(LrwsConfig {
+            read_lines: 4,
+            write_lines: 1,
+        });
+        assert!(t.track(LineAddr(1), true).is_ok());
+        assert_eq!(t.track(LineAddr(2), true), Err(RwSetOverflow::Writes));
+        assert_eq!(t.write_lines(), 1);
+        // Re-touching the admitted line stays fine.
+        assert!(t.track(LineAddr(1), true).is_ok());
+        t.clear();
+        assert_eq!((t.read_lines(), t.write_lines()), (0, 0));
+        assert!(t.track(LineAddr(2), true).is_ok());
+    }
+
+    #[test]
+    fn duplicate_accesses_do_not_consume_capacity() {
+        let mut t = RwSetTracker::new(LrwsConfig {
+            read_lines: 1,
+            write_lines: 1,
+        });
+        for _ in 0..10 {
+            assert!(t.track(LineAddr(5), false).is_ok());
+            assert!(t.track(LineAddr(6), true).is_ok());
+        }
+        assert_eq!((t.read_lines(), t.write_lines()), (1, 1));
+    }
+
+    #[test]
+    fn default_bounds_match_the_paper_scale() {
+        let d = LrwsConfig::default();
+        assert_eq!(d.read_lines, 32);
+        assert_eq!(d.write_lines, 8);
+    }
+}

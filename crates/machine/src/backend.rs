@@ -1,0 +1,436 @@
+//! Pluggable speculation backends: the attempt/conflict/fallback policy
+//! surface of the machine as a trait.
+//!
+//! The machine's mechanism — coherence, scheduling, batching, workloads,
+//! statistics — is shared by every HTM design point; what differs between
+//! CLEAR, requester-wins TSX, PowerTM, SLE and the FORTH limited
+//! read/write-set scheme is *policy*: how conflicts are arbitrated, when
+//! an AR gives up and takes the fallback path, whether cacheline-locked
+//! re-execution (CLEAR) is available, how far speculation may extend, and
+//! which structural bounds raise capacity aborts. [`SpeculationBackend`]
+//! captures exactly that surface, so a new backend is one `impl` instead
+//! of a fork of the attempt/conflict/locking paths.
+//!
+//! [`Machine::new`](crate::Machine::new) derives the backend from the
+//! configuration axes ([`backend_from_config`]), which keeps every
+//! existing preset byte-identical;
+//! [`Machine::with_backend`](crate::Machine::with_backend) accepts any
+//! custom implementation. [`BackendId`] enumerates the five built-in
+//! backends for harnesses that sweep the design space.
+
+use crate::{MachineConfig, SpeculationKind};
+use clear_core::{ClearConfig, RetryMode};
+use clear_htm::{resolve_conflict, HtmFlavor, LrwsConfig, Resolution, RetryPolicy, TxInfo};
+
+/// The policy surface of one speculation design point.
+///
+/// Implementations must be deterministic pure functions of their inputs:
+/// the machine calls these on the hot path and replays must be
+/// byte-identical. The default methods encode the common best-effort-HTM
+/// behaviour; backends override only where they differ.
+pub trait SpeculationBackend: std::fmt::Debug + Send + Sync {
+    /// Short stable name (report keys, trace phases, CLI selection).
+    fn name(&self) -> &'static str;
+
+    /// CLEAR configuration when cacheline-locked re-execution (NS-CL/S-CL
+    /// discovery, ERT/ALT/CRT) is part of this backend; `None` disables
+    /// the whole CLEAR path.
+    fn clear(&self) -> Option<&ClearConfig> {
+        None
+    }
+
+    /// How far speculation extends: HTM-backed (cache-tracked) or in-core
+    /// only (ROB/SQ-delimited, SLE-style).
+    fn speculation(&self) -> SpeculationKind {
+        SpeculationKind::Htm
+    }
+
+    /// Arbitrates a transactional conflict between `requester` and the
+    /// conflicting `victims`.
+    fn resolve(&self, requester: TxInfo, victims: &[TxInfo]) -> Resolution;
+
+    /// `true` when a once-aborted transaction competes for the global
+    /// PowerTM power token on its retry.
+    fn acquires_power_token(&self) -> bool {
+        false
+    }
+
+    /// `true` when an AR with `counted_retries` failed attempts must take
+    /// the fallback path instead of retrying speculatively.
+    fn must_fall_back(&self, policy: &RetryPolicy, counted_retries: u32) -> bool {
+        policy.must_fall_back(counted_retries)
+    }
+
+    /// `true` for re-execution modes whose attempts cannot abort once
+    /// started — the paper's single-retry bound. Only CLEAR's NS-CL mode
+    /// makes that promise (every footprint line is held locked and the
+    /// body retires non-speculatively); best-effort backends guarantee
+    /// nothing, so conformance oracles scanning for a violated bound get
+    /// an honest `false` instead of a CLEAR-specific enum check that
+    /// silently passes.
+    fn guarantees_commit(&self, mode: RetryMode) -> bool {
+        self.clear().is_some() && mode == RetryMode::NsCl
+    }
+
+    /// Read/write-set capacity bounds when this backend tracks
+    /// speculative footprints in limited dedicated buffers (the FORTH
+    /// scheme); `None` leaves footprint tracking to the cache hierarchy.
+    fn rw_limits(&self) -> Option<LrwsConfig> {
+        None
+    }
+}
+
+/// Intel-TSX-like requester-wins best-effort HTM (preset **B**).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TsxBackend;
+
+impl SpeculationBackend for TsxBackend {
+    fn name(&self) -> &'static str {
+        "tsx"
+    }
+
+    fn resolve(&self, requester: TxInfo, victims: &[TxInfo]) -> Resolution {
+        resolve_conflict(HtmFlavor::RequesterWins, requester, victims)
+    }
+}
+
+/// PowerTM: requester-wins plus a single global power token whose holder
+/// wins every conflict (preset **P**).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PowerTmBackend;
+
+impl SpeculationBackend for PowerTmBackend {
+    fn name(&self) -> &'static str {
+        "powertm"
+    }
+
+    fn resolve(&self, requester: TxInfo, victims: &[TxInfo]) -> Resolution {
+        resolve_conflict(HtmFlavor::PowerTm, requester, victims)
+    }
+
+    fn acquires_power_token(&self) -> bool {
+        true
+    }
+}
+
+/// SLE-style in-core speculation: the reorder buffer delimits every
+/// speculative window (§4.1), conflicts resolve requester-wins.
+#[derive(Clone, Copy, Debug)]
+pub struct SleBackend {
+    /// Conflict arbitration underneath the in-core window (requester-wins
+    /// unless a PowerTM substrate is being modelled).
+    pub flavor: HtmFlavor,
+}
+
+impl Default for SleBackend {
+    fn default() -> Self {
+        SleBackend {
+            flavor: HtmFlavor::RequesterWins,
+        }
+    }
+}
+
+impl SpeculationBackend for SleBackend {
+    fn name(&self) -> &'static str {
+        "sle"
+    }
+
+    fn speculation(&self) -> SpeculationKind {
+        SpeculationKind::InCore
+    }
+
+    fn resolve(&self, requester: TxInfo, victims: &[TxInfo]) -> Resolution {
+        resolve_conflict(self.flavor, requester, victims)
+    }
+
+    fn acquires_power_token(&self) -> bool {
+        self.flavor == HtmFlavor::PowerTm
+    }
+}
+
+/// CLEAR over a best-effort substrate: single-retry bounding via
+/// discovery and cacheline-locked re-execution (presets **C**/**W**, and
+/// the CLEAR-SLE extension when `speculation` is in-core).
+#[derive(Clone, Copy, Debug)]
+pub struct ClearBackend {
+    /// CLEAR structure sizes and policies.
+    pub clear: ClearConfig,
+    /// The substrate HTM flavour (requester-wins for C, PowerTM for W).
+    pub flavor: HtmFlavor,
+    /// The substrate speculation kind (HTM-backed or in-core).
+    pub speculation: SpeculationKind,
+}
+
+impl Default for ClearBackend {
+    fn default() -> Self {
+        ClearBackend {
+            clear: ClearConfig::default(),
+            flavor: HtmFlavor::RequesterWins,
+            speculation: SpeculationKind::Htm,
+        }
+    }
+}
+
+impl SpeculationBackend for ClearBackend {
+    fn name(&self) -> &'static str {
+        "clear"
+    }
+
+    fn clear(&self) -> Option<&ClearConfig> {
+        Some(&self.clear)
+    }
+
+    fn speculation(&self) -> SpeculationKind {
+        self.speculation
+    }
+
+    fn resolve(&self, requester: TxInfo, victims: &[TxInfo]) -> Resolution {
+        resolve_conflict(self.flavor, requester, victims)
+    }
+
+    fn acquires_power_token(&self) -> bool {
+        self.flavor == HtmFlavor::PowerTm
+    }
+}
+
+/// The FORTH limited read/write-set HTM: speculative footprints live in
+/// two small dedicated per-core buffers; overflowing either raises a
+/// capacity abort. No ISA or coherence-protocol changes — conflicts still
+/// resolve requester-wins over the unmodified protocol, and the bounded
+/// retry policy plus the non-speculative fallback guarantee progress.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LrwsBackend {
+    /// The buffer bounds, in cachelines.
+    pub limits: LrwsConfig,
+}
+
+impl SpeculationBackend for LrwsBackend {
+    fn name(&self) -> &'static str {
+        "lrws"
+    }
+
+    fn resolve(&self, requester: TxInfo, victims: &[TxInfo]) -> Resolution {
+        resolve_conflict(HtmFlavor::RequesterWins, requester, victims)
+    }
+
+    fn rw_limits(&self) -> Option<LrwsConfig> {
+        Some(self.limits)
+    }
+}
+
+/// Derives the backend a configuration describes. Precedence mirrors the
+/// config axes' specificity: `lrws` bounds select the limited
+/// read/write-set backend, a `clear` config selects CLEAR (over its
+/// flavour/speculation substrate), in-core speculation selects SLE, and
+/// the flavour picks between plain TSX and PowerTM.
+///
+/// # Panics
+///
+/// Panics when both `lrws` and `clear` are set: the limited-R/W-set
+/// scheme replaces cache-based footprint tracking, so CLEAR's discovery
+/// path (which relies on it) cannot be layered on top.
+pub fn backend_from_config(cfg: &MachineConfig) -> Box<dyn SpeculationBackend> {
+    if let Some(limits) = cfg.lrws {
+        assert!(
+            cfg.clear.is_none(),
+            "lrws and clear are mutually exclusive backends"
+        );
+        return Box::new(LrwsBackend { limits });
+    }
+    if let Some(clear) = cfg.clear {
+        return Box::new(ClearBackend {
+            clear,
+            flavor: cfg.flavor,
+            speculation: cfg.speculation,
+        });
+    }
+    match (cfg.speculation, cfg.flavor) {
+        (SpeculationKind::InCore, flavor) => Box::new(SleBackend { flavor }),
+        (SpeculationKind::Htm, HtmFlavor::PowerTm) => Box::new(PowerTmBackend),
+        (SpeculationKind::Htm, HtmFlavor::RequesterWins) => Box::new(TsxBackend),
+    }
+}
+
+/// The five built-in backends, for harnesses sweeping the design space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BackendId {
+    /// Requester-wins TSX baseline.
+    Tsx,
+    /// PowerTM.
+    PowerTm,
+    /// In-core (SLE) speculation.
+    Sle,
+    /// CLEAR over requester-wins.
+    Clear,
+    /// Limited read/write-set HTM.
+    Lrws,
+}
+
+impl BackendId {
+    /// All built-in backends in shootout column order.
+    pub const ALL: [BackendId; 5] = [
+        BackendId::Tsx,
+        BackendId::PowerTm,
+        BackendId::Sle,
+        BackendId::Clear,
+        BackendId::Lrws,
+    ];
+
+    /// The backend's stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendId::Tsx => "tsx",
+            BackendId::PowerTm => "powertm",
+            BackendId::Sle => "sle",
+            BackendId::Clear => "clear",
+            BackendId::Lrws => "lrws",
+        }
+    }
+
+    /// Resolves a name back to a backend.
+    pub fn from_name(name: &str) -> Option<Self> {
+        BackendId::ALL.into_iter().find(|b| b.name() == name)
+    }
+
+    /// Builds the Table 2 machine configuration running this backend.
+    pub fn config(self, cores: usize, max_retries: u32) -> MachineConfig {
+        use crate::Preset;
+        match self {
+            BackendId::Tsx => Preset::B.config(cores, max_retries),
+            BackendId::PowerTm => Preset::P.config(cores, max_retries),
+            BackendId::Clear => Preset::C.config(cores, max_retries),
+            BackendId::Sle => {
+                let mut c = Preset::B.config(cores, max_retries);
+                c.speculation = SpeculationKind::InCore;
+                c
+            }
+            BackendId::Lrws => {
+                let mut c = Preset::B.config(cores, max_retries);
+                c.lrws = Some(LrwsConfig::default());
+                c
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for BackendId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Preset;
+
+    #[test]
+    fn presets_map_to_the_expected_backends() {
+        let b = backend_from_config(&Preset::B.config(4, 5));
+        assert_eq!(b.name(), "tsx");
+        assert!(!b.acquires_power_token());
+        let p = backend_from_config(&Preset::P.config(4, 5));
+        assert_eq!(p.name(), "powertm");
+        assert!(p.acquires_power_token());
+        let c = backend_from_config(&Preset::C.config(4, 5));
+        assert_eq!(c.name(), "clear");
+        assert!(c.clear().is_some());
+        let w = backend_from_config(&Preset::W.config(4, 5));
+        assert_eq!(w.name(), "clear");
+        assert!(w.acquires_power_token());
+    }
+
+    #[test]
+    fn sle_and_lrws_axes_select_their_backends() {
+        let mut cfg = Preset::B.config(4, 5);
+        cfg.speculation = SpeculationKind::InCore;
+        let sle = backend_from_config(&cfg);
+        assert_eq!(sle.name(), "sle");
+        assert_eq!(sle.speculation(), SpeculationKind::InCore);
+
+        let cfg = BackendId::Lrws.config(4, 5);
+        let lrws = backend_from_config(&cfg);
+        assert_eq!(lrws.name(), "lrws");
+        assert_eq!(lrws.rw_limits(), Some(LrwsConfig::default()));
+        assert!(lrws.clear().is_none());
+    }
+
+    #[test]
+    fn clear_sle_combination_keeps_both_axes() {
+        let mut cfg = Preset::C.config(4, 5);
+        cfg.speculation = SpeculationKind::InCore;
+        let b = backend_from_config(&cfg);
+        assert_eq!(b.name(), "clear");
+        assert_eq!(b.speculation(), SpeculationKind::InCore);
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn lrws_plus_clear_is_rejected() {
+        let mut cfg = Preset::C.config(4, 5);
+        cfg.lrws = Some(LrwsConfig::default());
+        backend_from_config(&cfg);
+    }
+
+    #[test]
+    fn only_clear_guarantees_nscl_commits() {
+        let clear = ClearBackend::default();
+        assert!(clear.guarantees_commit(RetryMode::NsCl));
+        assert!(!clear.guarantees_commit(RetryMode::SCl));
+        assert!(!clear.guarantees_commit(RetryMode::Fallback));
+        for b in [
+            Box::new(TsxBackend) as Box<dyn SpeculationBackend>,
+            Box::new(PowerTmBackend),
+            Box::new(SleBackend::default()),
+            Box::new(LrwsBackend::default()),
+        ] {
+            assert!(
+                !b.guarantees_commit(RetryMode::NsCl),
+                "{} claims a bound it cannot enforce",
+                b.name()
+            );
+        }
+    }
+
+    #[test]
+    fn backend_resolution_matches_the_flavor_policy() {
+        use clear_coherence::CoreId;
+        let plain = |core| TxInfo {
+            core: CoreId(core),
+            power: false,
+            scl: false,
+        };
+        let mut power_victim = plain(1);
+        power_victim.power = true;
+        // Requester-wins backends ignore the power bit.
+        for b in [
+            Box::new(TsxBackend) as Box<dyn SpeculationBackend>,
+            Box::new(SleBackend::default()),
+            Box::new(LrwsBackend::default()),
+            Box::new(ClearBackend::default()),
+        ] {
+            assert_eq!(
+                b.resolve(plain(0), &[power_victim]),
+                Resolution::AbortVictims,
+                "{}",
+                b.name()
+            );
+        }
+        assert_eq!(
+            PowerTmBackend.resolve(plain(0), &[power_victim]),
+            Resolution::NackRequester
+        );
+    }
+
+    #[test]
+    fn backend_ids_round_trip_names_and_configs() {
+        for id in BackendId::ALL {
+            assert_eq!(BackendId::from_name(id.name()), Some(id));
+            let cfg = id.config(8, 3);
+            assert_eq!(cfg.cores, 8);
+            assert_eq!(cfg.retry.max_retries, 3);
+            assert_eq!(backend_from_config(&cfg).name(), id.name());
+        }
+        assert_eq!(BackendId::from_name("no-such"), None);
+    }
+}

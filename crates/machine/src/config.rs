@@ -2,7 +2,7 @@
 
 use clear_coherence::CoherenceConfig;
 use clear_core::ClearConfig;
-use clear_htm::{HtmFlavor, RetryPolicy};
+use clear_htm::{HtmFlavor, LrwsConfig, RetryPolicy};
 
 use crate::EnergyConfig;
 
@@ -65,6 +65,11 @@ pub struct MachineConfig {
     pub retry: RetryPolicy,
     /// Speculation substrate: HTM-backed (default) or in-core only (SLE).
     pub speculation: SpeculationKind,
+    /// Limited read/write-set bounds (the FORTH scheme); `Some` selects the
+    /// `lrws` backend, which tracks speculative footprints in two small
+    /// dedicated buffers and raises capacity aborts on overflow. Mutually
+    /// exclusive with `clear`.
+    pub lrws: Option<LrwsConfig>,
     /// A-priori cacheline locking (the MCAS \[33\] / MAD-atomics \[16\]
     /// comparator of §2.2): ARs whose invocation carries a
     /// `static_footprint` lock it up front and execute non-speculatively
@@ -109,6 +114,7 @@ impl MachineConfig {
             flavor: HtmFlavor::RequesterWins,
             retry: RetryPolicy::default(),
             speculation: SpeculationKind::Htm,
+            lrws: None,
             a_priori_locking: false,
             rob_size: 352,
             sq_size: 72,

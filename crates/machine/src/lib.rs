@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod backend;
 mod config;
 mod energy;
 mod machine;
@@ -39,6 +40,10 @@ pub mod perf;
 mod stats;
 mod trace;
 
+pub use backend::{
+    backend_from_config, BackendId, ClearBackend, LrwsBackend, PowerTmBackend, SleBackend,
+    SpeculationBackend, TsxBackend,
+};
 pub use config::{MachineConfig, Preset, SpeculationKind, TimingConfig};
 pub use energy::{compute_energy, EnergyBreakdown, EnergyConfig};
 pub use machine::Machine;

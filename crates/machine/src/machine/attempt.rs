@@ -117,10 +117,8 @@ impl Machine {
                     let ar = self.cores[c].inv.as_ref().unwrap().ar.0;
                     let enabled = self.cores[c].ert.entry(ar).discovery_enabled();
                     if enabled {
-                        let mut d = Discovery::new(
-                            self.config.clear.as_ref().unwrap(),
-                            self.coherence.dir_geometry(),
-                        );
+                        let cc = *self.backend.clear().expect("clear_enabled implies config");
+                        let mut d = Discovery::new(&cc, self.coherence.dir_geometry());
                         d.rearm();
                         self.cores[c].discovery = Some(d);
                     } else {
@@ -193,7 +191,7 @@ impl Machine {
         self.cores[c].retries_total += 1;
 
         // PowerTM: a transaction that failed once may enter power mode.
-        if self.config.flavor == clear_htm::HtmFlavor::PowerTm
+        if self.backend.acquires_power_token()
             && !self.cores[c].power
             && self.power_token.try_acquire(CoreId(c))
         {
@@ -201,9 +199,8 @@ impl Machine {
         }
 
         if self
-            .config
-            .retry
-            .must_fall_back(self.cores[c].retries_counted)
+            .backend
+            .must_fall_back(&self.config.retry, self.cores[c].retries_counted)
         {
             self.cores[c].planned = RetryMode::Fallback;
         }
@@ -273,7 +270,7 @@ impl Machine {
                     // The paper's choice locks the write set plus CRT reads
                     // (added at attempt start); the rejected "lock all"
                     // alternative is kept as an ablation (§4.4.2).
-                    if self.config.clear.as_ref().map(|cc| cc.scl_lock_policy)
+                    if self.backend.clear().map(|cc| cc.scl_lock_policy)
                         == Some(clear_core::SclLockPolicy::AllAccessed)
                     {
                         alt.mark_all_needs_locking();

@@ -72,9 +72,14 @@ impl Machine {
     /// least two, and an L1 latency of at least one cycle so every local
     /// step strictly advances its core's clock (a zero-latency hit would
     /// let the sequential scheduler re-pop the same core before later
-    /// batch members, breaking the commutation argument).
+    /// batch members, breaking the commutation argument). The
+    /// limited-R/W-set backend disables batching wholesale: its tracker
+    /// can turn any speculative access into a capacity abort — a global
+    /// effect the local-step classifier cannot see.
     pub(super) fn batching_viable(&self) -> bool {
-        self.sim_threads >= 2 && self.config.coherence.lat_l1 >= 1
+        self.sim_threads >= 2
+            && self.config.coherence.lat_l1 >= 1
+            && self.backend.rw_limits().is_none()
     }
 
     /// Attempts to form and execute one parallel batch starting at the
@@ -159,7 +164,7 @@ impl Machine {
         if vm.retired() > self.config.attempt_instr_cap {
             return None;
         }
-        if self.config.speculation == SpeculationKind::InCore
+        if self.backend.speculation() == SpeculationKind::InCore
             && (vm.retired() > self.config.rob_size || vm.stores_retired() > self.config.sq_size)
         {
             return None;

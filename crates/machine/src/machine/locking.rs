@@ -51,7 +51,7 @@ impl Machine {
         let nacked = !spin && !victims.is_empty() && {
             self.perf.allocs_avoided += 1;
             let me = self.tx_info(c);
-            resolve_conflict(self.config.flavor, me, &victims) == Resolution::NackRequester
+            self.backend.resolve(me, &victims) == Resolution::NackRequester
         };
         self.scratch_victims = victims;
         if spin {

@@ -40,7 +40,7 @@ impl Machine {
             // window, so speculative attempts and S-CL alike abort when the
             // AR outgrows it (§4.1 assessment 1); the AR is then
             // non-convertible.
-            if self.config.speculation == SpeculationKind::InCore
+            if self.backend.speculation() == SpeculationKind::InCore
                 && matches!(self.cores[c].mode, ExecMode::Speculative | ExecMode::SCl)
             {
                 let vm = self.cores[c].vm.as_ref().expect("vm armed");
@@ -104,6 +104,28 @@ impl Machine {
         if self.in_failed_mode(c) {
             let spent = self.clocks[c] - before;
             self.stats.discovery_failed_cycles += spent;
+        }
+    }
+
+    /// Admits `line` into the bounded read/write-set buffers when the
+    /// backend limits them ([`SpeculationBackend::rw_limits`]); a no-op
+    /// `true` otherwise. Returns `false` when the access overflowed a
+    /// buffer: the attempt has been capacity-aborted and the caller must
+    /// stop executing it.
+    fn lrws_track(&mut self, c: usize, line: LineAddr, is_write: bool) -> bool {
+        let Some(t) = self.cores[c].lrws.as_mut() else {
+            return true;
+        };
+        match t.track(line, is_write) {
+            Ok(()) => true,
+            Err(over) => {
+                match over {
+                    RwSetOverflow::Reads => self.stats.lrws_read_capacity_aborts += 1,
+                    RwSetOverflow::Writes => self.stats.lrws_write_capacity_aborts += 1,
+                }
+                self.perform_abort(c, AbortKind::Capacity);
+                false
+            }
         }
     }
 
@@ -175,6 +197,13 @@ impl Machine {
                 self.cores[c].vm.as_mut().unwrap().finish_load(v);
             }
             mode => {
+                // Limited-R/W-set backend: admit the line into the bounded
+                // read buffer before issuing the access; overflow is a
+                // capacity abort (the fallback path is never tracked, so it
+                // always makes progress).
+                if mode == ExecMode::Speculative && !self.lrws_track(c, line, false) {
+                    return;
+                }
                 let probe = self.coherence.probe(CoreId(c), line, Access::Read);
                 if let Some(_holder) = probe.locked_by_other {
                     if mode == ExecMode::SCl {
@@ -202,7 +231,7 @@ impl Machine {
                 let nacked = !victims.is_empty() && {
                     self.perf.allocs_avoided += 1;
                     let me = self.tx_info(c);
-                    resolve_conflict(self.config.flavor, me, &victims) == Resolution::NackRequester
+                    self.backend.resolve(me, &victims) == Resolution::NackRequester
                 };
                 self.scratch_victims = victims;
                 if nacked {
@@ -325,6 +354,11 @@ impl Machine {
                 self.clocks[c] += 1;
             }
             mode => {
+                // Limited-R/W-set backend: the write buffer bounds the
+                // speculative write set.
+                if mode == ExecMode::Speculative && !self.lrws_track(c, line, true) {
+                    return;
+                }
                 let probe = self.coherence.probe(CoreId(c), line, Access::Write);
                 if let Some(_holder) = probe.locked_by_other {
                     if mode == ExecMode::SCl {
@@ -353,7 +387,7 @@ impl Machine {
                 let nacked = !victims.is_empty() && {
                     self.perf.allocs_avoided += 1;
                     let me = self.tx_info(c);
-                    resolve_conflict(self.config.flavor, me, &victims) == Resolution::NackRequester
+                    self.backend.resolve(me, &victims) == Resolution::NackRequester
                 };
                 self.scratch_victims = victims;
                 if nacked {

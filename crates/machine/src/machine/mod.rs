@@ -21,10 +21,15 @@
 //!   equivalent for other cores.
 
 use crate::perf::PerfCounters;
-use crate::{compute_energy, MachineConfig, RunStats, SpeculationKind, Trace, TraceEvent};
+use crate::{
+    backend_from_config, compute_energy, MachineConfig, RunStats, SpeculationBackend,
+    SpeculationKind, Trace, TraceEvent,
+};
 use clear_coherence::{Access, CoherenceSystem, CoreId, LockFail, RemoteImpact, TxTrack};
 use clear_core::{decide, Alt, Crt, Discovery, Ert, RetryMode};
-use clear_htm::{resolve_conflict, AbortKind, FallbackLock, PowerToken, Resolution, TxInfo};
+use clear_htm::{
+    AbortKind, FallbackLock, PowerToken, Resolution, RwSetOverflow, RwSetTracker, TxInfo,
+};
 use clear_isa::{ArInvocation, Effect, Vm, Workload};
 use clear_mem::rng::Xoshiro256PlusPlus;
 use clear_mem::{Addr, FxHashMap, LineAddr, LineSet, Memory};
@@ -116,11 +121,14 @@ struct Core {
     /// Cycles spent spinning in the current lock-acquisition phase,
     /// reported by the next `LockAcquired` trace event.
     lock_wait_acc: u64,
+    /// Bounded read/write-set buffers of the limited-R/W-set backend;
+    /// `None` for every backend without [`SpeculationBackend::rw_limits`].
+    lrws: Option<RwSetTracker>,
 }
 
 impl Core {
-    fn new(clear: &Option<clear_core::ClearConfig>) -> Self {
-        let cc = clear.unwrap_or_default();
+    fn new(backend: &dyn SpeculationBackend) -> Self {
+        let cc = backend.clear().copied().unwrap_or_default();
         Core {
             vm: None,
             inv: None,
@@ -142,6 +150,7 @@ impl Core {
             fp_first: None,
             attempt_started_at: 0,
             lock_wait_acc: 0,
+            lrws: backend.rw_limits().map(RwSetTracker::new),
         }
     }
 }
@@ -154,6 +163,8 @@ impl Core {
 /// unit tests below exercise single-workload runs end to end.
 pub struct Machine {
     config: MachineConfig,
+    /// The speculation policy surface (see [`SpeculationBackend`]).
+    backend: Box<dyn SpeculationBackend>,
     cores: Vec<Core>,
     /// Per-core clocks, indexed by core id (SoA twin of `cores`; see
     /// [`Core`]).
@@ -193,13 +204,28 @@ impl std::fmt::Debug for Machine {
 
 impl Machine {
     /// Builds a machine, lays out the workload in simulated memory and
-    /// allocates the fallback lock line.
-    pub fn new(config: MachineConfig, mut workload: Box<dyn Workload>) -> Self {
+    /// allocates the fallback lock line. The speculation backend is derived
+    /// from the configuration axes (see [`backend_from_config`]).
+    pub fn new(config: MachineConfig, workload: Box<dyn Workload>) -> Self {
+        let backend = backend_from_config(&config);
+        Machine::with_backend(config, workload, backend)
+    }
+
+    /// Builds a machine running an explicit [`SpeculationBackend`], which
+    /// overrides whatever the configuration axes would have selected. The
+    /// configuration's `clear`/`flavor`/`speculation`/`lrws` fields are
+    /// ignored in favour of the backend's answers; everything else (cores,
+    /// coherence, retry policy, timing, …) applies unchanged.
+    pub fn with_backend(
+        config: MachineConfig,
+        mut workload: Box<dyn Workload>,
+        backend: Box<dyn SpeculationBackend>,
+    ) -> Self {
         let mut memory = Memory::new();
         let fallback_line = memory.alloc_line().line();
         workload.setup(&mut memory, config.cores);
         let cores = (0..config.cores)
-            .map(|_| Core::new(&config.clear))
+            .map(|_| Core::new(backend.as_ref()))
             .collect();
         let rng = Xoshiro256PlusPlus::seed_from_u64(config.seed);
         let sim_threads = match config.sim_threads {
@@ -209,6 +235,7 @@ impl Machine {
             n => n,
         };
         Machine {
+            backend,
             coherence: CoherenceSystem::new(config.coherence),
             fallback: FallbackLock::new(fallback_line),
             power_token: PowerToken::new(),
@@ -258,6 +285,11 @@ impl Machine {
     /// The workload under simulation.
     pub fn workload(&self) -> &dyn Workload {
         self.workload.as_ref()
+    }
+
+    /// The speculation backend driving this machine.
+    pub fn backend(&self) -> &dyn SpeculationBackend {
+        self.backend.as_ref()
     }
 
     /// Runs the workload to completion (or to the `max_cycles` safety stop)
@@ -364,7 +396,7 @@ impl Machine {
     }
 
     fn clear_enabled(&self) -> bool {
-        self.config.clear.is_some()
+        self.backend.clear().is_some()
     }
 
     fn tx_info(&self, c: usize) -> TxInfo {
@@ -405,7 +437,7 @@ impl Machine {
                         if !self.coherence.fits_locked(lines) {
                             return None;
                         }
-                        let cc = self.config.clear.unwrap_or_default();
+                        let cc = self.backend.clear().copied().unwrap_or_default();
                         let mut alt = Alt::new(cc.alt_entries, self.coherence.dir_geometry());
                         for &l in lines {
                             if alt.observe(l, true).is_err() {
@@ -446,6 +478,9 @@ impl Machine {
         core.sq.clear();
         core.held_abort = None;
         core.fp_cur.clear();
+        if let Some(t) = core.lrws.as_mut() {
+            t.clear();
+        }
     }
 }
 

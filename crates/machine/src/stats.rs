@@ -110,6 +110,12 @@ pub struct RunStats {
     /// Fig. 1 instrumentation: of those, executions whose first-retry
     /// footprint was identical to the first attempt's and ≤ 32 lines.
     pub immutable_small_retries: u64,
+    /// Limited-R/W-set backend: capacity aborts raised by read-set buffer
+    /// overflow. Zero for every other backend.
+    pub lrws_read_capacity_aborts: u64,
+    /// Limited-R/W-set backend: capacity aborts raised by write-set buffer
+    /// overflow. Zero for every other backend.
+    pub lrws_write_capacity_aborts: u64,
     /// Per-AR counters keyed by the AR's static id.
     pub ar_stats: BTreeMap<u32, ArStatsEntry>,
     /// Coherence event counters.
@@ -169,6 +175,12 @@ impl RunStats {
             return 0.0;
         }
         self.commits_by_mode.fallback as f64 / retried as f64
+    }
+
+    /// Total capacity aborts raised by the limited-R/W-set buffers; a
+    /// subset of the Capacity bucket in [`RunStats::aborts`].
+    pub fn lrws_capacity_aborts(&self) -> u64 {
+        self.lrws_read_capacity_aborts + self.lrws_write_capacity_aborts
     }
 
     /// Fig. 1 ratio: retrying ARs whose footprint stayed immutable and

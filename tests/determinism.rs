@@ -146,6 +146,66 @@ fn scaling_wide_is_independent_of_intra_run_worker_count() {
     );
 }
 
+/// `backend-shootout` options scaled down for debug-mode test runs: two
+/// benchmarks instead of the golden's full 19, all five backends.
+fn shootout(workers: usize, sim_threads: usize) -> SuiteOptions {
+    SuiteOptions {
+        size: Size::Tiny,
+        cores: 8,
+        seeds: vec![1],
+        retry_sweep: vec![5],
+        benchmarks: vec!["arrayswap", "mwobject"],
+        workers,
+        sim_threads,
+        ..SuiteOptions::default()
+    }
+}
+
+#[test]
+fn backend_shootout_reproduces_byte_identically_across_runs() {
+    let exp = find("backend-shootout").expect("backend-shootout registered");
+    let a = (exp.run)(&shootout(4, 1));
+    let b = (exp.run)(&shootout(4, 1));
+    // The shootout document carries no wall-clock fields at all, so the
+    // whole thing — text and JSON — must reproduce byte-for-byte.
+    assert_eq!(a.json.to_pretty(), b.json.to_pretty());
+    assert_eq!(a.text, b.text);
+    assert_eq!(a.failures, 0);
+}
+
+#[test]
+fn backend_shootout_is_independent_of_grid_workers() {
+    let exp = find("backend-shootout").expect("backend-shootout registered");
+    let serial = (exp.run)(&shootout(1, 1));
+    let parallel = (exp.run)(&shootout(8, 1));
+    assert_eq!(
+        serial.json.to_pretty(),
+        parallel.json.to_pretty(),
+        "backend-shootout: 1-worker vs 8-worker run drifted"
+    );
+}
+
+#[test]
+fn backend_shootout_is_independent_of_intra_run_threads() {
+    // sim_threads toggles parallel intra-run stepping (and, under the
+    // limited-R/W-set backend, forces the batching classifier off); the
+    // rendered document must not notice either way.
+    let exp = find("backend-shootout").expect("backend-shootout registered");
+    let two = (exp.run)(&shootout(4, 2));
+    let eight = (exp.run)(&shootout(4, 8));
+    let sequential = (exp.run)(&shootout(4, 1));
+    assert_eq!(
+        two.json.to_pretty(),
+        eight.json.to_pretty(),
+        "backend-shootout: sim_threads=2 vs 8 drifted"
+    );
+    assert_eq!(
+        sequential.json.to_pretty(),
+        two.json.to_pretty(),
+        "backend-shootout: sequential vs batched stepping drifted"
+    );
+}
+
 #[test]
 fn intra_run_threads_do_not_change_gated_documents() {
     // The legacy gated experiments carry no batch counters in their JSON,

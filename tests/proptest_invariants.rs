@@ -451,6 +451,164 @@ mod machine_props {
                 .unwrap_or_else(|e| panic!("case {case} {preset}: {e}"));
         }
     }
+
+    /// The same conservation property quantified over the *backend* axis:
+    /// every [`clear_machine::SpeculationBackend`] — CLEAR, TSX, PowerTM,
+    /// SLE and the limited-R/W-set scheme — serializes random schedules of
+    /// shared/private increments. Non-bounded backends must additionally
+    /// report zero R/W-set buffer overflows.
+    #[test]
+    fn random_plans_conserve_counters_under_every_backend() {
+        use clear_machine::BackendId;
+
+        for case in 0..8 {
+            let mut rng = case_rng(0xbacc, case);
+            let threads = 2 + rng.index(3);
+            let plan: Vec<Vec<bool>> = (0..threads)
+                .map(|_| {
+                    let len = 1 + rng.index(19);
+                    (0..len).map(|_| rng.flip()).collect()
+                })
+                .collect();
+            let seed = rng.below(1000);
+
+            for id in BackendId::ALL {
+                let w = MixedCounters {
+                    shared: Addr::NULL,
+                    private: vec![],
+                    plan: plan.clone(),
+                    cursor: vec![],
+                    program: inc_program(),
+                    shared_ops: 0,
+                };
+                let mut cfg = id.config(threads, 3);
+                cfg.seed = seed;
+                let mut m = Machine::new(cfg, Box::new(w));
+                let stats = m.run();
+                assert!(!stats.timed_out, "case {case} {id}");
+                if id != BackendId::Lrws {
+                    assert_eq!(stats.lrws_capacity_aborts(), 0, "case {case} {id}");
+                }
+                m.workload()
+                    .validate(m.memory())
+                    .unwrap_or_else(|e| panic!("case {case} {id}: {e}"));
+            }
+        }
+    }
+
+    /// A backend defined *outside* the built-in registry — hostile
+    /// arbitration (every conflict NACKs the requester) and a fallback
+    /// after a single counted retry — still serializes random schedules
+    /// when plugged in through [`Machine::with_backend`]. This is the
+    /// pluggability contract: atomicity lives in the shared machine
+    /// layers, not in any particular backend.
+    #[test]
+    fn a_custom_hostile_backend_still_serializes() {
+        use clear_htm::{Resolution, RetryPolicy, TxInfo};
+        use clear_machine::SpeculationBackend;
+
+        #[derive(Debug)]
+        struct HostileBackend;
+
+        impl SpeculationBackend for HostileBackend {
+            fn name(&self) -> &'static str {
+                "hostile"
+            }
+            fn resolve(&self, _requester: TxInfo, _victims: &[TxInfo]) -> Resolution {
+                Resolution::NackRequester
+            }
+            fn must_fall_back(&self, _policy: &RetryPolicy, counted_retries: u32) -> bool {
+                counted_retries >= 1
+            }
+        }
+
+        for case in 0..8 {
+            let mut rng = case_rng(0x4057, case);
+            let threads = 2 + rng.index(3);
+            let plan: Vec<Vec<bool>> = (0..threads)
+                .map(|_| {
+                    let len = 1 + rng.index(14);
+                    (0..len).map(|_| rng.flip()).collect()
+                })
+                .collect();
+            let seed = rng.below(1000);
+
+            let w = MixedCounters {
+                shared: Addr::NULL,
+                private: vec![],
+                plan,
+                cursor: vec![],
+                program: inc_program(),
+                shared_ops: 0,
+            };
+            // The config's own backend axes are ignored in favour of the
+            // explicit backend argument.
+            let mut cfg = Preset::B.config(threads, 3);
+            cfg.seed = seed;
+            let mut m = Machine::with_backend(cfg, Box::new(w), Box::new(HostileBackend));
+            assert_eq!(m.backend().name(), "hostile");
+            let stats = m.run();
+            assert!(!stats.timed_out, "case {case}");
+            m.workload()
+                .validate(m.memory())
+                .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        }
+    }
+}
+
+/// RwSetTracker against a two-BTreeSet model for any access sequence and
+/// any small capacity bounds: admission, overflow verdicts, the
+/// write-set-pins-reads rule, and attempt-boundary clears all agree with
+/// the model exactly.
+#[test]
+fn rwset_tracker_matches_set_model() {
+    use clear_htm::{LrwsConfig, RwSetOverflow, RwSetTracker};
+    use std::collections::BTreeSet;
+
+    for case in 0..CASES {
+        let mut rng = case_rng(0x125e7, case);
+        let cfg = LrwsConfig {
+            read_lines: 1 + rng.index(6),
+            write_lines: 1 + rng.index(4),
+        };
+        let mut tracker = RwSetTracker::new(cfg);
+        let mut reads: BTreeSet<u64> = BTreeSet::new();
+        let mut writes: BTreeSet<u64> = BTreeSet::new();
+        let nops = 1 + rng.index(120);
+        for _ in 0..nops {
+            // Occasionally hit an attempt boundary.
+            if rng.below(16) == 0 {
+                tracker.clear();
+                reads.clear();
+                writes.clear();
+            }
+            let line = rng.below(12);
+            let is_write = rng.flip();
+            let expect = if is_write {
+                if writes.contains(&line) || writes.len() < cfg.write_lines {
+                    writes.insert(line);
+                    Ok(())
+                } else {
+                    Err(RwSetOverflow::Writes)
+                }
+            } else if writes.contains(&line) {
+                // Written lines read for free and never charge the
+                // read-set budget.
+                Ok(())
+            } else if reads.contains(&line) || reads.len() < cfg.read_lines {
+                reads.insert(line);
+                Ok(())
+            } else {
+                Err(RwSetOverflow::Reads)
+            };
+            let got = tracker.track(LineAddr(line), is_write);
+            assert_eq!(got, expect, "case {case} line {line} write {is_write}");
+            assert_eq!(tracker.read_lines(), reads.len(), "case {case}");
+            assert_eq!(tracker.write_lines(), writes.len(), "case {case}");
+            assert!(tracker.read_lines() <= cfg.read_lines, "case {case}");
+            assert!(tracker.write_lines() <= cfg.write_lines, "case {case}");
+        }
+    }
 }
 
 /// ALT under random observe/mark/reset sequences: entries stay in strict
