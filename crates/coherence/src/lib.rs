@@ -47,5 +47,7 @@ mod system;
 mod types;
 
 pub use config::CoherenceConfig;
-pub use system::{ApplyOk, CoherenceStats, CoherenceSystem, LocalView, ProbeResult, RemoteImpact};
+pub use system::{
+    ApplyOk, CoherenceStats, CoherenceSystem, LocalView, ProbeResult, RemoteImpact, ShardProfile,
+};
 pub use types::{Access, CoreId, LockFail, MesiState, ServedBy, TxTrack};

@@ -59,6 +59,12 @@ struct DirShard {
     entries: Vec<DirEntry>,
     /// LLC presence, one bit per line in the shard's range.
     llc: u64,
+    /// Cacheline locks acquired on this shard's lines (metrics hook; see
+    /// [`CoherenceSystem::shard_profiles`]).
+    locks: u64,
+    /// Lock requests refused because another core held a line of this
+    /// shard locked.
+    lock_nacks: u64,
 }
 
 /// All coherence state owned by a single core, grouped so a batch of cores
@@ -170,6 +176,21 @@ impl CoherenceStats {
     }
 }
 
+/// Occupancy and lock traffic of one directory shard (see
+/// [`CoherenceSystem::shard_profiles`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardProfile {
+    /// Shard index (`line >> 6`).
+    pub shard: usize,
+    /// Directory entries instantiated in the shard.
+    pub lines: u64,
+    /// Cacheline locks acquired on the shard's lines.
+    pub locks: u64,
+    /// Lock requests refused because a line of the shard was held locked
+    /// by another core.
+    pub lock_nacks: u64,
+}
+
 /// The coherence substrate: one private cache per core plus a sharded
 /// directory.
 ///
@@ -257,6 +278,40 @@ impl CoherenceSystem {
             .map(|s| s.entries.len() as u64)
             .max()
             .unwrap_or(0)
+    }
+
+    /// Per-shard occupancy and lock-traffic profile, in shard order. Feeds
+    /// the machine's metrics registry (shard occupancy gauges plus lock /
+    /// NACK counters); shards with no instantiated entries are skipped so
+    /// a sparse footprint does not emit empty series.
+    pub fn shard_profiles(&self) -> impl Iterator<Item = ShardProfile> + '_ {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, sh)| !sh.entries.is_empty())
+            .map(|(i, sh)| ShardProfile {
+                shard: i,
+                lines: sh.entries.len() as u64,
+                locks: sh.locks,
+                lock_nacks: sh.lock_nacks,
+            })
+    }
+
+    /// Attributes one acquired lock to `line`'s shard. The shard exists by
+    /// the time a lock succeeds (the apply instantiated the entry).
+    fn note_lock(&mut self, line: LineAddr) {
+        if let Some(sh) = self.shards.get_mut(slot(line).0) {
+            sh.locks += 1;
+        }
+    }
+
+    /// Attributes one refused (NACKed) lock request to `line`'s shard. A
+    /// refusal implies a directory entry records the holder, so the shard
+    /// exists.
+    fn note_lock_nack(&mut self, line: LineAddr) {
+        if let Some(sh) = self.shards.get_mut(slot(line).0) {
+            sh.lock_nacks += 1;
+        }
     }
 
     fn dir_ref(&self, line: LineAddr) -> Option<&DirEntry> {
@@ -709,11 +764,13 @@ impl CoherenceSystem {
         if let Some(holder) = self.locked_by(line) {
             if holder != core {
                 self.stats.lock_conflicts += 1;
+                self.note_lock_nack(line);
                 return Err(LockFail::LockedBy(holder));
             }
         }
         let r = self.apply_inner(core, line, Access::Write, TxTrack::None, true)?;
         self.stats.locks += 1;
+        self.note_lock(line);
         Ok(r)
     }
 
@@ -750,6 +807,7 @@ impl CoherenceSystem {
             if let Some(holder) = self.locked_by(l) {
                 if holder != core {
                     self.stats.lock_conflicts += 1;
+                    self.note_lock_nack(l);
                     return Err(LockFail::LockedBy(holder));
                 }
             }
@@ -762,6 +820,7 @@ impl CoherenceSystem {
             invalidations += r.remote_impacts.len();
             impacts.extend(r.remote_impacts);
             self.stats.locks += 1;
+            self.note_lock(l);
         }
         let latency = if all_hit {
             lines.len() as u64 * self.config.lat_l1

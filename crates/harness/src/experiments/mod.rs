@@ -13,6 +13,7 @@ mod figures;
 mod fuzz;
 mod perf;
 mod shootout;
+mod slo;
 mod statics;
 mod studies;
 mod tables;
@@ -35,6 +36,12 @@ pub struct ExperimentOutput {
     pub json: Json,
     /// Failed checks (only `verify` sets this; drives the exit status).
     pub failures: usize,
+    /// Optional side-channel metrics snapshot (simulator `PerfCounters`
+    /// surfaced through `clear-metrics`). Deliberately NOT part of `json`:
+    /// golden baselines compare `json` byte-for-byte, while `run --json`
+    /// appends this block to the *printed* document only, so observability
+    /// can grow without re-pinning twelve goldens.
+    pub metrics: Option<Json>,
 }
 
 impl ExperimentOutput {
@@ -43,6 +50,7 @@ impl ExperimentOutput {
             text,
             json,
             failures: 0,
+            metrics: None,
         }
     }
 }
@@ -113,6 +121,15 @@ fn tiny_perf() -> SuiteOptions {
         ..SuiteOptions::default()
     }
 }
+
+/// `slo-latency` tolerances: the streaming percentiles, abort taxonomy
+/// and queue accounting are simulated values and must match exactly; only
+/// the wall-clock throughput fields riding along for humans are skipped.
+const SLO_TOLERANCES: Tolerances = Tolerances {
+    default_rel: 1e-9,
+    overrides: &[],
+    ignored: &["wall_ns", "ars_per_sec"],
+};
 
 /// `scaling-wide` tolerances: per-run schedule counters are exact; the
 /// wall-clock columns and the throughput-retention ratio derived from them
@@ -288,6 +305,16 @@ pub static EXPERIMENTS: &[Experiment] = &[
         }),
     },
     Experiment {
+        name: "slo-latency",
+        artifact: "observability / SLO gate",
+        about: "streaming p50/p99/p999 time-to-commit from the serve loop",
+        run: slo::slo_latency,
+        golden: Some(GoldenSpec {
+            opts: slo::slo_opts,
+            tolerances: SLO_TOLERANCES,
+        }),
+    },
+    Experiment {
         name: "sim-throughput",
         artifact: "simulator engineering",
         about: "simulator-kernel counters and steps/s over a tiny grid",
@@ -444,6 +471,7 @@ mod tests {
                 "ablation",
                 "scaling-wide",
                 "sle",
+                "slo-latency",
                 "sim-throughput",
                 "trace-digest",
                 "static-agreement",

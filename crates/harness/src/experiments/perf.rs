@@ -15,10 +15,49 @@
 
 use super::{opts_json, ExperimentOutput};
 use crate::json::Json;
+use crate::metrics_export::snapshot_to_json;
 use crate::pool;
 use crate::suite::{run_once_threaded, SuiteOptions};
-use clear_machine::Preset;
+use clear_machine::{Preset, RunStats};
+use clear_metrics::{families, MetricsRegistry};
 use std::fmt::Write as _;
+
+/// Surfaces each grid point's `PerfCounters` (plus the LRWS capacity-abort
+/// tallies) as `clear_sim_perf` gauges in a `clear-metrics` snapshot —
+/// the same numbers as the `rows` array, but in the uniform metrics shape.
+/// Attached to [`ExperimentOutput::metrics`], which `run --json` appends
+/// to the printed document only, so the golden-gated `json` stays
+/// byte-identical.
+fn perf_metrics<'a>(
+    points: impl Iterator<Item = (Vec<(&'static str, String)>, &'a RunStats)>,
+) -> Json {
+    let mut reg = MetricsRegistry::new();
+    for (point, s) in points {
+        let p = &s.perf;
+        for (counter, value) in [
+            ("steps", p.steps),
+            ("sched_updates", p.sched_updates),
+            ("coherence_requests", p.coherence_requests),
+            ("allocs_avoided", p.allocs_avoided),
+            ("trace_events_recorded", p.trace_events_recorded),
+            ("trace_events_dropped", p.trace_events_dropped),
+            ("shards", p.shards),
+            ("shard_lines", p.shard_lines),
+            ("shard_lines_max", p.shard_lines_max),
+            ("par_batches", p.par_batches),
+            ("par_batch_steps", p.par_batch_steps),
+            ("par_batch_max", p.par_batch_max),
+            ("lrws_read_capacity_aborts", s.lrws_read_capacity_aborts),
+            ("lrws_write_capacity_aborts", s.lrws_write_capacity_aborts),
+        ] {
+            let mut labels: Vec<(&str, &str)> =
+                point.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            labels.push(("counter", counter));
+            reg.set_gauge(families::SIM_PERF, &labels, value);
+        }
+    }
+    snapshot_to_json(&reg.snapshot())
+}
 
 pub(super) fn sim_throughput(opts: &SuiteOptions) -> ExperimentOutput {
     let presets = Preset::ALL;
@@ -95,7 +134,17 @@ pub(super) fn sim_throughput(opts: &SuiteOptions) -> ExperimentOutput {
         ("total_wall_ns", Json::from(wall_ns)),
         ("aggregate_steps_per_sec", Json::Float(aggregate)),
     ]);
-    ExperimentOutput::new(text, json)
+    let mut out = ExperimentOutput::new(text, json);
+    out.metrics = Some(perf_metrics(stats.iter().enumerate().map(|(i, s)| {
+        (
+            vec![
+                ("bench", opts.benchmarks[i / np].to_string()),
+                ("preset", format!("{}", presets[i % np])),
+            ],
+            s,
+        )
+    })));
+    out
 }
 
 /// The simulated-core ladder `scaling-wide` sweeps, clipped to the
@@ -221,5 +270,11 @@ pub(super) fn scaling_wide(opts: &SuiteOptions) -> ExperimentOutput {
     ]);
     let mut out = ExperimentOutput::new(text, json);
     out.failures = failures;
+    out.metrics = Some(perf_metrics(
+        ladder
+            .iter()
+            .zip(&stats)
+            .map(|(&cores, s)| (vec![("cores", cores.to_string())], s)),
+    ));
     out
 }

@@ -87,5 +87,6 @@ pub(super) fn verify(opts: &SuiteOptions) -> ExperimentOutput {
         text,
         json,
         failures,
+        metrics: None,
     }
 }

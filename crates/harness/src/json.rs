@@ -193,21 +193,45 @@ fn write_float(out: &mut String, f: f64) {
     let _ = write!(out, "{f:?}");
 }
 
-fn write_string(out: &mut String, s: &str) {
-    out.push('"');
+/// Which textual format a string is being escaped for.
+///
+/// Every text exporter in the harness (JSON documents, Chrome traces, the
+/// Prometheus exposition) funnels through [`escape_into`] with one of
+/// these styles, so the escaping rules live in exactly one place.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EscapeStyle {
+    /// JSON string contents (between the surrounding quotes): `"`, `\`,
+    /// the short control escapes, and `\u` escapes for the rest of the
+    /// C0 range.
+    Json,
+    /// Prometheus text-exposition label values (between the surrounding
+    /// quotes): only `\`, `"` and newline are escaped, per the format
+    /// spec; every other character passes through verbatim.
+    PrometheusLabel,
+}
+
+/// Appends `s` to `out` escaped for the given style. Quotes around the
+/// value are the caller's job — both formats wrap values in `"`, but the
+/// escaping of the *contents* is what differs.
+pub fn escape_into(out: &mut String, s: &str, style: EscapeStyle) {
     for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
+        match (style, c) {
+            (_, '"') => out.push_str("\\\""),
+            (_, '\\') => out.push_str("\\\\"),
+            (_, '\n') => out.push_str("\\n"),
+            (EscapeStyle::Json, '\t') => out.push_str("\\t"),
+            (EscapeStyle::Json, '\r') => out.push_str("\\r"),
+            (EscapeStyle::Json, c) if (c as u32) < 0x20 => {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
-            c => out.push(c),
+            (_, c) => out.push(c),
         }
     }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    escape_into(out, s, EscapeStyle::Json);
     out.push('"');
 }
 
@@ -416,6 +440,20 @@ mod tests {
         assert!(Json::parse("[1,]").is_err());
         assert!(Json::parse("1 2").is_err());
         assert!(Json::parse("\"open").is_err());
+    }
+
+    #[test]
+    fn escape_styles_diverge_only_on_control_characters() {
+        let nasty = "a\"b\\c\nd\te\rf\u{1}g";
+        let mut json = String::new();
+        escape_into(&mut json, nasty, EscapeStyle::Json);
+        assert_eq!(json, "a\\\"b\\\\c\\nd\\te\\rf\\u0001g");
+        let mut prom = String::new();
+        escape_into(&mut prom, nasty, EscapeStyle::PrometheusLabel);
+        assert_eq!(prom, "a\\\"b\\\\c\\nd\te\rf\u{1}g");
+        // The JSON escaping round-trips through the in-tree parser.
+        let back = Json::parse(&format!("\"{json}\"")).expect("parse");
+        assert_eq!(back, Json::Str(nasty.to_string()));
     }
 
     #[test]

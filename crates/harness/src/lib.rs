@@ -18,17 +18,29 @@
 //! - [`trace_export`]: consumers of the machine's execution trace — the
 //!   Chrome-trace exporter behind `clear-harness trace`, the plain-text
 //!   timeline, and the per-AR derived-metrics pass.
+//! - [`metrics_export`]: serializers for [`clear_metrics`] snapshots —
+//!   harness JSON (with p50/p99/p999 per histogram) and Prometheus text
+//!   exposition, plus a round-trip validator.
+//! - [`serve`]: the bounded-memory trace-replay / open-loop service loop
+//!   behind `clear-harness serve`, reporting streaming time-to-commit
+//!   percentiles per AR class.
+//! - [`bench_out`]: the single writer behind every `BENCH_*.json`
+//!   artifact (shared name/unit/seed/toolchain/values schema).
 //!
 //! ```text
 //! cargo run --release -p clear-harness -- list
 //! cargo run --release -p clear-harness -- run fig08 --size small
+//! cargo run --release -p clear-harness -- serve arrayswap --ars 100000
 //! cargo run --release -p clear-harness -- check
 //! ```
 
+pub mod bench_out;
 pub mod experiments;
 pub mod golden;
 pub mod json;
+pub mod metrics_export;
 pub mod pool;
+pub mod serve;
 pub mod suite;
 pub mod trace_export;
 

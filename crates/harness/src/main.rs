@@ -15,7 +15,8 @@ use clear_harness::experiments::{
     EXPERIMENTS,
 };
 use clear_harness::json::Json;
-use clear_harness::{golden, trace_export, SuiteOptions};
+use clear_harness::serve::{serve_session, ServeOptions};
+use clear_harness::{bench_out, golden, metrics_export, trace_export, SuiteOptions};
 use clear_machine::Preset;
 
 fn usage() -> ! {
@@ -24,8 +25,11 @@ fn usage() -> ! {
          [--size tiny|small|medium] [--cores N] [--seeds N]\n      \
          [--sweep full|quick|none] [--bench NAME] [--workers N] [--threads N]\n      \
          [--bench-out FILE] [--json]\n  \
+         clear-harness serve <workload> [--size ...] [--cores N] [--seeds N] [--threads N]\n      \
+         [--ars N] [--batch N] [--queue N] [--rate CYCLES] [--replay FILE]\n      \
+         [--snapshot-out FILE] [--prom-out FILE] [--bench-out FILE] [--json]\n  \
          clear-harness trace <workload> [--size ...] [--cores N] [--seeds N]\n      \
-         [--chrome FILE] [--events N] [--json]\n  \
+         [--chrome FILE] [--arrivals FILE] [--events N] [--json]\n  \
          clear-harness analyze <workload>|all [--size ...] [--cores N] [--seeds N] [--json]\n  \
          clear-harness fuzz [--seed S] [--count N] [--cores N] [--workers N] [--json]\n      \
          [--matrix] [--out FILE] [--bench-out FILE] [--repro-dir DIR] [--replay FILE]\n  \
@@ -39,6 +43,7 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("list") => list(),
         Some("run") => run(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some("trace") => trace(&args[1..]),
         Some("analyze") => analyze(&args[1..]),
         Some("fuzz") => fuzz(&args[1..]),
@@ -126,12 +131,7 @@ fn fuzz(args: &[String]) {
         let steps =
             int_field(&out.json, "machine_instructions") + int_field(&out.json, "reference_steps");
         let secs = wall.as_secs_f64().max(1e-9);
-        let bench = Json::obj([
-            (
-                "bench",
-                Json::from(if matrix { "fuzz-matrix" } else { "fuzz" }),
-            ),
-            ("seed", Json::from(seed_str.as_str())),
+        let row = Json::obj([
             ("cases", Json::from(cases_run)),
             ("workers", Json::from(workers)),
             ("wall_ns", Json::from(wall.as_nanos() as u64)),
@@ -139,6 +139,12 @@ fn fuzz(args: &[String]) {
             ("programs_per_sec", Json::Float(cases_run as f64 / secs)),
             ("steps_per_sec", Json::Float(steps as f64 / secs)),
         ]);
+        let bench = bench_out::bench_doc(
+            if matrix { "fuzz-matrix" } else { "fuzz" },
+            "programs/s",
+            &seed_str,
+            vec![row],
+        );
         write_file(path, &bench.to_pretty());
         eprintln!("wrote {path}");
     }
@@ -222,6 +228,125 @@ fn write_file(path: &str, text: &str) {
     });
 }
 
+/// `clear-harness serve <workload>`: the bounded-memory trace-replay /
+/// open-loop service loop with streaming time-to-commit percentiles.
+/// Memory use is independent of `--ars`, so million-AR sessions are fine.
+fn serve(args: &[String]) {
+    let Some(workload) = args.first() else {
+        usage()
+    };
+    let mut rest: Vec<String> = args[1..].to_vec();
+    let mut take_value = |flag: &str| -> Option<String> {
+        let i = rest.iter().position(|a| a == flag)?;
+        if i + 1 >= rest.len() {
+            eprintln!("missing value for {flag}");
+            std::process::exit(2);
+        }
+        let v = rest.remove(i + 1);
+        rest.remove(i);
+        Some(v)
+    };
+    let total_ars: u64 = take_value("--ars")
+        .map(|v| v.parse().expect("--ars N"))
+        .unwrap_or(4096);
+    let batch: usize = take_value("--batch")
+        .map(|v| v.parse().expect("--batch N"))
+        .unwrap_or(256);
+    let queue: usize = take_value("--queue")
+        .map(|v| v.parse().expect("--queue N"))
+        .unwrap_or(512);
+    let rate: u64 = take_value("--rate")
+        .map(|v| v.parse().expect("--rate CYCLES"))
+        .unwrap_or(24);
+    let replay_gaps = take_value("--replay").map(|path| read_gaps(&path));
+    let snapshot_path = take_value("--snapshot-out");
+    let prom_path = take_value("--prom-out");
+    let bench_path = take_value("--bench-out");
+    let as_json = rest
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| rest.remove(i))
+        .is_some();
+    let opts = SuiteOptions::from_arg_slice(&rest);
+    let sopts = ServeOptions {
+        workload: workload.clone(),
+        size: opts.size,
+        cores: opts.cores,
+        seed: opts.seeds[0],
+        total_ars,
+        batch,
+        queue,
+        rate,
+        replay_gaps,
+        sim_threads: opts.sim_threads,
+        snapshot_every: 8,
+        max_retries: 5,
+    };
+    let report = serve_session(&sopts);
+    if as_json {
+        println!("{}", report.json.to_pretty());
+    } else {
+        print!("{}", report.text);
+    }
+    if let Some(path) = &snapshot_path {
+        write_file(path, &report.json.to_pretty());
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = &prom_path {
+        let text = metrics_export::prometheus_text(&report.registry.snapshot());
+        // Self-validate the exposition before writing, exactly like the
+        // Chrome-trace exporter does for its output.
+        let summary = metrics_export::validate_prometheus(&text).unwrap_or_else(|e| {
+            eprintln!("prometheus exposition failed validation: {e}");
+            std::process::exit(1);
+        });
+        write_file(path, &text);
+        eprintln!(
+            "wrote {path}: {} samples across {} families (validated)",
+            summary.samples, summary.families
+        );
+    }
+    if let Some(path) = &bench_path {
+        let doc = bench_out::bench_doc(
+            "serve",
+            "ars/s",
+            &sopts.seed.to_string(),
+            report.trajectory.clone(),
+        );
+        write_file(path, &doc.to_pretty());
+        eprintln!("wrote {path}");
+    }
+}
+
+/// Reads a `trace --arrivals` document (`{"workload", "seed", "gaps"}`)
+/// back into the gap list `serve --replay` cycles through.
+fn read_gaps(path: &str) -> Vec<u64> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read arrivals {path}: {e}");
+        std::process::exit(2);
+    });
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("arrivals {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    });
+    let Some(Json::Arr(gaps)) = doc.get("gaps") else {
+        eprintln!("arrivals {path}: missing gaps array");
+        std::process::exit(2);
+    };
+    let gaps: Vec<u64> = gaps
+        .iter()
+        .filter_map(|g| match g {
+            Json::Int(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        })
+        .collect();
+    if gaps.is_empty() {
+        eprintln!("arrivals {path}: no usable gaps");
+        std::process::exit(2);
+    }
+    gaps
+}
+
 /// `clear-harness trace <workload>`: run one benchmark with tracing on,
 /// print the timeline and derived metrics, and optionally export the
 /// stream as Chrome Trace Event Format JSON (Perfetto-loadable).
@@ -241,6 +366,7 @@ fn trace(args: &[String]) {
         Some(v)
     };
     let chrome_path = take_value("--chrome");
+    let arrivals_path = take_value("--arrivals");
     let events_limit: usize = take_value("--events")
         .map(|v| v.parse().expect("--events N"))
         .unwrap_or(400);
@@ -271,6 +397,16 @@ fn trace(args: &[String]) {
             "wrote {path}: {} chrome events across {} cores (validated)",
             summary.events, summary.cores
         );
+    }
+
+    if let Some(path) = &arrivals_path {
+        let doc = trace_export::arrival_gaps(&m, workload, seed);
+        let gaps = match doc.get("gaps") {
+            Some(Json::Arr(g)) => g.len(),
+            _ => 0,
+        };
+        write_file(path, &doc.to_pretty());
+        eprintln!("wrote {path}: {gaps} inter-arrival gaps (serve --replay input)");
     }
 
     if as_json {
@@ -368,7 +504,13 @@ fn run(args: &[String]) {
     for e in selected {
         let out = (e.run)(&opts);
         if as_json {
-            println!("{}", out.json.to_pretty());
+            // The metrics side-channel is appended to the *printed*
+            // document only, never to the golden-compared `out.json`.
+            let mut doc = out.json.clone();
+            if let (Json::Obj(fields), Some(m)) = (&mut doc, &out.metrics) {
+                fields.push(("metrics".to_string(), m.clone()));
+            }
+            println!("{}", doc.to_pretty());
         } else {
             print!("{}", out.text);
         }
@@ -376,11 +518,13 @@ fn run(args: &[String]) {
         failures += out.failures;
     }
     if let Some(path) = &bench_path {
-        let bench = Json::obj([
-            ("bench", Json::from("sim")),
-            ("experiment", Json::from(name.as_str())),
-            ("rows", Json::Arr(curve)),
-        ]);
+        let mut rows = curve;
+        for row in &mut rows {
+            if let Json::Obj(fields) = row {
+                fields.insert(0, ("experiment".to_string(), Json::from(name.as_str())));
+            }
+        }
+        let bench = bench_out::bench_doc("sim", "steps/s", &opts.seeds[0].to_string(), rows);
         write_file(path, &bench.to_pretty());
         eprintln!("wrote {path}");
     }

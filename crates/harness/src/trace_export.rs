@@ -48,6 +48,27 @@ pub fn run_traced(
     machine
 }
 
+/// Exports the trace's AR arrival process as an inter-arrival gap
+/// document for `clear-harness serve --replay`: every `ArFetched` cycle
+/// across all cores, globally sorted, reduced to consecutive deltas. The
+/// recorded workload's own fetch schedule thereby becomes a replayable
+/// open-loop arrival trace (`{"workload", "seed", "gaps": [...]}`).
+pub fn arrival_gaps(m: &Machine, benchmark: &str, seed: u64) -> Json {
+    let mut cycles: Vec<u64> = m
+        .trace()
+        .records()
+        .filter(|r| matches!(r.event, TraceEvent::ArFetched { .. }))
+        .map(|r| r.cycle)
+        .collect();
+    cycles.sort_unstable();
+    let gaps: Vec<Json> = cycles.windows(2).map(|w| Json::from(w[1] - w[0])).collect();
+    Json::obj([
+        ("workload", Json::from(benchmark)),
+        ("seed", Json::from(seed)),
+        ("gaps", Json::Arr(gaps)),
+    ])
+}
+
 /// Exports the recorded trace as a Chrome Trace Event Format document.
 ///
 /// Attempts become duration slices (`ph:"B"`/`ph:"E"`) on one thread

@@ -16,6 +16,7 @@ impl Machine {
                     self.arm_vm(c);
                     self.cores[c].mode = ExecMode::Fallback;
                     self.cores[c].attempt_started_at = self.clocks[c];
+                    self.cores[c].first_attempt_at.get_or_insert(self.clocks[c]);
                     self.trace.record(
                         self.clocks[c],
                         c,
@@ -64,6 +65,7 @@ impl Machine {
                 }
                 self.arm_vm(c);
                 self.cores[c].attempt_started_at = self.clocks[c];
+                self.cores[c].first_attempt_at.get_or_insert(self.clocks[c]);
                 self.trace.record(
                     self.clocks[c],
                     c,
@@ -101,6 +103,7 @@ impl Machine {
                 self.arm_vm(c);
                 self.cores[c].mode = ExecMode::Speculative;
                 self.cores[c].attempt_started_at = self.clocks[c];
+                self.cores[c].first_attempt_at.get_or_insert(self.clocks[c]);
                 self.trace.record(
                     self.clocks[c],
                     c,
@@ -145,6 +148,7 @@ impl Machine {
         self.trace
             .record(self.clocks[c], c, TraceEvent::Abort { kind, span });
         self.stats.aborts.record(kind);
+        self.metrics_on_abort(kind);
         if let Some(inv) = self.cores[c].inv.as_ref() {
             self.stats.ar_stats.entry(inv.ar.0).or_default().aborts += 1;
         }
@@ -339,6 +343,7 @@ impl Machine {
         if let Some(vm) = self.cores[c].vm.as_ref() {
             self.stats.instructions_retired += vm.retired();
         }
+        self.metrics_on_commit(c, mode.commit_bucket());
         let core = &mut self.cores[c];
         core.discovery = None;
         core.alt = None;

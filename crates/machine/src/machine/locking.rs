@@ -86,6 +86,7 @@ impl Machine {
                 // attributed to the group's first lock to keep per-line
                 // totals additive.
                 let mut wait_cycles = std::mem::take(&mut self.cores[c].lock_wait_acc);
+                self.metrics_on_locks_acquired(wait_cycles);
                 for &line in &group {
                     if let Some(alt) = self.cores[c].alt.as_mut() {
                         alt.mark_locked(line);

@@ -118,6 +118,9 @@ struct Core {
     /// Cycle at which the current attempt started (trace attribution:
     /// the `Abort` event reports the attempt's cycle span).
     attempt_started_at: u64,
+    /// Cycle at which the *first* attempt of the current invocation
+    /// started (metrics: time-to-commit spans every retry and back-off).
+    first_attempt_at: Option<u64>,
     /// Cycles spent spinning in the current lock-acquisition phase,
     /// reported by the next `LockAcquired` trace event.
     lock_wait_acc: u64,
@@ -149,6 +152,7 @@ impl Core {
             fp_cur: LineSet::new(),
             fp_first: None,
             attempt_started_at: 0,
+            first_attempt_at: None,
             lock_wait_acc: 0,
             lrws: backend.rw_limits().map(RwSetTracker::new),
         }
@@ -187,6 +191,8 @@ pub struct Machine {
     sched_touched: Vec<usize>,
     /// Simulator-kernel counters for the current run (see [`crate::perf`]).
     perf: PerfCounters,
+    /// Opt-in metrics registry and hooks (see the `metrics` module).
+    metrics: Option<Box<metrics::MachineMetrics>>,
     /// Reused buffers for per-access/per-lock victim collection and lock
     /// groups; taken, filled, and put back on the hot path.
     scratch_victims: Vec<TxInfo>,
@@ -250,6 +256,7 @@ impl Machine {
             trace: Trace::new(),
             sched_touched: Vec::new(),
             perf: PerfCounters::default(),
+            metrics: None,
             scratch_victims: Vec::new(),
             scratch_group: Vec::new(),
             config,
@@ -385,6 +392,7 @@ impl Machine {
             self.stats.lock_ops,
             &self.stats.coherence,
         );
+        self.metrics_on_finalize();
     }
 
     fn jitter(&mut self) -> u64 {
@@ -461,6 +469,7 @@ impl Machine {
                 core.retries_counted = 0;
                 core.retries_total = 0;
                 core.fp_first = None;
+                core.first_attempt_at = None;
                 self.phases[c] = Phase::Think { until };
             }
         }
@@ -489,4 +498,5 @@ mod batch;
 mod conflicts;
 mod locking;
 mod memops;
+mod metrics;
 mod sched;

@@ -1,0 +1,128 @@
+//! Model-based property tests: the streaming histogram against a
+//! `BTreeMap` bucket model and an exact sorted-sample oracle, over
+//! deterministic pseudo-random streams (the workspace is zero-dep, so the
+//! "property test" is an explicit seeded loop like the rest of the repo).
+
+use clear_metrics::{bucket_lower, bucket_of, Log2Hist, MetricsRegistry};
+use std::collections::BTreeMap;
+
+/// SplitMix64: the same tiny deterministic generator the fuzzer seeds its
+/// case streams with.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Draws a sample spanning many magnitudes: a raw 64-bit draw shifted
+/// right by a random amount, so small and huge values both appear.
+fn sample(rng: &mut SplitMix64) -> u64 {
+    let v = rng.next();
+    v >> (rng.next() % 64)
+}
+
+#[test]
+fn histogram_matches_btreemap_bucket_model() {
+    for seed in 1..=20u64 {
+        let mut rng = SplitMix64(seed);
+        let mut h = Log2Hist::new();
+        let mut model: BTreeMap<usize, u64> = BTreeMap::new();
+        let mut samples = Vec::new();
+        for _ in 0..2000 {
+            let v = sample(&mut rng);
+            samples.push(v);
+            h.observe(v);
+            *model.entry(bucket_of(v)).or_insert(0) += 1;
+        }
+        // Bucket counts agree with the model exactly.
+        for (i, &n) in h.buckets().iter().enumerate() {
+            assert_eq!(n, model.get(&i).copied().unwrap_or(0), "bucket {i}");
+        }
+        // Count/sum/min/max agree with the exact aggregates.
+        assert_eq!(h.count(), samples.len() as u64);
+        let exact: u64 = samples.iter().fold(0u64, |a, &b| a.saturating_add(b));
+        assert_eq!(h.sum(), exact);
+        assert_eq!(h.min(), *samples.iter().min().unwrap());
+        assert_eq!(h.max(), *samples.iter().max().unwrap());
+    }
+}
+
+#[test]
+fn every_sample_lands_in_its_bucket_range() {
+    let mut rng = SplitMix64(0xC1EA);
+    for _ in 0..5000 {
+        let v = sample(&mut rng);
+        let b = bucket_of(v);
+        assert!(bucket_lower(b) <= v, "{v} below bucket {b}");
+        if b < 63 {
+            assert!(v < bucket_lower(b + 1), "{v} above bucket {b}");
+        }
+    }
+}
+
+#[test]
+fn quantiles_bracket_the_sorted_sample_oracle() {
+    for seed in 1..=10u64 {
+        let mut rng = SplitMix64(seed ^ 0xABCD);
+        let mut h = Log2Hist::new();
+        let mut samples = Vec::new();
+        for _ in 0..1500 {
+            let v = sample(&mut rng) % 1_000_000;
+            samples.push(v);
+            h.observe(v);
+        }
+        samples.sort_unstable();
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let oracle = samples[rank - 1];
+            let got = h.quantile(q);
+            // The log2 estimate is the oracle's bucket lower bound, so it
+            // never exceeds the oracle and is within one power of two
+            // below it (and monotone in q).
+            assert!(got <= oracle, "q={q}: {got} > oracle {oracle}");
+            assert!(
+                oracle < 2 * got.max(1) || oracle < 2,
+                "q={q}: {got} more than one bucket below {oracle}"
+            );
+        }
+        let qs: Vec<u64> = [0.5, 0.9, 0.99, 0.999]
+            .iter()
+            .map(|&q| h.quantile(q))
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "monotone quantiles");
+    }
+}
+
+#[test]
+fn registry_partitions_merge_to_the_sequential_registry() {
+    for workers in [1usize, 2, 3, 8] {
+        let mut rng = SplitMix64(7);
+        let mut seq = MetricsRegistry::new();
+        let mut parts: Vec<MetricsRegistry> =
+            (0..workers).map(|_| MetricsRegistry::new()).collect();
+        for i in 0..3000usize {
+            let v = sample(&mut rng);
+            let mode = if v.is_multiple_of(2) {
+                "speculative"
+            } else {
+                "scl"
+            };
+            seq.observe("ttc", &[("mode", mode)], v);
+            seq.inc("events", &[], 1);
+            parts[i % workers].observe("ttc", &[("mode", mode)], v);
+            parts[i % workers].inc("events", &[], 1);
+        }
+        let mut merged = MetricsRegistry::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged, seq, "{workers} workers");
+        assert_eq!(merged.snapshot(), seq.snapshot());
+    }
+}
