@@ -6,7 +6,7 @@
 //! instructions with a single entry (block leaders are pc 0, every branch
 //! or jump target, and every instruction following a control transfer).
 
-use clear_isa::{Instr, Program};
+use clear_isa::{AluOp, Cond, Instr, Program, Reg};
 
 /// One basic block of an atomic-region program.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -147,6 +147,162 @@ impl Cfg {
             }
         }
         self.block_of.iter().map(|&b| cyc[b]).collect()
+    }
+
+    /// Which blocks `b` can reach through one or more edges.
+    fn reach_set(&self, b: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        let mut stack: Vec<usize> = self.blocks[b].successors.clone();
+        while let Some(s) = stack.pop() {
+            if !seen[s] {
+                seen[s] = true;
+                stack.extend(self.blocks[s].successors.iter().copied());
+            }
+        }
+        seen
+    }
+
+    /// Per-pc static trip-count bounds for *canonical counted loops*: the
+    /// bounded-loop-unrolling half of the sharpened cycle analysis.
+    ///
+    /// A cycle qualifies when it is a single natural loop (exactly one
+    /// conditional branch among its blocks) driven by a counter register
+    /// `ctr` that is
+    ///
+    /// * written exactly once inside the loop, by `addi ctr, ctr, step`
+    ///   with `step >= 1`,
+    /// * compared `Ge ctr, lim` by the loop branch whose taken edge leaves
+    ///   the cycle, and
+    /// * initialised — like `lim` — by a single `li` constant that is the
+    ///   register's *only* definition outside the loop.
+    ///
+    /// The bound is then `ceil((lim0 - ctr0) / step)` iterations. Loops
+    /// whose limit or start lives in an entry register (unknown at
+    /// analysis time), nests sharing blocks, or any non-canonical shape
+    /// yield `None` — the footprint stays unbounded, exactly as before.
+    /// Pcs outside any cycle also report `None` (their sites run at most
+    /// once and never consult a trip bound).
+    pub fn trip_bounds(&self, program: &Program) -> Vec<Option<u32>> {
+        /// Trip counts above this are treated as unbounded: the footprint
+        /// bound would dwarf any ALT budget anyway, and huge constants
+        /// must not inflate analysis cost.
+        const MAX_TRIPS: u64 = 1 << 20;
+
+        let nb = self.blocks.len();
+        let n = self.block_of.len();
+        let mut out: Vec<Option<u32>> = vec![None; n];
+        if nb == 0 {
+            return out;
+        }
+
+        // Strongly-connected cycle membership via pairwise reachability.
+        let reach: Vec<Vec<bool>> = (0..nb).map(|b| self.reach_set(b)).collect();
+        let mut scc_of: Vec<Option<usize>> = vec![None; nb];
+        let mut sccs: Vec<Vec<usize>> = Vec::new();
+        for b in 0..nb {
+            if scc_of[b].is_some() || !reach[b][b] {
+                continue;
+            }
+            let id = sccs.len();
+            let members: Vec<usize> = (b..nb).filter(|&o| reach[b][o] && reach[o][b]).collect();
+            for &m in &members {
+                scc_of[m] = Some(id);
+            }
+            sccs.push(members);
+        }
+
+        let instrs = program.instrs();
+        // Last definition of a register at `pc` (None for non-writes).
+        let def_of = |pc: usize| -> Option<Reg> {
+            match instrs[pc] {
+                Instr::Li { rd, .. }
+                | Instr::Mv { rd, .. }
+                | Instr::AluImm { rd, .. }
+                | Instr::Alu { rd, .. }
+                | Instr::Ld { rd, .. } => Some(rd),
+                _ => None,
+            }
+        };
+
+        for members in &sccs {
+            let in_scc = |pc: usize| members.contains(&self.block_of[pc]);
+            let member_pcs: Vec<usize> = members
+                .iter()
+                .flat_map(|&b| self.blocks[b].start..self.blocks[b].end)
+                .collect();
+
+            // Exactly one conditional branch, `Ge ctr, lim`, exiting the
+            // cycle on its taken edge.
+            let branches: Vec<usize> = member_pcs
+                .iter()
+                .copied()
+                .filter(|&pc| matches!(instrs[pc], Instr::Branch { .. }))
+                .collect();
+            let [bpc] = branches[..] else { continue };
+            let Instr::Branch {
+                cond: Cond::Ge,
+                rs1: ctr,
+                rs2: lim,
+                ..
+            } = instrs[bpc]
+            else {
+                continue;
+            };
+            let Some(target) = program.successors(bpc).target else {
+                continue;
+            };
+            if target < n && in_scc(target) {
+                continue; // taken edge must leave the loop
+            }
+
+            // Exactly one in-loop write to ctr: `addi ctr, ctr, step`;
+            // none to lim.
+            if member_pcs.iter().any(|&pc| def_of(pc) == Some(lim)) {
+                continue;
+            }
+            let ctr_writes: Vec<usize> = member_pcs
+                .iter()
+                .copied()
+                .filter(|&pc| def_of(pc) == Some(ctr))
+                .collect();
+            let [wpc] = ctr_writes[..] else { continue };
+            let Instr::AluImm {
+                op: AluOp::Add,
+                rd,
+                rs,
+                imm: step,
+            } = instrs[wpc]
+            else {
+                continue;
+            };
+            if rd != ctr || rs != ctr || step == 0 || step > MAX_TRIPS {
+                continue;
+            }
+
+            // Unique constant initialisers outside the loop.
+            let init_const = |reg: Reg| -> Option<u64> {
+                let defs: Vec<usize> = (0..n)
+                    .filter(|&pc| !in_scc(pc) && def_of(pc) == Some(reg))
+                    .collect();
+                let [dpc] = defs[..] else { return None };
+                match instrs[dpc] {
+                    Instr::Li { imm, .. } => Some(imm),
+                    _ => None,
+                }
+            };
+            let (Some(c0), Some(k)) = (init_const(ctr), init_const(lim)) else {
+                continue;
+            };
+
+            let trips = if k <= c0 { 0 } else { (k - c0).div_ceil(step) };
+            if trips > MAX_TRIPS {
+                continue;
+            }
+            for &pc in &member_pcs {
+                out[pc] = Some(trips as u32);
+            }
+        }
+        out
     }
 }
 

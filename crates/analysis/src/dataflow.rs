@@ -270,6 +270,15 @@ pub struct AccessSite {
     pub offset: i64,
     /// `true` if the site sits inside a CFG cycle (may run many times).
     pub in_cycle: bool,
+    /// `true` when the base provenance saturated the depth lattice
+    /// ([`MAX_DEPTH`]): the chain length — and with it any per-site line
+    /// count — is no longer trustworthy, so footprint bounding must treat
+    /// the site as unbounded rather than as one line.
+    pub widened: bool,
+    /// Static trip-count bound of the enclosing canonical counted loop
+    /// ([`Cfg::trip_bounds`]); `None` when the cycle is unbounded or the
+    /// site is not in a cycle.
+    pub trip_bound: Option<u32>,
 }
 
 /// One reachable conditional branch.
@@ -345,6 +354,7 @@ impl Dataflow {
         }
 
         let in_cycle = cfg.in_cycle_pcs();
+        let trip_bounds = cfg.trip_bounds(program);
         let mut accesses = Vec::new();
         let mut branches = Vec::new();
         let mut undef_reads = Vec::new();
@@ -373,6 +383,8 @@ impl Dataflow {
                         base: b,
                         offset,
                         in_cycle: in_cycle[pc],
+                        widened: b.depth() >= MAX_DEPTH,
+                        trip_bound: trip_bounds[pc],
                     });
                 }
                 Instr::St { base, offset, src } => {
@@ -386,6 +398,8 @@ impl Dataflow {
                         base: b,
                         offset,
                         in_cycle: in_cycle[pc],
+                        widened: b.depth() >= MAX_DEPTH,
+                        trip_bound: trip_bounds[pc],
                     });
                 }
                 Instr::Branch { rs1, rs2, .. } => {

@@ -58,10 +58,10 @@ pub use cfg::{BasicBlock, Cfg};
 pub use dataflow::{AbsVal, AccessSite, BranchSite, Dataflow, Root, MAX_DEPTH};
 pub use lint::{lint_program, Lint};
 pub use sample::{
-    analyze_workload, sample_workload, ArReport, SampledAr, WorkloadReport, WorkloadSample,
-    DEFAULT_MAX_PULLS,
+    analyze_workload, sample_workload, workload_plans, ArReport, SampledAr, WorkloadReport,
+    WorkloadSample, DEFAULT_MAX_PULLS,
 };
 pub use verdict::{
-    analyze_program, ArAnalysis, EntryCtx, FootprintBound, LockPrediction, OverflowPrediction,
-    StaticBudget, StaticVerdict,
+    analyze_program, static_plan, ArAnalysis, EntryCtx, FootprintBound, LockPrediction,
+    OverflowPrediction, StaticBudget, StaticVerdict,
 };

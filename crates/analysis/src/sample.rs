@@ -8,7 +8,8 @@
 //! (they are indirection-free), so the first sampled invocation gives the
 //! analyzer a concrete, legitimate entry context for each AR.
 
-use crate::verdict::{analyze_program, ArAnalysis, EntryCtx, StaticBudget};
+use crate::verdict::{analyze_program, static_plan, ArAnalysis, EntryCtx, StaticBudget};
+use clear_core::StaticPlanSet;
 use clear_isa::{ArInvocation, ArSpec, Program, Reg, Workload, WorkloadMeta};
 use clear_mem::{LineAddr, Memory};
 use std::sync::Arc;
@@ -41,18 +42,15 @@ pub struct WorkloadSample {
     pub ars: Vec<SampledAr>,
 }
 
-/// Samples one invocation of every AR the workload declares.
-///
-/// # Errors
-///
-/// Returns an error if some declared AR never appeared within
-/// `max_pulls` invocations (or before every thread ran dry), or if an
-/// invocation carries an AR id missing from the metadata.
-pub fn sample_workload(
+/// Round-robin pull loop shared by the strict and best-effort samplers:
+/// one `Option<SampledAr>` slot per declared AR (in metadata order), plus
+/// the pull count for error messages.
+#[allow(clippy::type_complexity)]
+fn sample_found(
     workload: &mut dyn Workload,
     threads: usize,
     max_pulls: usize,
-) -> Result<WorkloadSample, String> {
+) -> Result<(WorkloadMeta, u64, Vec<Option<SampledAr>>, usize), String> {
     let meta = workload.meta();
     let mut mem = Memory::new();
     workload.setup(&mut mem, threads);
@@ -84,6 +82,22 @@ pub fn sample_workload(
         }
     }
 
+    Ok((meta, mem.allocated_bytes(), found, pulls))
+}
+
+/// Samples one invocation of every AR the workload declares.
+///
+/// # Errors
+///
+/// Returns an error if some declared AR never appeared within
+/// `max_pulls` invocations (or before every thread ran dry), or if an
+/// invocation carries an AR id missing from the metadata.
+pub fn sample_workload(
+    workload: &mut dyn Workload,
+    threads: usize,
+    max_pulls: usize,
+) -> Result<WorkloadSample, String> {
+    let (meta, mapped_bytes, found, pulls) = sample_found(workload, threads, max_pulls)?;
     let ars: Vec<SampledAr> = meta
         .ars
         .iter()
@@ -100,7 +114,7 @@ pub fn sample_workload(
 
     Ok(WorkloadSample {
         meta,
-        mapped_bytes: mem.allocated_bytes(),
+        mapped_bytes,
         ars,
     })
 }
@@ -199,6 +213,35 @@ pub fn analyze_workload(
     })
 }
 
+/// Emits the [`StaticPlanSet`] of a workload: one
+/// [`StaticPlan`](clear_core::StaticPlan) per AR whose verdict supports a
+/// static fast path ([`static_plan`]), keyed by static AR id. ARs without
+/// a plan simply take the normal discovery path, so an empty set is a
+/// valid (if useless) result. Unlike [`analyze_workload`], sampling is
+/// best-effort: an AR that never produces an invocation within the pull
+/// budget (e.g. a late-phase AR of a workload whose threads run dry at
+/// small sizes) just carries no plan.
+///
+/// # Errors
+///
+/// Returns an error only on a malformed workload (an invocation carrying
+/// an AR id missing from the metadata).
+pub fn workload_plans(
+    workload: &mut dyn Workload,
+    threads: usize,
+    budget: &StaticBudget,
+) -> Result<StaticPlanSet, String> {
+    let (_, _, found, _) = sample_found(workload, threads, DEFAULT_MAX_PULLS)?;
+    let mut plans = StaticPlanSet::new();
+    for ar in found.iter().flatten() {
+        let entry = EntryCtx::from_args(&ar.args);
+        if let Some(plan) = static_plan(&ar.program, &entry, budget) {
+            plans.insert(ar.spec.id.0, plan);
+        }
+    }
+    Ok(plans)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +323,33 @@ mod tests {
         // Only thread 0 runs: AR1 never appears.
         let err = sample_workload(&mut w, 1, 100).unwrap_err();
         assert!(err.contains("AR1"), "{err}");
+    }
+
+    #[test]
+    fn workload_plans_cover_plannable_ars() {
+        use clear_core::{PlanAddr, PlanClass};
+        let mut w = Toy::new();
+        let plans = workload_plans(&mut w, 2, &StaticBudget::default()).unwrap();
+        // Both toy ARs are entry-addressed straight-line regions: planned.
+        assert_eq!(plans.len(), 2);
+        let p0 = plans.get(0).unwrap();
+        assert_eq!(p0.class, PlanClass::Immutable);
+        assert!(p0.complete);
+        // Symbolic, not the sampled concrete base address.
+        assert_eq!(p0.lock_set, vec![PlanAddr::Sym { reg: 0, delta: 0 }]);
+        assert!(plans.get(1).is_some());
+        assert!(plans.get(9).is_none());
+    }
+
+    #[test]
+    fn workload_plans_tolerate_unsampled_ars() {
+        let mut w = Toy::new();
+        // Only thread 0 runs, so AR1 never appears: strict sampling
+        // errors, but plan derivation just skips the unsampled AR.
+        let plans = workload_plans(&mut w, 1, &StaticBudget::default()).unwrap();
+        assert_eq!(plans.len(), 1);
+        assert!(plans.get(0).is_some());
+        assert!(plans.get(1).is_none());
     }
 
     #[test]

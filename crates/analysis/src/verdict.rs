@@ -28,7 +28,7 @@
 use crate::cfg::Cfg;
 use crate::dataflow::{AbsVal, Dataflow, Root};
 use crate::lint::{lint_program, Lint};
-use clear_core::{ClearConfig, ObservedClass};
+use clear_core::{ClearConfig, ObservedClass, PlanAddr, PlanClass, StaticPlan};
 use clear_isa::{Mutability, Program, Reg};
 use clear_mem::{CacheGeometry, FxHashMap, FxHashSet, LineAddr, LINE_BYTES};
 use std::fmt;
@@ -320,15 +320,31 @@ fn compute_footprint(flow: &Dataflow, entry: &EntryCtx) -> FootprintBound {
             }
             None => {
                 concrete = false;
-                if site.in_cycle {
-                    unbounded = true;
-                    if site.is_store {
-                        unbounded_written = true;
-                    }
+                // Per-site contribution to the line bound, sharpest first:
+                // a saturated-depth base lost its provenance entirely
+                // (widening takes precedence over any trip bound), a
+                // bounded counted loop contributes at most one line per
+                // iteration, an unbounded cycle gives up, and a
+                // straight-line site is one line.
+                let contribution = if site.widened {
+                    None
+                } else if site.in_cycle {
+                    site.trip_bound.map(|k| k as usize)
                 } else {
-                    unknown_sites += 1;
-                    if site.is_store {
-                        unknown_written += 1;
+                    Some(1)
+                };
+                match contribution {
+                    Some(k) => {
+                        unknown_sites += k;
+                        if site.is_store {
+                            unknown_written += k;
+                        }
+                    }
+                    None => {
+                        unbounded = true;
+                        if site.is_store {
+                            unbounded_written = true;
+                        }
                     }
                 }
             }
@@ -458,6 +474,124 @@ fn classify(
     } else {
         StaticVerdict::Indirect
     }
+}
+
+/// A [`SymAddr`] as its execution-time [`PlanAddr`] form.
+fn plan_addr(addr: SymAddr) -> PlanAddr {
+    match addr {
+        SymAddr::Abs(a) => PlanAddr::Abs(a),
+        SymAddr::Sym(reg, delta) => PlanAddr::Sym {
+            reg: reg.index() as u8,
+            delta,
+        },
+    }
+}
+
+/// Emits the execution-time [`StaticPlan`] for one AR program, or `None`
+/// when the verdict does not support a static fast path.
+///
+/// The program is re-analyzed *symbolically* (entry registers defined,
+/// values unknown) regardless of what `entry` carries, so the emitted
+/// lock set is invocation-independent: entry-relative sites stay
+/// [`PlanAddr::Sym`] and are resolved by the machine against each
+/// invocation's own arguments. A plan is emitted when
+///
+/// * the verdict is [`StaticVerdict::StaticImmutable`] and every
+///   reachable access resolved (the lock set is complete, so discovery
+///   can be skipped outright), or
+/// * the verdict is [`StaticVerdict::LikelyImmutable`] (the lock set is
+///   the resolved subset; the root pointer slots the verdict hinges on
+///   ride along for the partial-discovery confirmation),
+///
+/// and in both cases the static line bound fits the ALT budget.
+pub fn static_plan(
+    program: &Program,
+    entry: &EntryCtx,
+    budget: &StaticBudget,
+) -> Option<StaticPlan> {
+    let sym = EntryCtx::symbolic(&entry.regs());
+    let cfg = Cfg::build(program);
+    let flow = Dataflow::run(program, &sym.regs(), &cfg);
+    let fp = compute_footprint(&flow, &sym);
+    let overflow = predict_overflow(&fp, budget);
+    let verdict = classify(&flow, &sym, &fp, overflow);
+
+    let class = match verdict {
+        StaticVerdict::StaticImmutable => PlanClass::Immutable,
+        StaticVerdict::LikelyImmutable => PlanClass::LikelyImmutable,
+        _ => return None,
+    };
+    let bound_lines = fp.lines?;
+    if overflow != OverflowPrediction::Fits {
+        return None;
+    }
+
+    let mut lock_set: Vec<PlanAddr> = Vec::new();
+    let mut written: Vec<PlanAddr> = Vec::new();
+    let mut complete = true;
+    for site in &flow.accesses {
+        match resolve(site.base, site.offset, &sym) {
+            Some(addr) => {
+                let a = plan_addr(addr);
+                if !lock_set.contains(&a) {
+                    lock_set.push(a);
+                }
+                if site.is_store && !written.contains(&a) {
+                    written.push(a);
+                }
+            }
+            None => complete = false,
+        }
+    }
+    if class == PlanClass::Immutable && !complete {
+        // A proved-immutable AR with untracked (Direct) sites cannot carry
+        // a usable lock set; skipping discovery would be guesswork.
+        return None;
+    }
+
+    // Root pointer slots of the Listing-2 pattern: the single-hop load
+    // slots every indirection hangs off. `value_stable` proved each one
+    // resolvable and never stored to.
+    let mut root_slots: Vec<PlanAddr> = Vec::new();
+    if class == PlanClass::LikelyImmutable {
+        let mut roots: Vec<u16> = Vec::new();
+        let mut note = |v: AbsVal| {
+            if let AbsVal::Loaded {
+                depth: 1,
+                root: Root::Site(p),
+            } = v
+            {
+                if !roots.contains(&p) {
+                    roots.push(p);
+                }
+            }
+        };
+        for a in &flow.accesses {
+            note(a.base);
+        }
+        for b in &flow.branches {
+            note(b.lhs);
+            note(b.rhs);
+        }
+        for p in roots {
+            let site = flow.access_at(p as usize)?;
+            let slot = resolve(site.base, site.offset, &sym)?;
+            let a = plan_addr(slot);
+            if !root_slots.contains(&a) {
+                root_slots.push(a);
+            }
+        }
+    }
+
+    Some(StaticPlan {
+        class,
+        lock_set,
+        written,
+        root_slots,
+        complete,
+        bound_lines,
+        bound_written: fp.written_lines.unwrap_or(bound_lines),
+    })
 }
 
 /// Runs the full analysis pipeline over one atomic-region program.
@@ -672,6 +806,98 @@ mod tests {
             Some(Mutability::Immutable)
         );
         assert_eq!(StaticVerdict::NonConvertible.expected_mutability(), None);
+    }
+
+    #[test]
+    fn static_plan_for_immutable_region_is_complete_and_symbolic() {
+        // Entry-relative stores: the plan must stay Sym even though the
+        // entry context carries concrete values.
+        let mut b = ProgramBuilder::new();
+        b.ld(Reg(1), Reg(0), 0)
+            .addi(Reg(1), Reg(1), 1)
+            .st(Reg(0), 0, Reg(1))
+            .st(Reg(0), 64, Reg(1))
+            .xend();
+        let p = b.build();
+        let plan = static_plan(&p, &ctx(&[(Reg(0), 128)]), &StaticBudget::default()).unwrap();
+        assert_eq!(plan.class, PlanClass::Immutable);
+        assert!(plan.complete);
+        assert_eq!(
+            plan.lock_set,
+            vec![
+                PlanAddr::Sym { reg: 0, delta: 0 },
+                PlanAddr::Sym { reg: 0, delta: 64 }
+            ]
+        );
+        assert_eq!(plan.written, plan.lock_set);
+        assert!(plan.root_slots.is_empty());
+        assert_eq!(plan.bound_lines, 2);
+        assert_eq!(plan.bound_written, 2);
+        // Identical plan from a symbolic context: invocation-independent.
+        assert_eq!(
+            static_plan(&p, &EntryCtx::symbolic(&[Reg(0)]), &StaticBudget::default()),
+            Some(plan)
+        );
+    }
+
+    #[test]
+    fn static_plan_for_likely_immutable_carries_root_slots() {
+        // Listing 2: r4 = ld [r0]; the plan must name slot r0+0 as the
+        // root whose stability partial discovery confirms.
+        let mut b = ProgramBuilder::new();
+        b.ld(Reg(4), Reg(0), 0)
+            .ld(Reg(7), Reg(4), 8)
+            .addi(Reg(7), Reg(7), 1)
+            .st(Reg(4), 8, Reg(7))
+            .xend();
+        let plan =
+            static_plan(&b.build(), &ctx(&[(Reg(0), 64)]), &StaticBudget::default()).unwrap();
+        assert_eq!(plan.class, PlanClass::LikelyImmutable);
+        assert!(!plan.complete, "loaded-base sites are unresolved");
+        assert_eq!(plan.lock_set, vec![PlanAddr::Sym { reg: 0, delta: 0 }]);
+        assert_eq!(plan.root_slots, vec![PlanAddr::Sym { reg: 0, delta: 0 }]);
+    }
+
+    #[test]
+    fn no_plan_for_indirect_overflowing_or_untracked_regions() {
+        // Indirect (overwritten pointer slot): no plan.
+        let mut b = ProgramBuilder::new();
+        b.ld(Reg(4), Reg(0), 0)
+            .ld(Reg(7), Reg(4), 0)
+            .st(Reg(0), 0, Reg(7))
+            .xend();
+        assert_eq!(
+            static_plan(&b.build(), &ctx(&[(Reg(0), 64)]), &StaticBudget::default()),
+            None
+        );
+
+        // Over-ALT immutable region: no plan.
+        let mut b = ProgramBuilder::new();
+        for i in 0..40i64 {
+            b.st(Reg(0), i * 64, Reg(1));
+        }
+        b.xend();
+        assert_eq!(
+            static_plan(
+                &b.build(),
+                &ctx(&[(Reg(0), 64), (Reg(1), 7)]),
+                &StaticBudget::default()
+            ),
+            None
+        );
+
+        // Proved immutable but through an untracked (Direct) base — the
+        // sum of two entry registers: incomplete lock set, no plan.
+        let mut b = ProgramBuilder::new();
+        b.add(Reg(2), Reg(0), Reg(1)).st(Reg(2), 0, Reg(0)).xend();
+        assert_eq!(
+            static_plan(
+                &b.build(),
+                &ctx(&[(Reg(0), 64), (Reg(1), 64)]),
+                &StaticBudget::default()
+            ),
+            None
+        );
     }
 
     #[test]

@@ -47,11 +47,22 @@ impl fmt::Display for RetryMode {
 /// 2. the address set cannot be simultaneously locked → speculative retry;
 /// 3. indirections present → S-CL; otherwise → NS-CL.
 ///
+/// This tree only runs when an attempt reaches a discovery decision. A
+/// [`StaticPlan`](crate::StaticPlan) can override the path *before* that
+/// point: a proved-immutable plan lets the machine choose NS-CL on the
+/// first abort (or eagerly under contention) without any discovery run,
+/// and a likely-immutable plan upgrades the S-CL outcome below to lock
+/// the whole learned footprint once root-slot stability is confirmed.
+/// The precedence is documented in DESIGN.md §8: static override first
+/// (guarded at run time), then this dynamic tree as the general path.
+///
 /// # Examples
 ///
 /// ```
 /// use clear_core::{decide, DiscoveryAssessment, RetryMode};
 ///
+/// // No static plan for this AR: the dynamic tree decides. Lockable but
+/// // mutable (an indirection was observed) → S-CL.
 /// let a = DiscoveryAssessment {
 ///     overflowed: false,
 ///     lockable: true,

@@ -52,6 +52,7 @@ mod crt;
 mod decision;
 mod discovery;
 mod ert;
+mod plan;
 
 pub use alt::{Alt, AltEntry, AltOverflow};
 pub use config::{ClearConfig, SclLockPolicy};
@@ -59,3 +60,4 @@ pub use crt::Crt;
 pub use decision::{decide, RetryMode};
 pub use discovery::{Discovery, DiscoveryAssessment, ObservedClass};
 pub use ert::{Ert, ErtEntry};
+pub use plan::{PlanAddr, PlanClass, StaticPlan, StaticPlanSet};

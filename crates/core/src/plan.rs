@@ -1,0 +1,230 @@
+//! Static execution plans: analyzer verdicts packaged for the machine.
+//!
+//! A [`StaticPlan`] is the execution-time payload of an ahead-of-time
+//! verdict from `clear-analysis`: the proved mutability class plus the
+//! symbolic cacheline lock set the analyzer bounded. The machine resolves
+//! the symbolic addresses against each invocation's entry arguments and —
+//! when the resolved footprint fits the speculation backend's budgets —
+//! skips the discovery run entirely for proved-immutable ARs (building
+//! the ALT straight from the plan) or shortens it to a root-slot
+//! stability confirmation for likely-immutable ones.
+//!
+//! Plans are *hints with a guard*, never trusted blindly: the NS-CL
+//! access path re-checks at run time that every touched line is locked,
+//! and a violation aborts the attempt and poisons the plan (see
+//! `clear-machine`). A wrong plan therefore costs one extra retry; it can
+//! never commit a mutation or break atomicity.
+//!
+//! This crate models the hardware structures and deliberately knows
+//! nothing about the ISA, so symbolic addresses name entry registers by
+//! their raw index.
+
+use clear_mem::{FxHashMap, LineAddr, LINE_BYTES};
+
+/// The analyzer class a plan was emitted for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PlanClass {
+    /// Proved footprint-immutable: the lock set is complete and the AR may
+    /// enter NS-CL without a discovery run.
+    Immutable,
+    /// Immutable unless a concurrent writer invalidates a root pointer
+    /// slot: discovery still runs, but only to confirm root-slot
+    /// stability, after which the whole learned footprint is locked.
+    LikelyImmutable,
+}
+
+/// A symbolic byte address the analyzer resolved a site to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PlanAddr {
+    /// Concrete byte address (constant-addressed site).
+    Abs(u64),
+    /// `entry_value(reg) + delta` bytes, resolved per invocation against
+    /// the AR's entry arguments. `reg` is the raw register index.
+    Sym {
+        /// Raw index of the entry register holding the base value.
+        reg: u8,
+        /// Wrapping byte delta added to the entry value.
+        delta: u64,
+    },
+}
+
+impl PlanAddr {
+    /// Resolves to a byte address; `lookup` maps an entry-register index
+    /// to its invocation value (`None` when the register is not an entry
+    /// argument, which makes the whole plan inapplicable).
+    pub fn resolve(self, lookup: &impl Fn(u8) -> Option<u64>) -> Option<u64> {
+        match self {
+            PlanAddr::Abs(a) => Some(a),
+            PlanAddr::Sym { reg, delta } => lookup(reg).map(|v| v.wrapping_add(delta)),
+        }
+    }
+}
+
+/// One AR's static execution plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StaticPlan {
+    /// The proved class.
+    pub class: PlanClass,
+    /// Symbolic byte addresses of every *resolved* access site. Complete
+    /// (covers all reachable accesses) exactly when
+    /// [`StaticPlan::complete`]; always a subset of the true footprint
+    /// otherwise.
+    pub lock_set: Vec<PlanAddr>,
+    /// The written subset of [`StaticPlan::lock_set`].
+    pub written: Vec<PlanAddr>,
+    /// Root pointer slots a likely-immutable verdict hinges on: the
+    /// single-hop load slots the region itself never overwrites. Empty
+    /// for [`PlanClass::Immutable`].
+    pub root_slots: Vec<PlanAddr>,
+    /// `true` when [`StaticPlan::lock_set`] covers every reachable access
+    /// site — the precondition for skipping discovery.
+    pub complete: bool,
+    /// The analyzer's upper bound on distinct accessed lines.
+    pub bound_lines: usize,
+    /// The analyzer's upper bound on distinct written lines.
+    pub bound_written: usize,
+}
+
+impl StaticPlan {
+    /// Checks the static line bounds against a backend's read/write-set
+    /// capacity (`SpeculationBackend::rw_limits` shape: `None` = untracked
+    /// / unlimited). Written lines occupy the write set; the remaining
+    /// lines must fit the read set.
+    pub fn fits_rw(&self, read_lines: Option<usize>, write_lines: Option<usize>) -> bool {
+        if let Some(w) = write_lines {
+            if self.bound_written > w {
+                return false;
+            }
+        }
+        if let Some(r) = read_lines {
+            if self.bound_lines.saturating_sub(self.bound_written) > r {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Resolves a symbolic address set to deduplicated cachelines in
+    /// ascending order; `None` when any address fails to resolve.
+    pub fn resolve_lines(
+        addrs: &[PlanAddr],
+        lookup: &impl Fn(u8) -> Option<u64>,
+    ) -> Option<Vec<LineAddr>> {
+        let mut lines: Vec<LineAddr> = addrs
+            .iter()
+            .map(|a| a.resolve(lookup).map(|b| LineAddr(b / LINE_BYTES)))
+            .collect::<Option<_>>()?;
+        lines.sort_unstable();
+        lines.dedup();
+        Some(lines)
+    }
+}
+
+/// The plans of one workload, keyed by static AR id (`ArId.0`).
+#[derive(Clone, Debug, Default)]
+pub struct StaticPlanSet {
+    plans: FxHashMap<u32, StaticPlan>,
+}
+
+impl StaticPlanSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the plan for AR `ar`.
+    pub fn insert(&mut self, ar: u32, plan: StaticPlan) {
+        self.plans.insert(ar, plan);
+    }
+
+    /// The plan for AR `ar`, if any.
+    pub fn get(&self, ar: u32) -> Option<&StaticPlan> {
+        self.plans.get(&ar)
+    }
+
+    /// Number of planned ARs.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// `true` when no AR has a plan.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Iterates `(ar, plan)` in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &StaticPlan)> {
+        self.plans.iter().map(|(&k, v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(class: PlanClass, lock_set: Vec<PlanAddr>, lines: usize, written: usize) -> StaticPlan {
+        StaticPlan {
+            class,
+            lock_set,
+            written: Vec::new(),
+            root_slots: Vec::new(),
+            complete: true,
+            bound_lines: lines,
+            bound_written: written,
+        }
+    }
+
+    #[test]
+    fn sym_addresses_resolve_against_entry_args() {
+        let lookup = |r: u8| (r == 3).then_some(256u64);
+        assert_eq!(PlanAddr::Abs(64).resolve(&lookup), Some(64));
+        assert_eq!(
+            PlanAddr::Sym { reg: 3, delta: 72 }.resolve(&lookup),
+            Some(328)
+        );
+        assert_eq!(PlanAddr::Sym { reg: 9, delta: 0 }.resolve(&lookup), None);
+    }
+
+    #[test]
+    fn resolve_lines_dedups_and_sorts() {
+        let lookup = |r: u8| (r == 0).then_some(128u64);
+        let addrs = [
+            PlanAddr::Sym { reg: 0, delta: 8 },
+            PlanAddr::Abs(0),
+            PlanAddr::Sym { reg: 0, delta: 16 },
+        ];
+        // 136 and 144 share line 2; 0 is line 0.
+        assert_eq!(
+            StaticPlan::resolve_lines(&addrs, &lookup),
+            Some(vec![LineAddr(0), LineAddr(2)])
+        );
+        let missing = [PlanAddr::Sym { reg: 7, delta: 0 }];
+        assert_eq!(StaticPlan::resolve_lines(&missing, &lookup), None);
+    }
+
+    #[test]
+    fn rw_budget_accounts_written_lines_separately() {
+        let p = plan(PlanClass::Immutable, vec![], 10, 4);
+        assert!(p.fits_rw(None, None), "untracked backend always fits");
+        assert!(p.fits_rw(Some(6), Some(4)));
+        assert!(!p.fits_rw(Some(6), Some(3)), "write set too small");
+        assert!(!p.fits_rw(Some(5), Some(4)), "read set too small");
+    }
+
+    #[test]
+    fn plan_set_round_trips() {
+        let mut set = StaticPlanSet::new();
+        assert!(set.is_empty());
+        set.insert(
+            4,
+            plan(PlanClass::LikelyImmutable, vec![PlanAddr::Abs(0)], 1, 0),
+        );
+        assert_eq!(set.len(), 1);
+        assert_eq!(
+            set.get(4).map(|p| p.class),
+            Some(PlanClass::LikelyImmutable)
+        );
+        assert!(set.get(5).is_none());
+        assert_eq!(set.iter().count(), 1);
+    }
+}

@@ -23,14 +23,24 @@
 //! limited-R/W-set backend's capacity-abort counters must reconcile with
 //! the abort taxonomy.
 //!
+//! Check 4 — **the static fast path** — re-runs the contended
+//! configuration with [`clear_analysis::static_plan`]'s plan installed in
+//! the machine: the fast-path run must land on the byte-identical final
+//! memory, the same commit count, the single-retry bound, and zero
+//! plan-guard violations. A plan whose proved-immutable AR dynamically
+//! mutates trips the NS-CL guard and is an instant
+//! [`Divergence::PlanViolation`]. The matrix oracle runs the same check
+//! under every backend (plans are inert off-CLEAR, which the leg then
+//! doubles as a control for).
+//!
 //! Every check reports a structured [`Divergence`] instead of panicking,
 //! so the harness can shrink the case and file a reproducer.
 
 use crate::exec::{run_invocation, RefOutcome};
 use crate::gen::FuzzCase;
 use crate::workload::{initial_image, FuzzWorkload, Layout};
-use clear_analysis::StaticVerdict;
-use clear_core::RetryMode;
+use clear_analysis::{static_plan, StaticBudget, StaticVerdict};
+use clear_core::{RetryMode, StaticPlanSet};
 use clear_htm::AbortKind;
 use clear_machine::{BackendId, Machine, Preset, TraceEvent};
 use clear_mem::{Addr, Memory, WORD_BYTES};
@@ -108,6 +118,13 @@ pub enum Divergence {
         /// Dynamic decisions that contradicted the static verdict.
         decisions: u64,
     },
+    /// A static plan tripped its runtime guard: the analyzer called an AR
+    /// immutable whose execution touched a line outside the precomputed
+    /// lock set.
+    PlanViolation {
+        /// Guard trips counted.
+        count: u64,
+    },
     /// Limited-R/W-set buffer counters disagree with the abort taxonomy:
     /// either a backend without bounded buffers reported buffer overflows,
     /// or the buffers overflowed more often than capacity aborts were
@@ -137,6 +154,7 @@ impl Divergence {
             Divergence::ReferenceAbort { .. } => "reference-abort",
             Divergence::ReferenceRunaway => "reference-runaway",
             Divergence::SoundnessViolation { .. } => "soundness-violation",
+            Divergence::PlanViolation { .. } => "plan-violation",
             Divergence::CapacityAccounting { .. } => "capacity-accounting",
         }
     }
@@ -184,6 +202,10 @@ impl fmt::Display for Divergence {
                 f,
                 "static-immutable verdict contradicted by {decisions} mutable dynamic decisions"
             ),
+            Divergence::PlanViolation { count } => write!(
+                f,
+                "static plan tripped its runtime guard {count} times (analyzer unsound)"
+            ),
             Divergence::CapacityAccounting {
                 backend,
                 lrws,
@@ -222,8 +244,32 @@ pub struct CaseReport {
     pub mode_commits: (u64, u64, u64, u64),
     /// Machine aborts in the contended phase.
     pub aborts: u64,
+    /// ARs the analyzer emitted a static plan for (0 or 1 — every case
+    /// has exactly one AR).
+    pub planned_ars: usize,
+    /// Discovery runs the fast-path leg elided outright.
+    pub fastpath_elided: u64,
+    /// Discovery runs the fast-path leg shortened to root confirmation.
+    pub fastpath_partial: u64,
     /// The first divergence found, if any. `None` means the case passed.
     pub divergence: Option<Divergence>,
+}
+
+/// The analyzer's plan set for a case: [`static_plan`] on the single AR
+/// program, keyed by its static id. Plans are symbolic in the entry
+/// registers, so the canonical layout serves every machine shape. An
+/// empty set is the analyzer declining — the fast-path leg still runs
+/// (the machinery must be a no-op then).
+fn case_plans(case: &FuzzCase) -> Arc<StaticPlanSet> {
+    let mut plans = StaticPlanSet::default();
+    if let Some(plan) = static_plan(
+        &case.program,
+        &case.entry_ctx(&Layout::canonical()),
+        &StaticBudget::default(),
+    ) {
+        plans.insert(0, plan);
+    }
+    Arc::new(plans)
 }
 
 /// Replays `n` reference invocations serially on `mem`; returns total
@@ -326,6 +372,9 @@ pub fn check_case_at(case: &Arc<FuzzCase>, cores: usize) -> CaseReport {
         reference_steps: 0,
         mode_commits: (0, 0, 0, 0),
         aborts: 0,
+        planned_ars: 0,
+        fastpath_elided: 0,
+        fastpath_partial: 0,
         divergence: None,
     };
 
@@ -458,6 +507,64 @@ pub fn check_case_at(case: &Arc<FuzzCase>, cores: usize) -> CaseReport {
         }
     }
 
+    // Phase 4: the static fast path. The same contended configuration
+    // with the analyzer's plan installed must be indistinguishable from
+    // discovery: identical final memory, the same commit count, the
+    // single-retry bound, and no plan-guard trips. A fast-path AR that
+    // dynamically mutates is an instant divergence.
+    let plans = case_plans(case);
+    report.planned_ars = plans.len();
+    let mut cfg = Preset::C.config(cores, MAX_RETRIES);
+    cfg.seed = case.seed;
+    cfg.static_plans = Some(plans);
+    let mut machine = Machine::new(cfg, Box::new(FuzzWorkload::new(Arc::clone(case))));
+    machine.enable_tracing();
+    let stats = machine.run();
+    report.machine_instructions += stats.instructions_retired;
+    report.fastpath_elided = stats.discovery_runs_elided;
+    report.fastpath_partial = stats.partial_discovery_runs;
+    if stats.timed_out {
+        report.divergence = Some(Divergence::TimedOut { phase: "fastpath" });
+        return report;
+    }
+    if stats.static_plan_violations > 0 {
+        report.divergence = Some(Divergence::PlanViolation {
+            count: stats.static_plan_violations,
+        });
+        return report;
+    }
+    if machine.trace().dropped() > 0 {
+        report.divergence = Some(Divergence::TraceDropped {
+            dropped: machine.trace().dropped(),
+        });
+        return report;
+    }
+    if stats.commits_by_mode.total() != want {
+        report.divergence = Some(Divergence::CommitCount {
+            phase: "fastpath",
+            got: stats.commits_by_mode.total(),
+            want,
+        });
+        return report;
+    }
+    for core in 0..cores {
+        if let Some(d) =
+            single_retry_violation(machine.trace().core_events(core).cloned(), core, |m| {
+                machine.backend().guarantees_commit(m)
+            })
+        {
+            report.divergence = Some(d);
+            return report;
+        }
+    }
+    // Every invocation runs the same program with the same args, so the
+    // fast-path serialization replays to the same image the baseline
+    // replay already produced.
+    if let Some(d) = compare_images("fastpath", layout.start, machine.memory(), &ref_mem) {
+        report.divergence = Some(d);
+        return report;
+    }
+
     report
 }
 
@@ -474,8 +581,22 @@ pub struct BackendOutcome {
     pub capacity_aborts: u64,
     /// Capacity aborts charged to the limited R/W-set buffers.
     pub lrws_capacity_aborts: u64,
+    /// Discovery runs the fast-path leg elided (nonzero only under
+    /// CLEAR — plans are inert everywhere else).
+    pub fastpath_elided: u64,
     /// The first divergence under this backend; `None` means it passed.
     pub divergence: Option<Divergence>,
+}
+
+/// Phase label for the fast-path leg of one backend's matrix run.
+fn fastpath_phase(id: BackendId) -> &'static str {
+    match id {
+        BackendId::Tsx => "tsx+plan",
+        BackendId::PowerTm => "powertm+plan",
+        BackendId::Sle => "sle+plan",
+        BackendId::Clear => "clear+plan",
+        BackendId::Lrws => "lrws+plan",
+    }
 }
 
 /// The backend-matrix oracle's account of one case: one
@@ -547,6 +668,7 @@ fn check_backend(case: &Arc<FuzzCase>, id: BackendId) -> BackendOutcome {
         aborts: stats.aborts.total(),
         capacity_aborts: stats.aborts.get(AbortKind::Capacity),
         lrws_capacity_aborts: stats.lrws_capacity_aborts(),
+        fastpath_elided: 0,
         divergence: None,
     };
     if stats.timed_out {
@@ -607,7 +729,51 @@ fn check_backend(case: &Arc<FuzzCase>, id: BackendId) -> BackendOutcome {
         outcome.divergence = Some(d);
         return outcome;
     }
-    outcome.divergence = compare_images(name, layout.start, machine.memory(), &ref_mem);
+    if let Some(d) = compare_images(name, layout.start, machine.memory(), &ref_mem) {
+        outcome.divergence = Some(d);
+        return outcome;
+    }
+
+    // The fast-path leg: same backend, plan installed. Under CLEAR it
+    // must elide discovery without changing anything observable; under
+    // every other backend it must be a strict no-op.
+    let phase = fastpath_phase(id);
+    let mut cfg = id.config(case.threads, MAX_RETRIES);
+    cfg.seed = case.seed;
+    cfg.static_plans = Some(case_plans(case));
+    let mut machine = Machine::new(cfg, Box::new(FuzzWorkload::new(Arc::clone(case))));
+    machine.enable_tracing();
+    let stats = machine.run();
+    outcome.fastpath_elided = stats.discovery_runs_elided;
+    if stats.timed_out {
+        outcome.divergence = Some(Divergence::TimedOut { phase });
+        return outcome;
+    }
+    if stats.static_plan_violations > 0 {
+        outcome.divergence = Some(Divergence::PlanViolation {
+            count: stats.static_plan_violations,
+        });
+        return outcome;
+    }
+    if stats.commits_by_mode.total() != want {
+        outcome.divergence = Some(Divergence::CommitCount {
+            phase,
+            got: stats.commits_by_mode.total(),
+            want,
+        });
+        return outcome;
+    }
+    for core in 0..case.threads {
+        if let Some(d) =
+            single_retry_violation(machine.trace().core_events(core).cloned(), core, |m| {
+                machine.backend().guarantees_commit(m)
+            })
+        {
+            outcome.divergence = Some(d);
+            return outcome;
+        }
+    }
+    outcome.divergence = compare_images(phase, layout.start, machine.memory(), &ref_mem);
     outcome
 }
 
@@ -617,6 +783,7 @@ mod tests {
 
     #[test]
     fn a_batch_of_generated_cases_passes_the_oracle() {
+        let mut planned = 0usize;
         for i in 0..12 {
             let case = Arc::new(FuzzCase::generate(0xFACE, i));
             let r = check_case(&case);
@@ -627,7 +794,11 @@ mod tests {
             );
             assert!(r.machine_instructions > 0);
             assert!(r.reference_steps > 0);
+            planned += r.planned_ars;
         }
+        // Phase 4 only bites when the analyzer actually emits plans; the
+        // generator must keep producing plannable programs.
+        assert!(planned > 0, "no generated case produced a static plan");
     }
 
     #[test]

@@ -124,6 +124,9 @@ fn aggregate(
     let mut verdicts: BTreeMap<&'static str, u64> = BTreeMap::new();
     let mut kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
     let mut soundness = 0u64;
+    let mut planned_cases = 0u64;
+    let mut elided = 0u64;
+    let mut partial = 0u64;
     let mut failures = Vec::new();
     let (mut len_min, mut len_max, mut len_sum) = (usize::MAX, 0usize, 0u64);
 
@@ -137,6 +140,9 @@ fn aggregate(
         commits.2 += r.mode_commits.2;
         commits.3 += r.mode_commits.3;
         aborts += r.aborts;
+        planned_cases += u64::from(r.planned_ars > 0);
+        elided += r.fastpath_elided;
+        partial += r.fastpath_partial;
         *verdicts.entry(r.verdict).or_default() += 1;
         len_min = len_min.min(r.program_len);
         len_max = len_max.max(r.program_len);
@@ -173,6 +179,11 @@ fn aggregate(
         .collect::<Vec<_>>()
         .join(", ");
     let _ = writeln!(text, "static verdicts: {verdict_line}");
+    let _ = writeln!(
+        text,
+        "static fast path: {planned_cases} planned cases, {elided} discovery runs elided, \
+         {partial} shortened to root confirmation"
+    );
     if diverged == 0 {
         let _ = writeln!(text, "oracle: all {cases} cases agree (0 divergences)");
     } else {
@@ -190,6 +201,9 @@ fn aggregate(
         ("rejected_drafts", Json::from(rejected)),
         ("divergences", Json::from(diverged)),
         ("soundness_violations", Json::from(soundness)),
+        ("planned_cases", Json::from(planned_cases)),
+        ("discovery_runs_elided", Json::from(elided)),
+        ("partial_discovery_runs", Json::from(partial)),
         ("machine_instructions", Json::from(machine_instructions)),
         ("reference_steps", Json::from(reference_steps)),
         (
@@ -630,8 +644,8 @@ pub fn matrix_output(seed_str: &str, count: u64, workers: usize) -> ExperimentOu
     });
 
     // Per-backend aggregates: commits, aborts, capacity, R/W-set
-    // overflows, divergences.
-    let mut per_backend: BTreeMap<&'static str, (u64, u64, u64, u64, u64)> = BTreeMap::new();
+    // overflows, fast-path elisions, divergences.
+    let mut per_backend: BTreeMap<&'static str, (u64, u64, u64, u64, u64, u64)> = BTreeMap::new();
     let mut kinds: BTreeMap<&'static str, u64> = BTreeMap::new();
     let mut failures = Vec::new();
     for o in &outcomes {
@@ -641,8 +655,9 @@ pub fn matrix_output(seed_str: &str, count: u64, workers: usize) -> ExperimentOu
             slot.1 += b.aborts;
             slot.2 += b.capacity_aborts;
             slot.3 += b.lrws_capacity_aborts;
+            slot.4 += b.fastpath_elided;
             if b.divergence.is_some() {
-                slot.4 += 1;
+                slot.5 += 1;
             }
         }
         if let Some((_, d)) = o.report.divergence() {
@@ -662,22 +677,23 @@ pub fn matrix_output(seed_str: &str, count: u64, workers: usize) -> ExperimentOu
     );
     let _ = writeln!(
         text,
-        "{:8} {:>9} {:>8} {:>9} {:>9} {:>10}",
-        "backend", "commits", "aborts", "capacity", "rw-ovfl", "diverged"
+        "{:8} {:>9} {:>8} {:>9} {:>9} {:>8} {:>10}",
+        "backend", "commits", "aborts", "capacity", "rw-ovfl", "elided", "diverged"
     );
     // BackendId::ALL order, not BTreeMap order: the table reads in the
     // same sequence as every other backend sweep.
     for id in BackendId::ALL {
-        let (commits, aborts, capacity, lrws, div) =
+        let (commits, aborts, capacity, lrws, elided, div) =
             per_backend.get(id.name()).copied().unwrap_or_default();
         let _ = writeln!(
             text,
-            "{:8} {:>9} {:>8} {:>9} {:>9} {:>10}",
+            "{:8} {:>9} {:>8} {:>9} {:>9} {:>8} {:>10}",
             id.name(),
             commits,
             aborts,
             capacity,
             lrws,
+            elided,
             div
         );
     }
@@ -694,7 +710,7 @@ pub fn matrix_output(seed_str: &str, count: u64, workers: usize) -> ExperimentOu
     }
 
     let backend_json = Json::arr(BackendId::ALL.iter().map(|id| {
-        let (commits, aborts, capacity, lrws, div) =
+        let (commits, aborts, capacity, lrws, elided, div) =
             per_backend.get(id.name()).copied().unwrap_or_default();
         Json::obj([
             ("backend", Json::from(id.name())),
@@ -702,6 +718,7 @@ pub fn matrix_output(seed_str: &str, count: u64, workers: usize) -> ExperimentOu
             ("aborts", Json::from(aborts)),
             ("capacity_aborts", Json::from(capacity)),
             ("lrws_capacity_aborts", Json::from(lrws)),
+            ("discovery_runs_elided", Json::from(elided)),
             ("diverged_cases", Json::from(div)),
         ])
     }));

@@ -9,6 +9,7 @@
 //! tolerances used for regression checks against `goldens/`.
 
 mod digest;
+mod fastpath;
 mod figures;
 mod fuzz;
 mod perf;
@@ -382,6 +383,16 @@ pub static EXPERIMENTS: &[Experiment] = &[
         }),
     },
     Experiment {
+        name: "static-fastpath",
+        artifact: "static-analysis-driven execution",
+        about: "dynamic discovery vs precomputed lock sets per backend",
+        run: fastpath::static_fastpath,
+        golden: Some(GoldenSpec {
+            opts: fastpath::fastpath_opts,
+            tolerances: GATED_TOLERANCES,
+        }),
+    },
+    Experiment {
         name: "verify",
         artifact: "install check",
         about: "atomicity invariants across the full benchmark grid",
@@ -477,7 +488,8 @@ mod tests {
                 "static-agreement",
                 "litmus-conformance",
                 "litmus-backends",
-                "backend-shootout"
+                "backend-shootout",
+                "static-fastpath"
             ]
         );
     }

@@ -85,6 +85,7 @@ fn kind_name(kind: AbortKind) -> &'static str {
         AbortKind::Capacity => "capacity",
         AbortKind::Nacked => "nacked",
         AbortKind::Explicit => "explicit",
+        AbortKind::PlanViolation => "plan-violation",
         AbortKind::Other => "other",
     }
 }

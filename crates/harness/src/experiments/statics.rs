@@ -13,11 +13,11 @@ use crate::json::Json;
 use crate::pool;
 use crate::suite::SuiteOptions;
 use clear_analysis::{
-    analyze_workload, ArReport, LockPrediction, OverflowPrediction, StaticBudget, StaticVerdict,
-    WorkloadReport,
+    analyze_workload, workload_plans, ArReport, LockPrediction, OverflowPrediction, StaticBudget,
+    StaticVerdict, WorkloadReport,
 };
-use clear_core::ObservedClass;
-use clear_machine::{Machine, Preset, TraceEvent};
+use clear_core::{ObservedClass, PlanAddr, PlanClass, StaticPlan, StaticPlanSet};
+use clear_machine::{backend_from_config, BackendId, Machine, Preset, TraceEvent};
 use clear_workloads::{by_name, Size, BENCHMARK_NAMES};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -289,16 +289,88 @@ fn agreement_row_json(
     ])
 }
 
+/// Renders a [`PlanAddr`] the way the analyzer thinks about it:
+/// `r<reg>+<delta>` for entry-relative sites, a hex byte address for
+/// constant ones.
+fn plan_addr_str(a: &PlanAddr) -> String {
+    match a {
+        PlanAddr::Abs(addr) => format!("{addr:#x}"),
+        PlanAddr::Sym { reg, delta } => format!("r{reg}+{delta}"),
+    }
+}
+
+fn plan_class_str(c: PlanClass) -> &'static str {
+    match c {
+        PlanClass::Immutable => "immutable",
+        PlanClass::LikelyImmutable => "likely-immutable",
+    }
+}
+
+/// Per-backend budget fit of one plan: every built-in backend's
+/// `rw_limits` answer against the plan's static line bounds.
+fn plan_budget(plan: &StaticPlan) -> Vec<(&'static str, bool, bool)> {
+    BackendId::ALL
+        .iter()
+        .map(|&id| {
+            let backend = backend_from_config(&id.config(1, 5));
+            let limits = backend.rw_limits();
+            let fits = plan.fits_rw(
+                limits.as_ref().map(|l| l.read_lines),
+                limits.as_ref().map(|l| l.write_lines),
+            );
+            (id.name(), limits.is_some(), fits)
+        })
+        .collect()
+}
+
+fn plan_json(ar_id: u32, ar_name: &str, plan: &StaticPlan) -> Json {
+    let addrs = |set: &[PlanAddr]| Json::arr(set.iter().map(|a| Json::from(plan_addr_str(a))));
+    Json::obj([
+        ("id", Json::from(u64::from(ar_id))),
+        ("ar", Json::from(ar_name)),
+        ("class", Json::from(plan_class_str(plan.class))),
+        ("complete", Json::from(plan.complete)),
+        ("bound_lines", Json::from(plan.bound_lines)),
+        ("bound_written", Json::from(plan.bound_written)),
+        ("lock_set", addrs(&plan.lock_set)),
+        ("written", addrs(&plan.written)),
+        ("root_slots", addrs(&plan.root_slots)),
+        (
+            "budget",
+            Json::arr(plan_budget(plan).into_iter().map(|(name, tracked, fits)| {
+                Json::obj([
+                    ("backend", Json::from(name)),
+                    ("tracked", Json::from(tracked)),
+                    ("fits", Json::from(fits)),
+                ])
+            })),
+        ),
+    ])
+}
+
+/// Derives the [`StaticPlanSet`] of one benchmark under the CLI context.
+fn plans_for(name: &str, size: Size, threads: usize, seed: u64) -> Result<StaticPlanSet, String> {
+    let mut w = by_name(name, size, seed).ok_or_else(|| format!("unknown benchmark {name}"))?;
+    workload_plans(&mut *w, threads, &StaticBudget::default())
+}
+
 /// Backend of `clear-harness analyze <workload>`: full per-AR static
 /// report for one benchmark, or for every registered benchmark when
 /// `name` is `all`. Uses the CLI's size/cores/seed, so the same command
-/// inspects any input scale.
+/// inspects any input scale. With `with_plans` (`analyze --plan`) each
+/// workload section additionally prints the emitted [`StaticPlan`]s —
+/// lock set, written subset, root slots, and the per-backend budget fit —
+/// and the JSON document carries them under `plans`.
 ///
 /// # Errors
 ///
 /// Reports unknown benchmark names and sampling failures (an AR that
 /// never appears within the pull budget at this size/thread count).
-pub fn analyze_output(name: &str, opts: &SuiteOptions) -> Result<ExperimentOutput, String> {
+pub fn analyze_output(
+    name: &str,
+    opts: &SuiteOptions,
+    with_plans: bool,
+) -> Result<ExperimentOutput, String> {
     let names: Vec<&str> = if name == "all" {
         BENCHMARK_NAMES.to_vec()
     } else {
@@ -312,10 +384,18 @@ pub fn analyze_output(name: &str, opts: &SuiteOptions) -> Result<ExperimentOutpu
         .iter()
         .map(|n| analyze(n, opts.size, opts.cores, seed))
         .collect::<Result<Vec<_>, String>>()?;
+    let plan_sets: Vec<Option<StaticPlanSet>> = names
+        .iter()
+        .map(|n| {
+            with_plans
+                .then(|| plans_for(n, opts.size, opts.cores, seed))
+                .transpose()
+        })
+        .collect::<Result<_, String>>()?;
 
     let mut text = String::new();
     let mut workloads = Vec::new();
-    for report in &reports {
+    for (report, plan_set) in reports.iter().zip(&plan_sets) {
         let _ = writeln!(
             text,
             "=== static analysis of {} ({} input, {} threads, seed {}) ===",
@@ -353,12 +433,77 @@ pub fn analyze_output(name: &str, opts: &SuiteOptions) -> Result<ExperimentOutpu
             }
             ars.push(analyze_ar_json(ar));
         }
+        let mut fields = vec![
+            ("benchmark".to_string(), Json::from(report.name.clone())),
+            ("mapped_bytes".to_string(), Json::from(report.mapped_bytes)),
+            ("ars".to_string(), Json::Arr(ars)),
+        ];
+        if let Some(plans) = plan_set {
+            let _ = writeln!(text, "static plans (fast-path lock sets):");
+            let mut plan_rows = Vec::new();
+            for ar in &report.ars {
+                match plans.get(ar.spec.id.0) {
+                    Some(plan) => {
+                        let _ = writeln!(
+                            text,
+                            "  {}: {} plan, {} ({} site lock set, {} written, \
+                             bound {} lines / {} written)",
+                            ar.spec.name,
+                            plan_class_str(plan.class),
+                            if plan.complete { "complete" } else { "partial" },
+                            plan.lock_set.len(),
+                            plan.written.len(),
+                            plan.bound_lines,
+                            plan.bound_written,
+                        );
+                        let set_line = |label: &str, set: &[PlanAddr]| {
+                            if set.is_empty() {
+                                None
+                            } else {
+                                Some(format!(
+                                    "    {label}: {}",
+                                    set.iter().map(plan_addr_str).collect::<Vec<_>>().join(" ")
+                                ))
+                            }
+                        };
+                        for line in [
+                            set_line("lock set", &plan.lock_set),
+                            set_line("written", &plan.written),
+                            set_line("root slots", &plan.root_slots),
+                        ]
+                        .into_iter()
+                        .flatten()
+                        {
+                            let _ = writeln!(text, "{line}");
+                        }
+                        let budget = plan_budget(plan)
+                            .into_iter()
+                            .map(|(name, tracked, fits)| {
+                                let word = match (tracked, fits) {
+                                    (false, _) => "untracked",
+                                    (true, true) => "fits",
+                                    (true, false) => "EXCEEDS",
+                                };
+                                format!("{name} {word}")
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let _ = writeln!(text, "    budget: {budget}");
+                        plan_rows.push(plan_json(ar.spec.id.0, &ar.spec.name, plan));
+                    }
+                    None => {
+                        let _ = writeln!(
+                            text,
+                            "  {}: no plan ({} verdict takes the discovery path)",
+                            ar.spec.name, ar.analysis.verdict
+                        );
+                    }
+                }
+            }
+            fields.push(("plans".to_string(), Json::Arr(plan_rows)));
+        }
         let _ = writeln!(text);
-        workloads.push(Json::obj([
-            ("benchmark", Json::from(report.name.clone())),
-            ("mapped_bytes", Json::from(report.mapped_bytes)),
-            ("ars", Json::Arr(ars)),
-        ]));
+        workloads.push(Json::Obj(fields));
     }
 
     let lint_count: usize = reports
@@ -369,6 +514,7 @@ pub fn analyze_output(name: &str, opts: &SuiteOptions) -> Result<ExperimentOutpu
     let json = Json::obj([
         ("command", Json::from("analyze")),
         ("options", opts_json(opts)),
+        ("plan", Json::from(with_plans)),
         ("workloads", Json::Arr(workloads)),
         ("lints", Json::from(lint_count)),
     ]);
@@ -434,19 +580,53 @@ mod tests {
 
     #[test]
     fn analyze_reports_one_workload() {
-        let out = analyze_output("mwobject", &tiny_opts()).unwrap();
+        let out = analyze_output("mwobject", &tiny_opts(), false).unwrap();
         assert!(out.text.contains("static analysis of mwobject"));
         assert_eq!(out.failures, 0, "registered workload has lints");
         let Json::Obj(fields) = &out.json else {
             panic!("not an object")
         };
         assert!(fields.iter().any(|(k, _)| k == "workloads"));
+        assert!(
+            !out.text.contains("static plans"),
+            "plan section must be opt-in"
+        );
     }
 
     #[test]
     fn analyze_rejects_unknown_names() {
-        let err = analyze_output("no-such-benchmark", &tiny_opts()).unwrap_err();
+        let err = analyze_output("no-such-benchmark", &tiny_opts(), false).unwrap_err();
         assert!(err.contains("unknown benchmark"), "{err}");
+    }
+
+    #[test]
+    fn analyze_plan_prints_lock_sets_and_budget_fit() {
+        // mwobject's AR is proved immutable: the plan section must show a
+        // complete lock set and a per-backend budget verdict.
+        let out = analyze_output("mwobject", &tiny_opts(), true).unwrap();
+        assert!(out.text.contains("static plans"), "{}", out.text);
+        assert!(out.text.contains("lock set:"), "{}", out.text);
+        assert!(out.text.contains("budget:"), "{}", out.text);
+        for id in BackendId::ALL {
+            assert!(out.text.contains(id.name()), "missing {id}:\n{}", out.text);
+        }
+        let Some(Json::Arr(workloads)) = out.json.get("workloads") else {
+            panic!("workloads missing");
+        };
+        let Some(Json::Arr(plans)) = workloads[0].get("plans") else {
+            panic!("plans missing under --plan");
+        };
+        assert!(!plans.is_empty(), "mwobject should carry at least one plan");
+        for p in plans {
+            let Some(Json::Arr(budget)) = p.get("budget") else {
+                panic!("budget missing");
+            };
+            assert_eq!(budget.len(), BackendId::ALL.len());
+            let Some(Json::Arr(lock_set)) = p.get("lock_set") else {
+                panic!("lock_set missing");
+            };
+            assert!(!lock_set.is_empty());
+        }
     }
 
     #[test]

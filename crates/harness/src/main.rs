@@ -5,7 +5,7 @@
 //! clear-harness list
 //! clear-harness run <name>|all [suite options] [--json]
 //! clear-harness trace <workload> [suite options] [--chrome FILE] [--events N] [--json]
-//! clear-harness analyze <workload>|all [suite options] [--json]
+//! clear-harness analyze <workload>|all [suite options] [--plan] [--json]
 //! clear-harness golden update [names...]
 //! clear-harness check [names...]
 //! ```
@@ -30,7 +30,8 @@ fn usage() -> ! {
          [--snapshot-out FILE] [--prom-out FILE] [--bench-out FILE] [--json]\n  \
          clear-harness trace <workload> [--size ...] [--cores N] [--seeds N]\n      \
          [--chrome FILE] [--arrivals FILE] [--events N] [--json]\n  \
-         clear-harness analyze <workload>|all [--size ...] [--cores N] [--seeds N] [--json]\n  \
+         clear-harness analyze <workload>|all [--size ...] [--cores N] [--seeds N]\n      \
+         [--plan] [--json]\n  \
          clear-harness fuzz [--seed S] [--count N] [--cores N] [--workers N] [--json]\n      \
          [--matrix] [--out FILE] [--bench-out FILE] [--repro-dir DIR] [--replay FILE]\n  \
          clear-harness golden update [names...]\n  clear-harness check [names...]"
@@ -448,8 +449,15 @@ fn analyze(args: &[String]) {
         .position(|a| a == "--json")
         .map(|i| rest.remove(i))
         .is_some();
+    // `--plan`: also emit the analyzer's StaticPlans (fast-path lock
+    // sets, written subsets, root slots, per-backend budget fit).
+    let with_plans = rest
+        .iter()
+        .position(|a| a == "--plan")
+        .map(|i| rest.remove(i))
+        .is_some();
     let opts = SuiteOptions::from_arg_slice(&rest);
-    let out = analyze_output(workload, &opts).unwrap_or_else(|e| {
+    let out = analyze_output(workload, &opts, with_plans).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });

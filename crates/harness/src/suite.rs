@@ -9,8 +9,11 @@
 //! the sequential one.
 
 use crate::pool;
+use clear_analysis::{workload_plans, StaticBudget};
+use clear_core::StaticPlanSet;
 use clear_machine::{BackendId, Machine, MachineConfig, Preset, RunStats};
 use clear_workloads::{by_name, Size, BENCHMARK_NAMES};
+use std::sync::Arc;
 
 /// Parsed harness options.
 #[derive(Clone, Debug)]
@@ -245,6 +248,54 @@ pub fn run_once_backend(
     let mut cfg: MachineConfig = backend.config(cores, max_retries);
     cfg.seed = seed;
     cfg.sim_threads = sim_threads;
+    let mut machine = Machine::new(cfg, workload);
+    let stats = machine.run();
+    assert!(!stats.timed_out, "{name}/{backend}: run timed out");
+    machine
+        .workload()
+        .validate(machine.memory())
+        .unwrap_or_else(|e| panic!("{name}/{backend}: invariant violated: {e}"));
+    stats
+}
+
+/// Derives the static plans for one benchmark by sampling and analyzing a
+/// fresh workload instance (deterministic for a given name/size/seed).
+/// Plans are symbolic in the entry registers, so one sampling seed covers
+/// every run seed.
+///
+/// # Panics
+///
+/// Panics if the benchmark name is unknown or sampling fails.
+pub fn benchmark_plans(name: &str, size: Size, seed: u64, threads: usize) -> Arc<StaticPlanSet> {
+    let mut w = by_name(name, size, seed).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let plans = workload_plans(&mut *w, threads, &StaticBudget::default())
+        .unwrap_or_else(|e| panic!("{name}: static planning failed: {e}"));
+    Arc::new(plans)
+}
+
+/// [`run_once_backend`] with analyzer-emitted static plans installed, so
+/// CLEAR-capable backends take the discovery-skipping fast path. Passing
+/// `None` is exactly [`run_once_backend`].
+///
+/// # Panics
+///
+/// As [`run_once`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_once_backend_planned(
+    name: &str,
+    backend: BackendId,
+    cores: usize,
+    max_retries: u32,
+    size: Size,
+    seed: u64,
+    sim_threads: usize,
+    plans: Option<Arc<StaticPlanSet>>,
+) -> RunStats {
+    let workload = by_name(name, size, seed).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let mut cfg: MachineConfig = backend.config(cores, max_retries);
+    cfg.seed = seed;
+    cfg.sim_threads = sim_threads;
+    cfg.static_plans = plans;
     let mut machine = Machine::new(cfg, workload);
     let stats = machine.run();
     assert!(!stats.timed_out, "{name}/{backend}: run timed out");

@@ -200,6 +200,17 @@ pub fn chrome_trace(m: &Machine, benchmark: &str, seed: u64) -> Json {
                     ]),
                 ));
             }
+            TraceEvent::DiscoveryElided { ar, eager } => {
+                events.push(instant(
+                    format!("elide-discovery {ar}"),
+                    r.cycle,
+                    r.core,
+                    Json::obj([
+                        ("ar", Json::from(ar.to_string())),
+                        ("eager", Json::from(*eager)),
+                    ]),
+                ));
+            }
             TraceEvent::LockAcquired { line, wait_cycles } => {
                 events.push(instant(
                     "lock".to_string(),

@@ -23,6 +23,10 @@ pub enum AbortKind {
     Nacked,
     /// The program executed `XAbort`.
     Explicit,
+    /// A static-plan guard fired: an NS-CL attempt driven by an
+    /// analyzer-emitted lock set touched a line the plan had not locked.
+    /// The plan is poisoned and the AR falls back to normal discovery.
+    PlanViolation,
     /// Everything else (exceptions, interrupts, non-memory aborts).
     Other,
 }
@@ -38,13 +42,14 @@ impl AbortKind {
     }
 
     /// All abort kinds, in Fig. 11 display order.
-    pub const ALL: [AbortKind; 7] = [
+    pub const ALL: [AbortKind; 8] = [
         AbortKind::MemoryConflict,
         AbortKind::ExplicitFallback,
         AbortKind::OtherFallback,
         AbortKind::Capacity,
         AbortKind::Nacked,
         AbortKind::Explicit,
+        AbortKind::PlanViolation,
         AbortKind::Other,
     ];
 }
@@ -58,6 +63,7 @@ impl fmt::Display for AbortKind {
             AbortKind::Capacity => "capacity",
             AbortKind::Nacked => "nacked",
             AbortKind::Explicit => "explicit",
+            AbortKind::PlanViolation => "plan-violation",
             AbortKind::Other => "other",
         };
         f.write_str(s)
@@ -80,6 +86,7 @@ mod tests {
         assert!(AbortKind::Capacity.counts_toward_retry_limit());
         assert!(AbortKind::Nacked.counts_toward_retry_limit());
         assert!(AbortKind::Explicit.counts_toward_retry_limit());
+        assert!(AbortKind::PlanViolation.counts_toward_retry_limit());
         assert!(AbortKind::Other.counts_toward_retry_limit());
     }
 
@@ -87,7 +94,7 @@ mod tests {
     fn all_lists_every_kind_once() {
         let mut v = AbortKind::ALL.to_vec();
         v.dedup();
-        assert_eq!(v.len(), 7);
+        assert_eq!(v.len(), 8);
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Machine configuration and the four evaluated presets.
 
 use clear_coherence::CoherenceConfig;
-use clear_core::ClearConfig;
+use clear_core::{ClearConfig, StaticPlanSet};
 use clear_htm::{HtmFlavor, LrwsConfig, RetryPolicy};
+use std::sync::Arc;
 
 use crate::EnergyConfig;
 
@@ -77,6 +78,14 @@ pub struct MachineConfig {
     /// low-contention phases, and exclusivity is requested even for
     /// read-only lines. ARs without a static footprint run the baseline.
     pub a_priori_locking: bool,
+    /// Analyzer-emitted static plans (`clear_analysis::workload_plans`):
+    /// proved-immutable ARs skip the discovery run on their first abort
+    /// (or eagerly once contention was observed) and enter NS-CL with the
+    /// plan's lock set; likely-immutable ARs take a shortened discovery
+    /// that only confirms root-slot stability. `None` (the default, and
+    /// every preset) runs pure dynamic discovery. Requires `clear`;
+    /// ignored otherwise.
+    pub static_plans: Option<Arc<StaticPlanSet>>,
     /// Reorder-buffer size in instructions (Table 2: 352). Bounds every
     /// speculative attempt under [`SpeculationKind::InCore`].
     pub rob_size: u64,
@@ -116,6 +125,7 @@ impl MachineConfig {
             speculation: SpeculationKind::Htm,
             lrws: None,
             a_priori_locking: false,
+            static_plans: None,
             rob_size: 352,
             sq_size: 72,
             failed_instr_cap: 50_000,

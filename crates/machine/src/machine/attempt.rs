@@ -268,6 +268,7 @@ impl Machine {
                     alt.mark_all_needs_locking();
                     self.cores[c].alt = Some(alt);
                     self.cores[c].planned = RetryMode::NsCl;
+                    self.cores[c].plan_nscl = false;
                 }
                 RetryMode::SCl => {
                     let mut alt = d.into_alt();
@@ -278,6 +279,16 @@ impl Machine {
                         == Some(clear_core::SclLockPolicy::AllAccessed)
                     {
                         alt.mark_all_needs_locking();
+                    } else if !self.cores[c].plan_roots.is_empty() && !self.cores[c].plan_root_dirty
+                    {
+                        // Partial-discovery confirmation succeeded: the
+                        // likely-immutable plan's root slots stayed stable,
+                        // so lock the whole learned footprint. Still S-CL
+                        // (not NS-CL): a concurrent writer may invalidate a
+                        // root between this decision and the retry, and
+                        // S-CL keeps the abort escape hatch.
+                        alt.mark_all_needs_locking();
+                        self.stats.partial_discovery_runs += 1;
                     }
                     self.cores[c].alt = Some(alt);
                     self.cores[c].planned = RetryMode::SCl;
@@ -349,6 +360,7 @@ impl Machine {
         core.alt = None;
         core.inv = None;
         core.vm = None;
+        core.plan_nscl = false;
         self.phases[c] = Phase::Idle;
         self.clocks[c] += self.config.timing.commit_cost;
     }

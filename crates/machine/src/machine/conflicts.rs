@@ -91,6 +91,48 @@ impl Machine {
                 let clock = self.clocks[v];
                 self.trace
                     .record(clock, v, TraceEvent::ConflictReceived { line, aggressor });
+                // Reactive elide: where the baseline would enter failed-mode
+                // discovery, a proved-immutable plan already knows the
+                // footprint — decide NS-CL on the spot and abort straight
+                // into the locked retry. Overflowed discovery contradicts a
+                // fitting plan, so it stays on the dynamic path.
+                let elide = {
+                    let core = &self.cores[v];
+                    match (core.discovery.as_ref(), core.inv.as_ref()) {
+                        (Some(d), Some(inv)) if !d.in_failed_mode() && !d.overflowed() => {
+                            self.plan_nscl_alt(inv)
+                        }
+                        _ => None,
+                    }
+                };
+                if let Some((alt, footprint)) = elide {
+                    let ar = self.cores[v].inv.as_ref().expect("invocation present").ar;
+                    self.trace
+                        .record(clock, v, TraceEvent::DiscoveryElided { ar, eager: false });
+                    self.trace.record(
+                        clock,
+                        v,
+                        TraceEvent::Decision {
+                            ar,
+                            mode: RetryMode::NsCl,
+                            footprint,
+                            immutable: true,
+                        },
+                    );
+                    self.stats.discovery_runs_elided += 1;
+                    let core = &mut self.cores[v];
+                    {
+                        let e = core.ert.entry(ar.0);
+                        e.is_convertible = true;
+                        e.is_immutable = true;
+                    }
+                    core.discovery = None;
+                    core.alt = Some(alt);
+                    core.planned = RetryMode::NsCl;
+                    core.plan_nscl = true;
+                    self.perform_abort(v, kind);
+                    return;
+                }
                 let core = &mut self.cores[v];
                 if let Some(d) = core.discovery.as_mut() {
                     if !d.in_failed_mode() && !d.overflowed() {

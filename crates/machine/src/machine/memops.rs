@@ -175,6 +175,14 @@ impl Machine {
 
         match self.cores[c].mode {
             ExecMode::NsCl => {
+                // Plan-driven NS-CL trusts an analyzer, not a discovery run:
+                // verify the lock before touching memory and bail to the
+                // dynamic path on a miss. Discovery-built ALTs are exact, so
+                // the debug assertion below stays for them.
+                if self.cores[c].plan_nscl && self.coherence.locked_by(line) != Some(CoreId(c)) {
+                    self.plan_violation(c);
+                    return;
+                }
                 debug_assert_eq!(
                     self.coherence.locked_by(line),
                     Some(CoreId(c)),
@@ -290,6 +298,12 @@ impl Machine {
         }
         let line = addr.line();
         self.cores[c].fp_cur.insert(line);
+        // Partial-discovery confirmation for a likely-immutable plan: a
+        // store into a root slot means the footprint roots are not stable
+        // after all, so the S-CL lock-all upgrade is off.
+        if !self.cores[c].plan_roots.is_empty() && self.cores[c].plan_roots.contains(&line) {
+            self.cores[c].plan_root_dirty = true;
+        }
         if let Some(d) = self.cores[c].discovery.as_mut() {
             d.on_access(line, true, indirect);
             let sq_over = d.in_failed_mode() && d.stores_in_failed() > self.config.sq_size;
@@ -332,6 +346,21 @@ impl Machine {
                 }
                 self.abort_victims(c, line, &conflicts, AbortKind::MemoryConflict);
                 self.memory.store_word(addr, value);
+            }
+            ExecMode::NsCl if self.cores[c].plan_nscl => {
+                // Plan-driven NS-CL trusts an analyzer, not a discovery
+                // run, so the attempt must stay abortable until the guard
+                // has seen every access: verify the lock before anything
+                // else and buffer the store in the SQ (store-to-load
+                // forwarding above keeps it visible to this core). A guard
+                // trip then rolls the whole attempt back; commit drains the
+                // buffer exactly like S-CL.
+                if self.coherence.locked_by(line) != Some(CoreId(c)) {
+                    self.plan_violation(c);
+                    return;
+                }
+                self.cores[c].sq.insert(addr.0, value);
+                self.clocks[c] += 1;
             }
             ExecMode::NsCl => {
                 debug_assert_eq!(

@@ -148,6 +148,13 @@ impl Machine {
         let perf = self.perf;
         let lrws_reads = self.stats.lrws_read_capacity_aborts;
         let lrws_writes = self.stats.lrws_write_capacity_aborts;
+        // Only exported when static plans are configured, so runs without
+        // them keep their metrics snapshots byte-identical.
+        let plan_counters = self.config.static_plans.is_some().then_some([
+            ("discovery_runs_elided", self.stats.discovery_runs_elided),
+            ("partial_discovery_runs", self.stats.partial_discovery_runs),
+            ("static_plan_violations", self.stats.static_plan_violations),
+        ]);
         let profiles: Vec<clear_coherence::ShardProfile> =
             self.coherence.shard_profiles().collect();
         let reg = &mut self.metrics.as_mut().expect("checked above").registry;
@@ -167,6 +174,9 @@ impl Machine {
             ("lrws_read_capacity_aborts", lrws_reads),
             ("lrws_write_capacity_aborts", lrws_writes),
         ] {
+            reg.set_gauge(families::SIM_PERF, &[("counter", counter)], value);
+        }
+        for (counter, value) in plan_counters.into_iter().flatten() {
             reg.set_gauge(families::SIM_PERF, &[("counter", counter)], value);
         }
         for p in profiles {

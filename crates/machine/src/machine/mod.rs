@@ -32,7 +32,7 @@ use clear_htm::{
 };
 use clear_isa::{ArInvocation, Effect, Vm, Workload};
 use clear_mem::rng::Xoshiro256PlusPlus;
-use clear_mem::{Addr, FxHashMap, LineAddr, LineSet, Memory};
+use clear_mem::{Addr, FxHashMap, FxHashSet, LineAddr, LineSet, Memory};
 use sched::CoreHeap;
 use std::sync::Arc;
 
@@ -127,6 +127,17 @@ struct Core {
     /// Bounded read/write-set buffers of the limited-R/W-set backend;
     /// `None` for every backend without [`SpeculationBackend::rw_limits`].
     lrws: Option<RwSetTracker>,
+    /// The current attempt (or planned retry) is NS-CL driven by a static
+    /// plan: the access path re-checks line locks and aborts with
+    /// [`AbortKind::PlanViolation`] on a miss instead of trusting the
+    /// discovery-built exactness invariant.
+    plan_nscl: bool,
+    /// Resolved root-slot lines of this invocation's likely-immutable
+    /// plan; empty when no such plan applies.
+    plan_roots: Vec<LineAddr>,
+    /// A store of this invocation landed in a root-slot line: the
+    /// partial-discovery confirmation failed, no S-CL upgrade.
+    plan_root_dirty: bool,
 }
 
 impl Core {
@@ -155,6 +166,9 @@ impl Core {
             first_attempt_at: None,
             lock_wait_acc: 0,
             lrws: backend.rw_limits().map(RwSetTracker::new),
+            plan_nscl: false,
+            plan_roots: Vec::new(),
+            plan_root_dirty: false,
         }
     }
 }
@@ -193,6 +207,9 @@ pub struct Machine {
     perf: PerfCounters,
     /// Opt-in metrics registry and hooks (see the `metrics` module).
     metrics: Option<Box<metrics::MachineMetrics>>,
+    /// ARs whose static plan tripped the NS-CL guard: the fast path is
+    /// disabled for them for the rest of the run.
+    poisoned_plans: FxHashSet<u32>,
     /// Reused buffers for per-access/per-lock victim collection and lock
     /// groups; taken, filled, and put back on the hot path.
     scratch_victims: Vec<TxInfo>,
@@ -257,6 +274,7 @@ impl Machine {
             sched_touched: Vec::new(),
             perf: PerfCounters::default(),
             metrics: None,
+            poisoned_plans: FxHashSet::default(),
             scratch_victims: Vec::new(),
             scratch_group: Vec::new(),
             config,
@@ -457,15 +475,63 @@ impl Machine {
                 } else {
                     None
                 };
+                // Static fast path: once this AR has shown contention, a
+                // proved-immutable plan applies eagerly — the first attempt
+                // is already NS-CL and no discovery run ever happens.
+                let plan_alt = if apriori_alt.is_none()
+                    && self
+                        .stats
+                        .ar_stats
+                        .get(&inv.ar.0)
+                        .is_some_and(|e| e.aborts > 0)
+                {
+                    self.plan_nscl_alt(&inv)
+                } else {
+                    None
+                };
+                let plan_roots = if apriori_alt.is_none() && plan_alt.is_none() {
+                    self.plan_root_lines(&inv)
+                } else {
+                    Vec::new()
+                };
+                if let Some((_, footprint)) = &plan_alt {
+                    self.trace.record(
+                        self.clocks[c],
+                        c,
+                        TraceEvent::DiscoveryElided {
+                            ar: inv.ar,
+                            eager: true,
+                        },
+                    );
+                    self.trace.record(
+                        self.clocks[c],
+                        c,
+                        TraceEvent::Decision {
+                            ar: inv.ar,
+                            mode: RetryMode::NsCl,
+                            footprint: *footprint,
+                            immutable: true,
+                        },
+                    );
+                    self.stats.discovery_runs_elided += 1;
+                }
                 let core = &mut self.cores[c];
                 core.inv = Some(inv);
                 if let Some(alt) = apriori_alt {
                     core.alt = Some(alt);
                     core.planned = RetryMode::NsCl;
+                    core.plan_nscl = false;
+                } else if let Some((alt, _)) = plan_alt {
+                    core.alt = Some(alt);
+                    core.planned = RetryMode::NsCl;
+                    core.plan_nscl = true;
                 } else {
                     core.planned = RetryMode::SpeculativeRetry;
                     core.alt = None;
+                    core.plan_nscl = false;
                 }
+                core.plan_roots = plan_roots;
+                core.plan_root_dirty = false;
                 core.retries_counted = 0;
                 core.retries_total = 0;
                 core.fp_first = None;
@@ -499,4 +565,5 @@ mod conflicts;
 mod locking;
 mod memops;
 mod metrics;
+mod plans;
 mod sched;

@@ -116,6 +116,15 @@ pub struct RunStats {
     /// Limited-R/W-set backend: capacity aborts raised by write-set buffer
     /// overflow. Zero for every other backend.
     pub lrws_write_capacity_aborts: u64,
+    /// Discovery runs skipped outright because a proved-immutable
+    /// [`StaticPlan`](clear_core::StaticPlan) supplied the lock set.
+    pub discovery_runs_elided: u64,
+    /// Discovery runs shortened to a root-slot stability confirmation by a
+    /// likely-immutable static plan.
+    pub partial_discovery_runs: u64,
+    /// Static-plan guard trips: NS-CL attempts that touched a line outside
+    /// the plan's lock set and aborted to the dynamic path.
+    pub static_plan_violations: u64,
     /// Per-AR counters keyed by the AR's static id.
     pub ar_stats: BTreeMap<u32, ArStatsEntry>,
     /// Coherence event counters.

@@ -84,6 +84,19 @@ pub enum TraceEvent {
         /// Total retries the invocation took.
         retries: u32,
     },
+    /// A static plan supplied the lock set and the discovery run was
+    /// skipped: the AR goes straight to NS-CL.
+    ///
+    /// Declared last on purpose: [`Trace::digest`] hashes the derived
+    /// discriminant, so appending (rather than inserting) new variants
+    /// keeps plan-free runs' digests byte-identical to prior goldens.
+    DiscoveryElided {
+        /// The planned AR.
+        ar: ArId,
+        /// `true` when the plan was applied at fetch (observed contention)
+        /// rather than in reaction to a conflict.
+        eager: bool,
+    },
 }
 
 impl fmt::Display for TraceEvent {
@@ -106,6 +119,9 @@ impl fmt::Display for TraceEvent {
                     "decide {ar} -> {mode} (fp={footprint}, immutable={immutable})"
                 )
             }
+            TraceEvent::DiscoveryElided { ar, eager } => {
+                write!(f, "elide-discovery {ar} (eager={eager})")
+            }
             TraceEvent::LockAcquired { line, wait_cycles } => {
                 write!(f, "lock {line} (waited {wait_cycles})")
             }
@@ -127,6 +143,7 @@ impl TraceEvent {
             TraceEvent::ConflictReceived { .. } => "conflict",
             TraceEvent::EnterFailedMode => "enter-failed-mode",
             TraceEvent::Decision { .. } => "decision",
+            TraceEvent::DiscoveryElided { .. } => "elide-discovery",
             TraceEvent::LockAcquired { .. } => "lock",
             TraceEvent::Abort { .. } => "abort",
             TraceEvent::Commit { .. } => "commit",
